@@ -1,0 +1,69 @@
+// Package briq is a from-scratch Go implementation of BriQ — "Bridging
+// Quantities in Tables and Text" (Ibrahim, Riedewald, Weikum,
+// Zeinalipour-Yazti; ICDE 2019): a system that detects quantity mentions in
+// text and aligns each to the table cell — or virtual cell such as a column
+// sum, a difference, a percentage or a change ratio — that it refers to.
+//
+// The root package is a thin facade over the pipeline; the stages live in
+// internal packages:
+//
+//	document   table-text extraction: paragraphs + related tables + mentions
+//	feature    mention-pair features f1–f12
+//	forest     the Random Forest mention-pair classifier
+//	tagger     the text-mention aggregation tagger
+//	filter     adaptive candidate filtering
+//	graph      candidate graph + random walks with restart (Algorithm 1)
+//	corpus     the synthetic Common-Crawl-style corpus with ground truth
+//	experiment the harness reproducing the paper's Tables I–IX
+//
+// Quick start:
+//
+//	p := briq.New()
+//	alignments, err := briq.AlignHTML(p, "page0", htmlSource)
+//
+// For higher quality, train models on the synthetic corpus first:
+//
+//	p, err := briq.NewTrained(42)
+package briq
+
+import (
+	"briq/internal/core"
+	"briq/internal/corpus"
+	"briq/internal/experiment"
+	"briq/internal/htmlx"
+)
+
+// Pipeline is a configured BriQ instance; see core.Pipeline for the stage
+// configuration fields.
+type Pipeline = core.Pipeline
+
+// Alignment is one resolved text↔table quantity alignment.
+type Alignment = core.Alignment
+
+// New returns a pipeline with default configuration: rule-based tagger and
+// heuristic (untrained) pair scoring. Useful for experimentation and demos;
+// use NewTrained for the full system.
+func New() *Pipeline { return core.NewPipeline() }
+
+// NewTrained generates a deterministic synthetic training corpus (standing
+// in for the paper's annotated tableS data), trains the mention-pair
+// classifier and the text-mention tagger on it, and returns the full BriQ
+// pipeline. Training takes a few seconds.
+func NewTrained(seed int64) (*Pipeline, error) {
+	cfg := corpus.TableSConfig(seed)
+	cfg.Pages = 150 // enough gold pairs for stable models
+	c := corpus.Generate(cfg)
+	split := experiment.SplitCorpus(c, seed)
+	trained, err := experiment.Train(c, split.Train, experiment.DefaultTrainOptions(seed))
+	if err != nil {
+		return nil, err
+	}
+	return experiment.NewBriQ(trained).P, nil
+}
+
+// AlignHTML parses an HTML page and aligns every quantity mention of its
+// paragraphs to the related tables.
+func AlignHTML(p *Pipeline, pageID, html string) ([]Alignment, error) {
+	page := htmlx.ParseString(html)
+	return p.AlignPage(pageID, page)
+}

@@ -1,0 +1,58 @@
+package briq_test
+
+import (
+	"strings"
+	"testing"
+
+	"briq"
+)
+
+const quickstartPage = `<html><head><title>Drug Trial</title></head><body>
+<p>A total of 123 patients reported side effects, of which there were 69
+female patients and 54 male patients.</p>
+<table>
+<caption>side effects reported by patients</caption>
+<tr><th>side effects</th><th>male</th><th>female</th><th>total</th></tr>
+<tr><td>Rash</td><td>15</td><td>20</td><td>35</td></tr>
+<tr><td>Depression</td><td>13</td><td>25</td><td>38</td></tr>
+<tr><td>Hypertension</td><td>19</td><td>15</td><td>34</td></tr>
+<tr><td>Nausea</td><td>5</td><td>6</td><td>11</td></tr>
+<tr><td>Eye Disorders</td><td>2</td><td>3</td><td>5</td></tr>
+</table>
+</body></html>`
+
+func TestAlignHTMLFacade(t *testing.T) {
+	alignments, err := briq.AlignHTML(briq.New(), "p0", quickstartPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alignments) == 0 {
+		t.Fatal("no alignments")
+	}
+	foundSum := false
+	for _, a := range alignments {
+		if strings.Contains(a.TextSurface, "123") && a.AggName == "sum" && a.Value == 123 {
+			foundSum = true
+		}
+	}
+	if !foundSum {
+		t.Errorf("'total of 123' not aligned to the column sum: %+v", alignments)
+	}
+}
+
+func TestNewTrainedFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training takes a few seconds")
+	}
+	p, err := briq.NewTrained(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alignments, err := briq.AlignHTML(p, "p0", quickstartPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alignments) == 0 {
+		t.Fatal("trained pipeline produced no alignments")
+	}
+}

@@ -1,0 +1,149 @@
+// Command briq-eval aligns the pages of a corpusgen-produced directory and
+// scores the result against its gold.json — precision, recall and F1
+// overall and by mention type.
+//
+// Usage:
+//
+//	corpusgen -out DIR -pages 100
+//	briq-eval [-trained] [-seed N] DIR
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"briq"
+	"briq/internal/corpus"
+	"briq/internal/document"
+	"briq/internal/htmlx"
+	"briq/internal/mlmetrics"
+	"briq/internal/quantity"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("briq-eval: ")
+
+	trained := flag.Bool("trained", false, "train models on a synthetic corpus first")
+	seed := flag.Int64("seed", 42, "training seed (with -trained)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: briq-eval [-trained] DIR")
+	}
+	dir := flag.Arg(0)
+
+	gold, err := loadGold(filepath.Join(dir, "gold.json"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pipeline := briq.New()
+	if *trained {
+		pipeline, err = briq.NewTrained(*seed)
+		if err != nil {
+			log.Fatalf("training: %v", err)
+		}
+	}
+
+	pages, err := filepath.Glob(filepath.Join(dir, "*.html"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Strings(pages)
+	if len(pages) == 0 {
+		log.Fatalf("no .html pages in %s", dir)
+	}
+
+	var overall mlmetrics.Counts
+	perType := map[string]*mlmetrics.Counts{}
+	touch := func(name string) *mlmetrics.Counts {
+		if perType[name] == nil {
+			perType[name] = &mlmetrics.Counts{}
+		}
+		return perType[name]
+	}
+
+	seg := document.NewSegmenter()
+	for _, path := range pages {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pageID := strings.TrimSuffix(filepath.Base(path), ".html")
+		page := htmlx.ParseString(string(src))
+		docs, err := seg.SegmentPage(pageID, page)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		for _, doc := range docs {
+			goldByMention := map[int]corpus.Gold{}
+			for _, g := range gold[doc.ID] {
+				goldByMention[g.TextIndex] = g
+			}
+			predicted := map[int]briq.Alignment{}
+			for _, a := range pipeline.Align(doc) {
+				predicted[a.TextIndex] = a
+			}
+			for xi, a := range predicted {
+				g, hasGold := goldByMention[xi]
+				if hasGold && g.TableKey == a.TableKey {
+					overall.TP++
+					touch(g.Agg.String()).TP++
+				} else {
+					overall.FP++
+					touch(a.AggName).FP++
+				}
+			}
+			for xi, g := range goldByMention {
+				if a, ok := predicted[xi]; !ok || a.TableKey != g.TableKey {
+					overall.FN++
+					touch(g.Agg.String()).FN++
+				}
+			}
+		}
+	}
+
+	prf := overall.PRF()
+	fmt.Printf("pages: %d  gold pairs: %d\n", len(pages), overall.TP+overall.FN)
+	fmt.Printf("overall: P=%.3f R=%.3f F1=%.3f (TP=%d FP=%d FN=%d)\n",
+		prf.Precision, prf.Recall, prf.F1, overall.TP, overall.FP, overall.FN)
+	names := make([]string, 0, len(perType))
+	for name := range perType {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := perType[name].PRF()
+		fmt.Printf("  %-12s P=%.3f R=%.3f F1=%.3f\n", name, p.Precision, p.Recall, p.F1)
+	}
+}
+
+// loadGold reads the corpusgen gold file and groups alignments by document.
+func loadGold(path string) (map[string][]corpus.Gold, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var raw []struct {
+		DocID     string
+		TextIndex int
+		TableKey  string
+		Agg       quantity.Agg
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string][]corpus.Gold)
+	for _, g := range raw {
+		out[g.DocID] = append(out[g.DocID], corpus.Gold{
+			DocID: g.DocID, TextIndex: g.TextIndex, TableKey: g.TableKey, Agg: g.Agg,
+		})
+	}
+	return out, nil
+}

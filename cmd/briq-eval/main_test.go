@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"briq/internal/quantity"
+)
+
+func TestLoadGold(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gold.json")
+	src := `[
+		{"DocID":"pg0-d0","TextIndex":0,"TableKey":"pg0-t0:cell(1,2)","Agg":0},
+		{"DocID":"pg0-d0","TextIndex":2,"TableKey":"pg0-t0:sum(col 1)","Agg":1},
+		{"DocID":"pg1-d0","TextIndex":0,"TableKey":"pg1-t0:cell(0,0)","Agg":0}
+	]`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gold, err := loadGold(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gold["pg0-d0"]) != 2 || len(gold["pg1-d0"]) != 1 {
+		t.Fatalf("grouping wrong: %+v", gold)
+	}
+	if gold["pg0-d0"][1].Agg != quantity.Sum {
+		t.Errorf("agg = %v, want sum", gold["pg0-d0"][1].Agg)
+	}
+}
+
+func TestLoadGoldErrors(t *testing.T) {
+	if _, err := loadGold(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("want error for missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "gold.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadGold(bad); err == nil {
+		t.Error("want error for malformed JSON")
+	}
+}

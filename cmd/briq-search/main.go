@@ -1,0 +1,79 @@
+// Command briq-search indexes the tables of a directory of HTML pages and
+// answers quantity queries over them (§XI).
+//
+// Usage:
+//
+//	briq-search -dir corpus/ "income above 5 million USD"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"briq/internal/document"
+	"briq/internal/htmlx"
+	"briq/internal/quantsearch"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("briq-search: ")
+
+	dir := flag.String("dir", "", "directory of .html pages to index (required)")
+	limit := flag.Int("limit", 10, "maximum results to print")
+	flag.Parse()
+	if *dir == "" || flag.NArg() == 0 {
+		log.Fatal(`usage: briq-search -dir DIR "income above 5 million USD"`)
+	}
+
+	paths, err := filepath.Glob(filepath.Join(*dir, "*.html"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		log.Fatalf("no .html pages in %s", *dir)
+	}
+
+	seg := document.NewSegmenter()
+	var docs []*document.Document
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pageID := strings.TrimSuffix(filepath.Base(path), ".html")
+		ds, err := seg.SegmentPage(pageID, htmlx.ParseString(string(src)))
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		docs = append(docs, ds...)
+	}
+	ix := quantsearch.BuildIndex(docs)
+	fmt.Printf("indexed %d table quantities from %d pages\n", ix.Size(), len(paths))
+
+	queryText := strings.Join(flag.Args(), " ")
+	q, err := quantsearch.ParseQuery(queryText)
+	if err != nil {
+		log.Fatalf("parse query: %v", err)
+	}
+	fmt.Printf("query: op=%s value=%g unit=%q keywords=%v\n", q.Op, q.Value, q.Unit, q.Keywords)
+
+	results := ix.Search(q)
+	if len(results) == 0 {
+		fmt.Println("no results")
+		return
+	}
+	if len(results) > *limit {
+		results = results[:*limit]
+	}
+	for _, r := range results {
+		fmt.Printf("  %-24s %-20s = %-14g [%s r%d c%d]\n",
+			r.Entity, r.Header, r.Value, r.TableID, r.Row, r.Col)
+	}
+}

@@ -1,0 +1,135 @@
+// Command briq-server exposes quantity alignment as an HTTP service.
+//
+//	briq-server [-addr :8080] [-trained] [-seed N]
+//
+// Endpoints:
+//
+//	POST /align        HTML page body → JSON alignments
+//	POST /summarize    HTML page body → JSON table-aware summary
+//	GET  /healthz      liveness probe
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"briq"
+	"briq/internal/document"
+	"briq/internal/htmlx"
+	"briq/internal/summarize"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("briq-server: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	trained := flag.Bool("trained", false, "train models on a synthetic corpus at startup")
+	seed := flag.Int64("seed", 42, "training seed (with -trained)")
+	flag.Parse()
+
+	pipeline := briq.New()
+	if *trained {
+		start := time.Now()
+		var err error
+		pipeline, err = briq.NewTrained(*seed)
+		if err != nil {
+			log.Fatalf("training: %v", err)
+		}
+		log.Printf("trained models in %v", time.Since(start).Round(time.Millisecond))
+	}
+
+	srv := &server{pipeline: pipeline}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/align", srv.handleAlign)
+	mux.HandleFunc("/summarize", srv.handleSummarize)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	log.Printf("listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+type server struct {
+	pipeline *briq.Pipeline
+}
+
+// maxBody caps request bodies at 8 MiB — generous for web pages.
+const maxBody = 8 << 20
+
+func (s *server) readPage(w http.ResponseWriter, r *http.Request) (string, bool) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST an HTML page body", http.StatusMethodNotAllowed)
+		return "", false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("read body: %v", err), http.StatusBadRequest)
+		return "", false
+	}
+	if len(body) == 0 {
+		http.Error(w, "empty body", http.StatusBadRequest)
+		return "", false
+	}
+	return string(body), true
+}
+
+func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
+	src, ok := s.readPage(w, r)
+	if !ok {
+		return
+	}
+	alignments, err := briq.AlignHTML(s.pipeline, "request", src)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	writeJSON(w, map[string]any{"alignments": alignments})
+}
+
+func (s *server) handleSummarize(w http.ResponseWriter, r *http.Request) {
+	src, ok := s.readPage(w, r)
+	if !ok {
+		return
+	}
+	page := htmlx.ParseString(src)
+	seg := s.pipeline.Segmenter
+	if seg == nil {
+		seg = document.NewSegmenter()
+	}
+	docs, err := seg.SegmentPage("request", page)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	summarizer := summarize.New(s.pipeline)
+	type docSummary struct {
+		DocID     string   `json:"doc_id"`
+		Sentences []string `json:"sentences"`
+	}
+	var out []docSummary
+	for _, doc := range docs {
+		sum := summarizer.Summarize(doc)
+		ds := docSummary{DocID: doc.ID}
+		for _, sent := range sum.Sentences {
+			ds.Sentences = append(ds.Sentences, sent.Text)
+		}
+		out = append(out, ds)
+	}
+	writeJSON(w, map[string]any{"summaries": out})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}

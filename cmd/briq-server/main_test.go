@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"briq"
+)
+
+const testPage = `<html><body>
+<p>A total of 123 patients reported side effects, with 69 female patients.</p>
+<table>
+<caption>side effects reported by patients</caption>
+<tr><th>side effects</th><th>male</th><th>female</th><th>total</th></tr>
+<tr><td>Rash</td><td>15</td><td>20</td><td>35</td></tr>
+<tr><td>Depression</td><td>13</td><td>25</td><td>38</td></tr>
+<tr><td>Hypertension</td><td>19</td><td>15</td><td>34</td></tr>
+<tr><td>Nausea</td><td>5</td><td>6</td><td>11</td></tr>
+<tr><td>Eye Disorders</td><td>2</td><td>3</td><td>5</td></tr>
+</table>
+</body></html>`
+
+func newTestServer() *server { return &server{pipeline: briq.New()} }
+
+func TestHandleAlign(t *testing.T) {
+	srv := newTestServer()
+	req := httptest.NewRequest(http.MethodPost, "/align", strings.NewReader(testPage))
+	rec := httptest.NewRecorder()
+	srv.handleAlign(rec, req)
+
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Alignments []briq.Alignment `json:"alignments"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Alignments) == 0 {
+		t.Fatal("no alignments in response")
+	}
+	foundSum := false
+	for _, a := range resp.Alignments {
+		if a.AggName == "sum" && a.Value == 123 {
+			foundSum = true
+		}
+	}
+	if !foundSum {
+		t.Errorf("column sum 123 not in response: %+v", resp.Alignments)
+	}
+}
+
+func TestHandleAlignRejectsGet(t *testing.T) {
+	srv := newTestServer()
+	rec := httptest.NewRecorder()
+	srv.handleAlign(rec, httptest.NewRequest(http.MethodGet, "/align", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("status = %d, want 405", rec.Code)
+	}
+}
+
+func TestHandleAlignRejectsEmptyBody(t *testing.T) {
+	srv := newTestServer()
+	rec := httptest.NewRecorder()
+	srv.handleAlign(rec, httptest.NewRequest(http.MethodPost, "/align", strings.NewReader("")))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", rec.Code)
+	}
+}
+
+func TestHandleSummarize(t *testing.T) {
+	srv := newTestServer()
+	req := httptest.NewRequest(http.MethodPost, "/summarize", strings.NewReader(testPage))
+	rec := httptest.NewRecorder()
+	srv.handleSummarize(rec, req)
+
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Summaries []struct {
+			DocID     string   `json:"doc_id"`
+			Sentences []string `json:"sentences"`
+		} `json:"summaries"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Summaries) == 0 || len(resp.Summaries[0].Sentences) == 0 {
+		t.Fatalf("empty summary: %s", rec.Body.String())
+	}
+}

@@ -1,0 +1,96 @@
+// Command briq aligns the quantity mentions of an HTML page against its
+// tables and prints the alignments.
+//
+// Usage:
+//
+//	briq [-format text|json] [-trained] [-seed N] page.html
+//	cat page.html | briq
+//
+// With -trained, a mention-pair classifier and tagger are first trained on a
+// deterministic synthetic corpus (a few seconds); without it the heuristic
+// pipeline is used.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"briq"
+	"briq/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("briq: ")
+
+	format := flag.String("format", "text", "output format: text or json")
+	trained := flag.Bool("trained", false, "train models on a synthetic corpus before aligning")
+	seed := flag.Int64("seed", 42, "training corpus seed (with -trained)")
+	model := flag.String("model", "", "load models from a briq-train file instead of training")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	pageID := "stdin"
+	switch flag.NArg() {
+	case 0:
+		src, err = io.ReadAll(os.Stdin)
+	case 1:
+		pageID = flag.Arg(0)
+		src, err = os.ReadFile(flag.Arg(0))
+	default:
+		log.Fatal("usage: briq [-format text|json] [-trained] [page.html]")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pipeline := briq.New()
+	switch {
+	case *model != "":
+		f, err := os.Open(*model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := experiment.LoadModels(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("load model: %v", err)
+		}
+		pipeline = experiment.NewBriQ(tr).P
+	case *trained:
+		pipeline, err = briq.NewTrained(*seed)
+		if err != nil {
+			log.Fatalf("training: %v", err)
+		}
+	}
+
+	alignments, err := briq.AlignHTML(pipeline, pageID, string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(alignments); err != nil {
+			log.Fatal(err)
+		}
+	case "text":
+		if len(alignments) == 0 {
+			fmt.Println("no alignments")
+			return
+		}
+		for _, a := range alignments {
+			fmt.Printf("%-24q → %-28s %s = %g (score %.3f)\n",
+				a.TextSurface, a.TableKey, a.AggName, a.Value, a.Score)
+		}
+	default:
+		log.Fatalf("unknown format %q", *format)
+	}
+}

@@ -1,0 +1,74 @@
+// Command corpusgen generates a synthetic web-table corpus (the substrate
+// standing in for the Dresden Web Table Corpus) and writes it to disk: one
+// HTML file per page plus a gold.json with the ground-truth alignments.
+//
+// Usage:
+//
+//	corpusgen -out DIR [-pages N] [-seed N] [-profile tableS|tableL]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"briq/internal/corpus"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("corpusgen: ")
+
+	out := flag.String("out", "", "output directory (required)")
+	pages := flag.Int("pages", 100, "number of pages")
+	seed := flag.Int64("seed", 42, "generator seed")
+	profile := flag.String("profile", "tableS", "corpus profile: tableS or tableL")
+	flag.Parse()
+
+	if *out == "" {
+		log.Fatal("-out is required")
+	}
+
+	var cfg corpus.Config
+	switch *profile {
+	case "tableS":
+		cfg = corpus.TableSConfig(*seed)
+		cfg.Pages = *pages
+	case "tableL":
+		cfg = corpus.TableLConfig(*seed, *pages)
+	default:
+		log.Fatalf("unknown profile %q", *profile)
+	}
+
+	c := corpus.Generate(cfg)
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, pg := range c.Pages {
+		path := filepath.Join(*out, pg.ID+".html")
+		if err := os.WriteFile(path, []byte(pg.HTML()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	goldPath := filepath.Join(*out, "gold.json")
+	f, err := os.Create(goldPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(c.Gold); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("wrote %d pages (%d documents, %d gold alignments) to %s\n",
+		len(c.Pages), len(c.Docs), len(c.Gold), *out)
+}

@@ -1,0 +1,34 @@
+package briq_test
+
+import (
+	"fmt"
+	"log"
+
+	"briq"
+)
+
+// Example aligns the paper's Fig. 1a health page end to end: the text's
+// "total of 123 patients" refers to no explicit cell — BriQ aligns it to the
+// generated column-sum virtual cell.
+func Example() {
+	page := `<html><body>
+<p>A total of 123 patients reported side effects in the trial.</p>
+<table><caption>side effects reported by patients in the trial</caption>
+<tr><th>side effects</th><th>male</th><th>female</th><th>total</th></tr>
+<tr><td>Rash</td><td>15</td><td>20</td><td>35</td></tr>
+<tr><td>Depression</td><td>13</td><td>25</td><td>38</td></tr>
+<tr><td>Hypertension</td><td>19</td><td>15</td><td>34</td></tr>
+<tr><td>Nausea</td><td>5</td><td>6</td><td>11</td></tr>
+<tr><td>Eye Disorders</td><td>2</td><td>3</td><td>5</td></tr>
+</table></body></html>`
+
+	alignments, err := briq.AlignHTML(briq.New(), "example", page)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range alignments {
+		fmt.Printf("%q -> %s = %g\n", a.TextSurface, a.AggName, a.Value)
+	}
+	// Output:
+	// "123 patients" -> sum = 123
+}

@@ -1,0 +1,43 @@
+// Finance: the Fig. 1c example — the calculated quantity "increased by 1.5%"
+// refers to no explicit cell; it is the change ratio between the income
+// cells of 2013 and 2012 (ratio(890, 876) ≈ 1.57%), materialized by BriQ as
+// a virtual cell.
+//
+//	go run ./examples/finance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"briq/internal/core"
+	"briq/internal/document"
+	"briq/internal/table"
+)
+
+func main() {
+	tbl, err := table.New("t0", "Income gains: total revenue, gross income, income taxes and income", [][]string{
+		{"gains", "2013", "2012", "2011"},
+		{"Total Revenue", "3,263", "3,193", "2,911"},
+		{"Gross income", "1,069", "1,053", "877"},
+		{"Income taxes", "179", "177", "160"},
+		{"Income", "890", "876", "849"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	text := "Net income reached 890 this year. Compared to the income of the " +
+		"previous year, it increased by 1.5%."
+
+	docs := document.NewSegmenter().Segment("finance", []string{text}, []*table.Table{tbl})
+	if len(docs) != 1 {
+		log.Fatalf("expected 1 document, got %d", len(docs))
+	}
+
+	pipeline := core.NewPipeline()
+	fmt.Println("Fig. 1c (finance): calculated quantities (change ratios)")
+	for _, a := range pipeline.Align(docs[0]) {
+		fmt.Printf("  %-8q → %-20s %s = %.4g\n", a.TextSurface, a.TableKey, a.AggName, a.Value)
+	}
+}

@@ -1,0 +1,44 @@
+// Quickstart: align the quantities of a small HTML page against its table
+// using the default (untrained) pipeline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"briq"
+)
+
+const page = `<!DOCTYPE html>
+<html><head><title>Drug Trial Report</title></head><body>
+<p>A total of 123 patients who undergo the drug trials reported side effects,
+of which there were 69 female patients and 54 male patients. The most common
+side affect is depression, reported by 38 patients.</p>
+<table>
+<caption>side effects reported by patients in the drug trial</caption>
+<tr><th>side effects</th><th>male</th><th>female</th><th>total</th></tr>
+<tr><td>Rash</td><td>15</td><td>20</td><td>35</td></tr>
+<tr><td>Depression</td><td>13</td><td>25</td><td>38</td></tr>
+<tr><td>Hypertension</td><td>19</td><td>15</td><td>34</td></tr>
+<tr><td>Nausea</td><td>5</td><td>6</td><td>11</td></tr>
+<tr><td>Eye Disorders</td><td>2</td><td>3</td><td>5</td></tr>
+</table>
+</body></html>`
+
+func main() {
+	pipeline := briq.New()
+	alignments, err := briq.AlignHTML(pipeline, "quickstart", page)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("BriQ quantity alignments (text mention → table mention):")
+	for _, a := range alignments {
+		fmt.Printf("  %-14q → %-22s %s = %g (score %.3f)\n",
+			a.TextSurface, a.TableKey, a.AggName, a.Value, a.Score)
+	}
+	if len(alignments) == 0 {
+		fmt.Println("  (none)")
+	}
+}

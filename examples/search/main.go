@@ -1,0 +1,60 @@
+// Search: the paper's concluding vision (§XI) — quantity queries over web
+// tables, e.g. "Internet companies with annual income above 5 Mio. USD" and
+// "electric cars with energy consumption below 100 MPGe".
+//
+//	go run ./examples/search
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"briq/internal/document"
+	"briq/internal/quantsearch"
+	"briq/internal/table"
+)
+
+func main() {
+	income, err := table.New("t-income", "annual income of internet companies ($ millions)", [][]string{
+		{"company", "income", "revenue"},
+		{"Acme Web", "7", "20"},
+		{"Widget Net", "3", "9"},
+		{"Search Co", "12", "40"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cars, err := table.New("t-cars", "electric cars energy consumption and range", [][]string{
+		{"model", "consumption MPGe", "range km"},
+		{"Volt", "95", "420"},
+		{"Bolt", "115", "380"},
+		{"Leaf", "105", "360"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ix := quantsearch.BuildIndex([]*document.Document{
+		{ID: "d0", Tables: []*table.Table{income}},
+		{ID: "d1", Tables: []*table.Table{cars}},
+	})
+	fmt.Printf("indexed %d table quantities\n\n", ix.Size())
+
+	for _, queryText := range []string{
+		"income above 5 million USD",
+		"energy consumption below 100 MPGe",
+		"range between 350 and 400 km",
+	} {
+		q, err := quantsearch.ParseQuery(queryText)
+		if err != nil {
+			log.Fatalf("parse %q: %v", queryText, err)
+		}
+		fmt.Printf("query: %q  (op=%s value=%g unit=%q keywords=%v)\n",
+			queryText, q.Op, q.Value, q.Unit, q.Keywords)
+		for _, r := range ix.Search(q) {
+			fmt.Printf("  %-12s %-18s = %-12g [%s row %d, col %d]\n",
+				r.Entity, r.Header, r.Value, r.TableID, r.Row, r.Col)
+		}
+		fmt.Println()
+	}
+}

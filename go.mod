@@ -1,0 +1,3 @@
+module briq
+
+go 1.22

@@ -1,0 +1,202 @@
+// Package core wires the BriQ stages of Fig. 2 into an end-to-end pipeline:
+// table-text extraction (package document) → mention-pair classification
+// (packages feature + forest) → adaptive filtering (packages tagger +
+// filter) → global resolution (package graph). It also provides a concurrent
+// document processor for corpus-scale throughput runs (Table VIII).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"briq/internal/document"
+	"briq/internal/feature"
+	"briq/internal/filter"
+	"briq/internal/forest"
+	"briq/internal/graph"
+	"briq/internal/htmlx"
+	"briq/internal/quantity"
+	"briq/internal/tagger"
+)
+
+// Alignment is one resolved text↔table quantity alignment, the system's
+// output unit.
+type Alignment struct {
+	DocID       string       `json:"doc_id"`
+	TextIndex   int          `json:"text_index"`   // index into the document's text mentions
+	TableIndex  int          `json:"table_index"`  // index into the document's table mentions
+	TextSurface string       `json:"text_surface"` // e.g. "total of 123"
+	TextStart   int          `json:"text_start"`   // byte span of the mention in the paragraph
+	TextEnd     int          `json:"text_end"`
+	TableKey    string       `json:"table_key"` // e.g. "t0:sum(col 3)"
+	Agg         quantity.Agg `json:"-"`
+	AggName     string       `json:"agg"`
+	Value       float64      `json:"value"` // the table-side value
+	Score       float64      `json:"score"` // OverallScore of the decision
+}
+
+// Pipeline is a configured BriQ instance. Classifier may be nil, in which
+// case pair scores fall back to the unweighted mean of the (masked) feature
+// vector — the same uninformed combination the RWR-only baseline uses; a
+// trained classifier is what turns the pipeline into full BriQ.
+type Pipeline struct {
+	Features     feature.Config
+	Mask         feature.Mask
+	Classifier   *forest.Forest
+	Tagger       tagger.Tagger
+	FilterConfig filter.Config
+	GraphConfig  graph.Config
+	Segmenter    *document.Segmenter
+}
+
+// NewPipeline returns a pipeline with default configuration, the rule-based
+// tagger and no classifier (heuristic scores).
+func NewPipeline() *Pipeline {
+	return &Pipeline{
+		Features:     feature.DefaultConfig(),
+		Mask:         feature.FullMask(),
+		Tagger:       tagger.Rule{},
+		FilterConfig: filter.DefaultConfig(),
+		GraphConfig:  graph.DefaultConfig(),
+		Segmenter:    document.NewSegmenter(),
+	}
+}
+
+// ScorePairs computes classifier scores σ for every (text, table) mention
+// pair of the document — the local resolution of §IV.
+func (p *Pipeline) ScorePairs(doc *document.Document) []filter.Candidate {
+	ext := feature.NewExtractor(p.Features, doc)
+	out := make([]filter.Candidate, 0, len(doc.TextMentions)*len(doc.TableMentions))
+	for xi := range doc.TextMentions {
+		for ti := range doc.TableMentions {
+			out = append(out, filter.Candidate{Text: xi, Table: ti, Score: p.score(ext.Vector(xi, ti))})
+		}
+	}
+	return out
+}
+
+// score maps a full feature vector to a pair confidence: the trained
+// classifier's positive-vote fraction, or — without a classifier — the
+// uniform-weight mean of the goodness-oriented features kept by the mask
+// (the same uninformed combination the RWR-only baseline uses).
+func (p *Pipeline) score(full []float64) float64 {
+	if p.Classifier != nil {
+		return p.Classifier.PositiveProba(p.Mask.Apply(full))
+	}
+	var total float64
+	n := 0
+	for i, v := range full {
+		if !p.Mask[i] {
+			continue
+		}
+		total += feature.Goodness(i, v)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// Align runs the full pipeline on one document and returns its alignments in
+// text-mention order.
+func (p *Pipeline) Align(doc *document.Document) []Alignment {
+	candidates := p.ScorePairs(doc)
+	filtered := filter.Apply(p.FilterConfig, doc, p.Tagger, candidates)
+	g := graph.Build(p.GraphConfig, doc, filtered.Kept)
+	resolved := g.Resolve()
+
+	out := make([]Alignment, 0, len(resolved))
+	for _, a := range resolved {
+		out = append(out, p.toAlignment(doc, a.Text, a.Table, a.Score))
+	}
+	return out
+}
+
+func (p *Pipeline) toAlignment(doc *document.Document, xi, ti int, score float64) Alignment {
+	x := doc.TextMentions[xi]
+	tm := doc.TableMentions[ti]
+	return Alignment{
+		DocID:       doc.ID,
+		TextIndex:   xi,
+		TableIndex:  ti,
+		TextSurface: x.Surface,
+		TextStart:   x.Start,
+		TextEnd:     x.End,
+		TableKey:    tm.Key(),
+		Agg:         tm.Agg,
+		AggName:     tm.Agg.String(),
+		Value:       tm.Value,
+		Score:       score,
+	}
+}
+
+// AlignPage segments an HTML page into documents and aligns each; the
+// returned alignments are grouped by document in page order.
+func (p *Pipeline) AlignPage(pageID string, page *htmlx.Page) ([]Alignment, error) {
+	seg := p.Segmenter
+	if seg == nil {
+		seg = document.NewSegmenter()
+	}
+	docs, err := seg.SegmentPage(pageID, page)
+	if err != nil {
+		return nil, fmt.Errorf("segment page %s: %w", pageID, err)
+	}
+	var out []Alignment
+	for _, doc := range docs {
+		out = append(out, p.Align(doc)...)
+	}
+	return out, nil
+}
+
+// AlignAll aligns many documents concurrently with the given number of
+// workers (≤0 means GOMAXPROCS) and returns all alignments sorted by
+// document ID then text mention. The pipeline is read-only during alignment,
+// so one instance may serve all workers.
+func (p *Pipeline) AlignAll(docs []*document.Document, workers int) []Alignment {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(docs) {
+		workers = len(docs)
+	}
+	if workers <= 1 {
+		var out []Alignment
+		for _, doc := range docs {
+			out = append(out, p.Align(doc)...)
+		}
+		return out
+	}
+
+	results := make([][]Alignment, len(docs))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = p.Align(docs[i])
+			}
+		}()
+	}
+	for i := range docs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	var out []Alignment
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].DocID != out[j].DocID {
+			return out[i].DocID < out[j].DocID
+		}
+		return out[i].TextIndex < out[j].TextIndex
+	})
+	return out
+}

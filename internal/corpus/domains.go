@@ -1,0 +1,154 @@
+package corpus
+
+// profile describes how tables and text look in one domain. Row/column
+// counts reproduce the per-domain shape statistics of Table IX.
+type profile struct {
+	rowsMin, rowsMax int
+	colsMin, colsMax int
+	valueMin         float64
+	valueMax         float64
+	decimals         int     // decimal places of generated values
+	unit             string  // canonical unit propagated to cells ("" = none)
+	unitWord         string  // unit word rendered in text ("patients", "USD")
+	percentCols      float64 // chance a column holds percentages instead
+
+	captions  []string
+	rowLabels []string
+	colLabels []string
+	intro     []string // paragraph openers carrying topic vocabulary
+}
+
+var profiles = map[Domain]profile{
+	Health: {
+		rowsMin: 3, rowsMax: 5, colsMin: 2, colsMax: 3,
+		valueMin: 2, valueMax: 80, decimals: 0,
+		unit: "patients", unitWord: "patients",
+		captions: []string{
+			"side effects reported in the drug trial",
+			"patient outcomes by treatment group",
+			"reported symptoms by cohort",
+			"clinical trial results by arm",
+		},
+		rowLabels: []string{
+			"Rash", "Depression", "Hypertension", "Nausea", "Eye Disorders",
+			"Headache", "Fatigue", "Insomnia", "Dizziness", "Fever",
+			"Anemia", "Migraine",
+		},
+		colLabels: []string{"male", "female", "total", "placebo", "treated", "control"},
+		intro: []string{
+			"The drug trial recorded side effects across patient groups.",
+			"Clinical outcomes were collected for every cohort in the study.",
+			"The treatment arms reported symptoms throughout the trial.",
+		},
+	},
+	Finance: {
+		rowsMin: 5, rowsMax: 8, colsMin: 3, colsMax: 5,
+		valueMin: 100, valueMax: 9000, decimals: 0,
+		unit: "USD", unitWord: "USD", percentCols: 0.25,
+		captions: []string{
+			"income statement ($ in millions)",
+			"quarterly results by segment ($ millions)",
+			"annual revenue and income figures",
+			"financial summary by fiscal year",
+		},
+		rowLabels: []string{
+			"Total Revenue", "Gross Income", "Income Taxes", "Net Income",
+			"Operating Costs", "Sales", "Segment Profit", "Dividends",
+			"Expenses", "Cash Flow", "EBITDA", "Interest Expense",
+		},
+		colLabels: []string{"2011", "2012", "2013", "2014", "Q1", "Q2", "Q3", "Q4", "FY 2012", "FY 2013"},
+		intro: []string{
+			"The company reported its quarterly financial results.",
+			"Revenue and income figures were released for the fiscal year.",
+			"The earnings statement summarizes sales across segments.",
+		},
+	},
+	Environment: {
+		rowsMin: 5, rowsMax: 8, colsMin: 3, colsMax: 4,
+		valueMin: 10, valueMax: 45000, decimals: 0,
+		unit: "", unitWord: "units", percentCols: 0.1,
+		captions: []string{
+			"vehicle ratings and environmental footprint",
+			"emission and fuel economy by model",
+			"energy consumption by car model",
+			"environmental comparison of vehicles",
+		},
+		rowLabels: []string{
+			"German MSRP", "American MSRP", "Emission", "Fuel Economy",
+			"Energy Consumption", "Range", "Battery Capacity", "Final Rating",
+			"Charging Time", "Curb Weight", "Top Speed",
+		},
+		colLabels: []string{"Focus E", "A3 e-tron", "VW Golf", "Model S", "Leaf", "i3", "Prius"},
+		intro: []string{
+			"The vehicle comparison covers price, emission and fuel economy.",
+			"Car models were rated on environmental footprint and cost.",
+			"The test compared energy consumption across electric models.",
+		},
+	},
+	Politics: {
+		rowsMin: 6, rowsMax: 9, colsMin: 2, colsMax: 4,
+		valueMin: 1000, valueMax: 900000, decimals: 0,
+		unit: "votes", unitWord: "votes", percentCols: 0.3,
+		captions: []string{
+			"election results by district",
+			"votes and seats by party",
+			"census population by region",
+			"turnout statistics by state",
+		},
+		rowLabels: []string{
+			"Northern District", "Southern District", "Eastern District",
+			"Western District", "Central District", "Coastal Region",
+			"Labor Party", "Green Party", "Liberal Party", "National Party",
+			"Unity Party", "Reform Party",
+		},
+		colLabels: []string{"votes", "seats", "share", "turnout", "registered", "counted"},
+		intro: []string{
+			"The election commission published results for every district.",
+			"Vote counts and seat allocations were announced by party.",
+			"The census reported population figures across regions.",
+		},
+	},
+	Sports: {
+		rowsMin: 6, rowsMax: 10, colsMin: 4, colsMax: 7,
+		valueMin: 0, valueMax: 120, decimals: 0,
+		unit: "points", unitWord: "points", percentCols: 0.05,
+		captions: []string{
+			"league standings after the round",
+			"season statistics by team",
+			"tournament results and points",
+			"player statistics for the season",
+		},
+		rowLabels: []string{
+			"United", "Rovers", "City", "Athletic", "Wanderers", "Rangers",
+			"Dynamo", "Olympic", "Sporting", "Racing", "Albion", "County",
+		},
+		colLabels: []string{"wins", "losses", "draws", "points", "goals", "matches", "assists", "saves"},
+		intro: []string{
+			"The league table shows the standings after this round.",
+			"Season statistics were updated for every team.",
+			"The tournament results determined the final points.",
+		},
+	},
+	Others: {
+		rowsMin: 5, rowsMax: 8, colsMin: 3, colsMax: 5,
+		valueMin: 5, valueMax: 5000, decimals: 0,
+		unit: "", unitWord: "items", percentCols: 0.15,
+		captions: []string{
+			"survey responses by category",
+			"product inventory by warehouse",
+			"website traffic by month",
+			"production output by plant",
+		},
+		rowLabels: []string{
+			"Category A", "Category B", "Category C", "Hardware", "Software",
+			"Logistics", "Warehouse North", "Warehouse South", "Plant One",
+			"Plant Two", "Online", "Retail",
+		},
+		colLabels: []string{"count", "returned", "shipped", "stocked", "sold", "backlog"},
+		intro: []string{
+			"The inventory report covers every warehouse location.",
+			"Survey responses were tallied by category.",
+			"Production output was measured across plants.",
+		},
+	},
+}

@@ -1,0 +1,632 @@
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"briq/internal/document"
+	"briq/internal/quantity"
+	"briq/internal/table"
+)
+
+// Generate builds a corpus from the configuration. Documents are produced
+// with the same segmenter the pipeline uses, so mention indices in the gold
+// standard line up with what the system sees.
+func Generate(cfg Config) *Corpus {
+	cfg = cfg.withDefaults()
+	g := &generator{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		seg: document.NewSegmenter(),
+	}
+	g.seg.VirtualOpts = cfg.VirtualOpts
+
+	c := &Corpus{
+		goldByDoc:   make(map[string][]Gold),
+		domainByDoc: make(map[string]Domain),
+	}
+	for i := 0; i < cfg.Pages; i++ {
+		g.buildPage(c, i)
+	}
+	return c
+}
+
+type generator struct {
+	cfg Config
+	rng *rand.Rand
+	seg *document.Segmenter
+}
+
+// goldSpan records where a reference value was written in a paragraph.
+type goldSpan struct {
+	offset   int // byte offset of the value in the paragraph
+	tableKey string
+	agg      quantity.Agg
+}
+
+func (g *generator) buildPage(c *Corpus, idx int) {
+	domain := pickDomain(g.rng, g.cfg.DomainWeights)
+	prof := profiles[domain]
+	pageID := fmt.Sprintf("pg%04d", idx)
+
+	t0 := g.buildTable(pageID+"-t0", prof)
+	tables := []*table.Table{t0}
+	if g.rng.Float64() < g.cfg.CollisionProb {
+		tables = append(tables, g.buildCollisionTable(pageID+"-t1", prof, t0))
+	}
+
+	nParas := g.cfg.ParasPerPage + g.rng.Intn(3) - 1
+	if nParas < 1 {
+		nParas = 1
+	}
+	paras := make([]string, 0, nParas)
+	spans := make([][]goldSpan, 0, nParas)
+	for p := 0; p < nParas; p++ {
+		// Paragraphs reference the first table; collision pages exercise the
+		// joint-inference setting because the second table offers the same
+		// values.
+		text, ss := g.buildParagraph(prof, t0)
+		paras = append(paras, text)
+		spans = append(spans, ss)
+	}
+
+	page := &Page{ID: pageID, Domain: domain, Title: prof.captions[0], Paras: paras, Tables: tables}
+	c.Pages = append(c.Pages, page)
+
+	docs := g.seg.Segment(pageID, paras, tables)
+	for _, doc := range docs {
+		c.Docs = append(c.Docs, doc)
+		c.domainByDoc[doc.ID] = domain
+
+		// Attach gold alignments whose paragraph this document wraps.
+		pi := -1
+		for i, para := range paras {
+			if para == doc.Text {
+				pi = i
+				break
+			}
+		}
+		if pi < 0 {
+			continue
+		}
+		keyToIndex := make(map[string]int, len(doc.TableMentions))
+		for ti, tm := range doc.TableMentions {
+			keyToIndex[tm.Key()] = ti
+		}
+		for _, span := range spans[pi] {
+			if _, ok := keyToIndex[span.tableKey]; !ok {
+				continue // gold table not related to this document
+			}
+			xi := -1
+			for i, x := range doc.TextMentions {
+				if x.Start <= span.offset && span.offset < x.End {
+					xi = i
+					break
+				}
+			}
+			if xi < 0 {
+				continue // extraction missed the rendered value (rare)
+			}
+			gold := Gold{DocID: doc.ID, TextIndex: xi, TableKey: span.tableKey, Agg: span.agg}
+			c.Gold = append(c.Gold, gold)
+			c.goldByDoc[doc.ID] = append(c.goldByDoc[doc.ID], gold)
+		}
+	}
+}
+
+// buildTable generates one table per the domain profile.
+func (g *generator) buildTable(id string, prof profile) *table.Table {
+	rows := prof.rowsMin + g.rng.Intn(prof.rowsMax-prof.rowsMin+1)
+	cols := prof.colsMin + g.rng.Intn(prof.colsMax-prof.colsMin+1)
+
+	rowLabels := sampleStrings(g.rng, prof.rowLabels, rows)
+	colLabels := sampleStrings(g.rng, prof.colLabels, cols)
+
+	pctCol := -1
+	if g.rng.Float64() < prof.percentCols {
+		pctCol = g.rng.Intn(cols)
+	}
+
+	grid := make([][]string, 0, rows+1)
+	header := append([]string{"category"}, colLabels...)
+	grid = append(grid, header)
+	var priorCells []string
+	for r := 0; r < rows; r++ {
+		row := make([]string, 0, cols+1)
+		row = append(row, rowLabels[r])
+		for cIdx := 0; cIdx < cols; cIdx++ {
+			if cIdx == pctCol {
+				row = append(row, strconv.FormatFloat(g.rng.Float64()*100, 'f', 1, 64)+"%")
+				continue
+			}
+			// Same-value collisions within the table (Fig. 6a) make local
+			// top-1 resolution ambiguous — the setting joint inference is
+			// for.
+			if len(priorCells) > 0 && g.rng.Float64() < g.cfg.DuplicateProb {
+				row = append(row, priorCells[g.rng.Intn(len(priorCells))])
+				continue
+			}
+			cell := formatCell(g.value(prof), prof.decimals)
+			priorCells = append(priorCells, cell)
+			row = append(row, cell)
+		}
+		grid = append(grid, row)
+	}
+
+	caption := prof.captions[g.rng.Intn(len(prof.captions))]
+	tbl, err := table.New(id, caption, grid)
+	if err != nil {
+		// Profiles always produce valid grids; a failure is a programming
+		// error worth failing loudly on.
+		panic(fmt.Sprintf("corpus: generated invalid table: %v", err))
+	}
+	return tbl
+}
+
+// buildCollisionTable generates a sibling table sharing column structure and
+// a few exact values with t0 — the Fig. 3 same-value ambiguity.
+func (g *generator) buildCollisionTable(id string, prof profile, t0 *table.Table) *table.Table {
+	tbl := g.buildTable(id, prof)
+	// Copy 2-3 values from t0 into matching positions where dimensions
+	// allow. Rebuilding the table is simpler than mutating cells.
+	grid := make([][]string, 0, tbl.Rows()+1)
+	grid = append(grid, append([]string{"category"}, tbl.ColHeaders...))
+	for r := 0; r < tbl.Rows(); r++ {
+		row := []string{tbl.RowHeaders[r]}
+		for c := 0; c < tbl.Cols(); c++ {
+			row = append(row, tbl.Cell(r, c).Text)
+		}
+		grid = append(grid, row)
+	}
+	copies := 2 + g.rng.Intn(2)
+	for i := 0; i < copies; i++ {
+		r := g.rng.Intn(minInt(t0.Rows(), tbl.Rows()))
+		c := g.rng.Intn(minInt(t0.Cols(), tbl.Cols()))
+		grid[r+1][c+1] = t0.Cell(r, c).Text
+	}
+	out, err := table.New(id, tbl.Caption, grid)
+	if err != nil {
+		panic(fmt.Sprintf("corpus: collision table invalid: %v", err))
+	}
+	return out
+}
+
+// value draws a cell value in the profile's range, avoiding the calendar
+// year band [1900, 2100] that the text extractor filters as dates.
+func (g *generator) value(prof profile) float64 {
+	for {
+		v := prof.valueMin + g.rng.Float64()*(prof.valueMax-prof.valueMin)
+		if prof.decimals == 0 {
+			v = math.Round(v)
+		}
+		if v >= 1900 && v <= 2100 {
+			continue
+		}
+		return v
+	}
+}
+
+func formatCell(v float64, decimals int) string {
+	s := strconv.FormatFloat(v, 'f', decimals, 64)
+	// Large integers get grouping commas like real web tables.
+	if decimals == 0 && v >= 10000 {
+		s = groupDigits(s)
+	}
+	return s
+}
+
+func groupDigits(s string) string {
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var sb strings.Builder
+	for i, c := range s {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteRune(c)
+	}
+	if neg {
+		return "-" + sb.String()
+	}
+	return sb.String()
+}
+
+// buildParagraph renders one paragraph referencing mentions of tbl and
+// returns the text plus the gold spans of the rendered values.
+func (g *generator) buildParagraph(prof profile, tbl *table.Table) (string, []goldSpan) {
+	mentions := tbl.Mentions(g.cfg.VirtualOpts)
+	var singles, virtuals []*table.Mention
+	for _, m := range mentions {
+		if m.IsVirtual() {
+			virtuals = append(virtuals, m)
+		} else {
+			singles = append(singles, m)
+		}
+	}
+
+	// Paragraphs discuss a coherent table region: pick an anchor row or
+	// column and draw most single-cell references from it. This is the
+	// discourse structure joint inference exploits (Fig. 3: one paragraph,
+	// one table's column).
+	anchorRow := g.rng.Float64() < 0.5
+	anchorIdx := 0
+	if anchorRow && tbl.Rows() > 0 {
+		anchorIdx = g.rng.Intn(tbl.Rows())
+	} else if tbl.Cols() > 0 {
+		anchorIdx = g.rng.Intn(tbl.Cols())
+	}
+	var anchored []*table.Mention
+	for _, m := range singles {
+		ref := m.Cells[0]
+		if (anchorRow && ref.Row == anchorIdx) || (!anchorRow && ref.Col == anchorIdx) {
+			anchored = append(anchored, m)
+		}
+	}
+
+	var sb strings.Builder
+	sb.WriteString(prof.intro[g.rng.Intn(len(prof.intro))])
+	var spans []goldSpan
+
+	nRefs := 1 + g.rng.Intn(g.cfg.RefsPerPara*2-1) // mean ≈ RefsPerPara
+	for i := 0; i < nRefs; i++ {
+		var m *table.Mention
+		if g.rng.Float64() < g.cfg.AggShare && len(virtuals) > 0 {
+			m = g.pickVirtual(virtuals)
+		}
+		if m == nil && len(singles) > 0 {
+			if len(anchored) > 0 && g.rng.Float64() < 0.6 {
+				m = anchored[g.rng.Intn(len(anchored))]
+			} else {
+				m = singles[g.rng.Intn(len(singles))]
+			}
+		}
+		if m == nil {
+			break
+		}
+		sentence, valOff := g.renderReference(prof, tbl, m)
+		if sentence == "" {
+			continue
+		}
+		sb.WriteByte(' ')
+		spans = append(spans, goldSpan{
+			offset:   sb.Len() + valOff,
+			tableKey: m.Key(),
+			agg:      m.Agg,
+		})
+		sb.WriteString(sentence)
+	}
+
+	if g.rng.Float64() < g.cfg.DistractorProb {
+		sb.WriteByte(' ')
+		sb.WriteString(g.distractor(prof, tbl))
+	}
+	return sb.String(), spans
+}
+
+// pickVirtual samples a virtual mention with the aggregation mix of Table I
+// (sum 40%, ratio 21%, diff 20%, percent 17% of aggregate positives).
+func (g *generator) pickVirtual(virtuals []*table.Mention) *table.Mention {
+	r := g.rng.Float64()
+	var want quantity.Agg
+	switch {
+	case r < 0.40:
+		want = quantity.Sum
+	case r < 0.61:
+		want = quantity.Ratio
+	case r < 0.81:
+		want = quantity.Diff
+	default:
+		want = quantity.Percent
+	}
+	var pool []*table.Mention
+	for _, m := range virtuals {
+		if m.Agg != want {
+			continue
+		}
+		// Text naturally reports positive, moderate changes ("increased by
+		// 4.2%"); negative-direction ratios have a mirrored positive twin,
+		// and triple-digit change rates read as implausible.
+		if m.Agg == quantity.Ratio && (m.Value <= 0 || m.Value > 200) {
+			continue
+		}
+		pool = append(pool, m)
+	}
+	if len(pool) == 0 {
+		return nil
+	}
+	return pool[g.rng.Intn(len(pool))]
+}
+
+// renderReference writes one sentence referring to mention m and returns
+// the sentence plus the byte offset of the value inside it.
+func (g *generator) renderReference(prof profile, tbl *table.Table, m *table.Mention) (string, int) {
+	switch m.Agg {
+	case quantity.SingleCell:
+		return g.renderSingle(prof, tbl, m)
+	case quantity.Sum:
+		return g.renderSum(prof, tbl, m)
+	case quantity.Diff:
+		return g.renderDiff(prof, tbl, m)
+	case quantity.Percent:
+		return g.renderPercent(prof, tbl, m)
+	case quantity.Ratio:
+		return g.renderRatio(prof, tbl, m)
+	}
+	return "", 0
+}
+
+func (g *generator) renderSingle(prof profile, tbl *table.Table, m *table.Mention) (string, int) {
+	ref := m.Cells[0]
+	rowLabel := label(tbl.RowHeaders, ref.Row, "the first entry")
+	colLabel := label(tbl.ColHeaders, ref.Col, "the period")
+
+	v := m.Value
+	valStr := g.renderValue(v, m.Precision(), m.Unit)
+	prefix := ""
+	if g.rng.Float64() < g.cfg.ApproxProb {
+		valStr = g.renderValue(approximate(v), approxPrecision(v), m.Unit)
+		prefix = pick(g.rng, []string{"about ", "nearly ", "around ", "approximately "})
+	}
+
+	// Vague references rely on discourse, not header words — local context
+	// cannot resolve them when the value collides with another cell.
+	if g.rng.Float64() < g.cfg.VagueProb {
+		vague := []string{
+			"The figure stood at %s%s for the period.",
+			"That number came to %s%s.",
+			"It reached %s%s this time.",
+			"The reading was %s%s.",
+		}
+		sentence := fmt.Sprintf(pick(g.rng, vague), prefix, valStr)
+		return sentence, strings.Index(sentence, valStr)
+	}
+
+	templates := []string{
+		"%s reached %s%s for %s.",
+		"%s stood at %s%s in the %s column.",
+		"For %s, the %s row recorded %s%s.",
+		"%s was reported at %s%s under %s.",
+	}
+	ti := g.rng.Intn(len(templates))
+	var sentence string
+	switch ti {
+	case 2:
+		sentence = fmt.Sprintf(templates[ti], colLabel, rowLabel, prefix, valStr)
+	default:
+		sentence = fmt.Sprintf(templates[ti], rowLabel, prefix, valStr, colLabel)
+	}
+	return sentence, strings.Index(sentence, valStr)
+}
+
+func (g *generator) renderSum(prof profile, tbl *table.Table, m *table.Mention) (string, int) {
+	valStr := g.renderValue(m.Value, 0, m.Unit)
+	if g.rng.Float64() < g.cfg.VagueProb {
+		vague := []string{
+			"A total of %s %s was recorded.",
+			"Altogether the count came to %s %s.",
+			"The combined figure reached %s %s.",
+		}
+		sentence := fmt.Sprintf(pick(g.rng, vague), valStr, prof.unitWord)
+		return sentence, strings.Index(sentence, valStr)
+	}
+	var scope string
+	if m.Orient == table.OrientCol {
+		scope = label(tbl.ColHeaders, m.Cells[0].Col, "the period")
+	} else {
+		scope = label(tbl.RowHeaders, m.Cells[0].Row, "the entry")
+	}
+	templates := []string{
+		"A total of %s %s was recorded for %s.",
+		"Overall, %s combined for %s %s.",
+		"Together the figures for %s summed to %s %s.",
+	}
+	ti := g.rng.Intn(len(templates))
+	var sentence string
+	switch ti {
+	case 0:
+		sentence = fmt.Sprintf(templates[ti], valStr, prof.unitWord, scope)
+	case 1:
+		sentence = fmt.Sprintf(templates[ti], scope, valStr, prof.unitWord)
+	default:
+		sentence = fmt.Sprintf(templates[ti], scope, valStr, prof.unitWord)
+	}
+	return sentence, strings.Index(sentence, valStr)
+}
+
+func (g *generator) renderDiff(prof profile, tbl *table.Table, m *table.Mention) (string, int) {
+	valStr := g.renderValue(m.Value, m.Precision(), m.Unit)
+	if g.rng.Float64() < g.cfg.VagueProb {
+		vague := []string{
+			"That is %s %s more than before.",
+			"The gap came to %s %s this time.",
+			"It finished %s %s ahead of the earlier figure.",
+		}
+		sentence := fmt.Sprintf(pick(g.rng, vague), valStr, prof.unitWord)
+		return sentence, strings.Index(sentence, valStr)
+	}
+	a, b := m.Cells[0], m.Cells[1]
+	var la, lb string
+	if m.Orient == table.OrientRow {
+		la = label(tbl.ColHeaders, a.Col, "the first column")
+		lb = label(tbl.ColHeaders, b.Col, "the second column")
+	} else {
+		la = label(tbl.RowHeaders, a.Row, "the first row")
+		lb = label(tbl.RowHeaders, b.Row, "the second row")
+	}
+	templates := []string{
+		"That is %s %s more for %s than for %s.",
+		"The gap between %s and %s came to %s %s.",
+		"%s finished %s %s ahead of %s.",
+	}
+	ti := g.rng.Intn(len(templates))
+	var sentence string
+	switch ti {
+	case 0:
+		sentence = fmt.Sprintf(templates[ti], valStr, prof.unitWord, la, lb)
+	case 1:
+		sentence = fmt.Sprintf(templates[ti], la, lb, valStr, prof.unitWord)
+	default:
+		sentence = fmt.Sprintf(templates[ti], la, valStr, prof.unitWord, lb)
+	}
+	return sentence, strings.Index(sentence, valStr)
+}
+
+func (g *generator) renderPercent(prof profile, tbl *table.Table, m *table.Mention) (string, int) {
+	valStr := strconv.FormatFloat(round1(m.Value), 'f', 1, 64) + "%"
+	if g.rng.Float64() < g.cfg.VagueProb {
+		vague := []string{
+			"The share stood at %s.",
+			"That proportion amounted to %s.",
+		}
+		sentence := fmt.Sprintf(pick(g.rng, vague), valStr)
+		return sentence, strings.Index(sentence, valStr)
+	}
+	a := m.Cells[0]
+	var la string
+	if m.Orient == table.OrientCol {
+		la = label(tbl.RowHeaders, a.Row, "the first entry")
+	} else {
+		la = label(tbl.ColHeaders, a.Col, "the first column")
+	}
+	templates := []string{
+		"%s made up a share of %s of the figures.",
+		"The proportion attributed to %s stood at %s.",
+	}
+	ti := g.rng.Intn(len(templates))
+	sentence := fmt.Sprintf(templates[ti], la, valStr)
+	return sentence, strings.Index(sentence, valStr)
+}
+
+func (g *generator) renderRatio(prof profile, tbl *table.Table, m *table.Mention) (string, int) {
+	v := round1(m.Value)
+	verb := "increased"
+	if v < 0 {
+		verb = "decreased"
+		v = -v
+	}
+	valStr := strconv.FormatFloat(v, 'f', 1, 64) + "%"
+	if g.rng.Float64() < g.cfg.VagueProb {
+		vague := []string{
+			"It %s by %s over the prior period.",
+			"The figure %s at a rate of %s.",
+		}
+		sentence := fmt.Sprintf(pick(g.rng, vague), verb, valStr)
+		return sentence, strings.Index(sentence, valStr)
+	}
+	a, b := m.Cells[0], m.Cells[1]
+	var la, lb string
+	if m.Orient == table.OrientRow {
+		la = label(tbl.RowHeaders, a.Row, "the entry")
+		lb = label(tbl.ColHeaders, b.Col, "the earlier period")
+	} else {
+		la = label(tbl.ColHeaders, a.Col, "the entry")
+		lb = label(tbl.RowHeaders, b.Row, "the earlier entry")
+	}
+	templates := []string{
+		"%s %s by %s compared to %s.",
+		"Relative to %s, %s %s at a rate of %s.",
+	}
+	ti := g.rng.Intn(len(templates))
+	var sentence string
+	if ti == 0 {
+		sentence = fmt.Sprintf(templates[ti], la, verb, valStr, lb)
+	} else {
+		sentence = fmt.Sprintf(templates[ti], lb, la, verb, valStr)
+	}
+	return sentence, strings.Index(sentence, valStr)
+}
+
+// distractor renders a quantity that matches no table mention.
+func (g *generator) distractor(prof profile, tbl *table.Table) string {
+	v := g.value(prof)*3 + 7777 // outside the table's value range
+	templates := []string{
+		"Analysts had expected %s for the coming period.",
+		"A separate forecast put the figure at %s.",
+		"Industry observers projected %s instead.",
+	}
+	return fmt.Sprintf(pick(g.rng, templates), g.renderValue(v, 0, ""))
+}
+
+// renderValue formats a value the way running text would: grouping commas,
+// optional scale suffixes for large magnitudes, optional unit word.
+func (g *generator) renderValue(v float64, precision int, unit string) string {
+	abs := math.Abs(v)
+	if abs >= 1e6 && g.rng.Float64() < g.cfg.ScaleFormatProb {
+		switch {
+		case abs >= 1e9:
+			return trimZeros(strconv.FormatFloat(v/1e9, 'f', 2, 64)) + " billion"
+		default:
+			return trimZeros(strconv.FormatFloat(v/1e6, 'f', 1, 64)) + " million"
+		}
+	}
+	if abs >= 10000 && abs < 1e6 && g.rng.Float64() < g.cfg.ScaleFormatProb {
+		// "37K" style.
+		return trimZeros(strconv.FormatFloat(v/1e3, 'f', 1, 64)) + "K"
+	}
+	s := strconv.FormatFloat(v, 'f', precision, 64)
+	if precision == 0 && abs >= 10000 {
+		s = groupDigits(s)
+	}
+	if unit == "%" && !strings.HasSuffix(s, "%") {
+		s += "%"
+	}
+	return s
+}
+
+func trimZeros(s string) string {
+	if !strings.Contains(s, ".") {
+		return s
+	}
+	s = strings.TrimRight(s, "0")
+	return strings.TrimSuffix(s, ".")
+}
+
+// approximate rounds v to two significant digits.
+func approximate(v float64) float64 {
+	if v == 0 {
+		return 0
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(math.Abs(v)))-1)
+	return math.Round(v/mag) * mag
+}
+
+func approxPrecision(v float64) int {
+	if math.Abs(v) < 10 {
+		return 1
+	}
+	return 0
+}
+
+func round1(v float64) float64 { return math.Round(v*10) / 10 }
+
+func label(labels []string, idx int, fallback string) string {
+	if idx < len(labels) && strings.TrimSpace(labels[idx]) != "" {
+		return labels[idx]
+	}
+	return fallback
+}
+
+func sampleStrings(rng *rand.Rand, pool []string, n int) []string {
+	idx := rng.Perm(len(pool))
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, pool[idx[i%len(idx)]])
+	}
+	return out
+}
+
+func pick(rng *rand.Rand, options []string) string {
+	return options[rng.Intn(len(options))]
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,127 @@
+package corpus
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"briq/internal/document"
+	"briq/internal/quantity"
+)
+
+// Perturbation is the text-mention transformation of the robustness
+// experiments (§VIII-A, Table II).
+type Perturbation int
+
+// Perturbations. Original leaves mentions untouched; Truncated removes the
+// least significant digit (6746 → 6740, 2.74 → 2.7, 0.19 → 0.1); Rounded
+// numerically rounds it (6746 → 6750, 2.74 → 2.7, 0.19 → 0.2).
+const (
+	Original Perturbation = iota
+	Truncated
+	Rounded
+)
+
+// String returns the lowercase perturbation name.
+func (p Perturbation) String() string {
+	switch p {
+	case Truncated:
+		return "truncated"
+	case Rounded:
+		return "rounded"
+	default:
+		return "original"
+	}
+}
+
+// PerturbDocs returns copies of the documents with every text mention's
+// value and surface transformed. Table mentions and gold alignments are
+// unchanged — the point of the experiment is aligning degraded text against
+// intact tables.
+func PerturbDocs(docs []*document.Document, p Perturbation) []*document.Document {
+	if p == Original {
+		return docs
+	}
+	out := make([]*document.Document, len(docs))
+	for i, doc := range docs {
+		clone := *doc
+		clone.TextMentions = make([]quantity.Mention, len(doc.TextMentions))
+		copy(clone.TextMentions, doc.TextMentions)
+		for j := range clone.TextMentions {
+			perturbMention(&clone.TextMentions[j], p)
+		}
+		out[i] = &clone
+	}
+	return out
+}
+
+// perturbMention rewrites one mention in place.
+func perturbMention(m *quantity.Mention, p Perturbation) {
+	newRaw, newPrec, changed := perturbValue(m.RawValue, m.Precision, p)
+	if !changed {
+		return
+	}
+	// Preserve the normalization factor ("37K" stays thousands).
+	factor := 1.0
+	if m.RawValue != 0 {
+		factor = m.Value / m.RawValue
+	}
+	m.Surface = rewriteSurface(m.Surface, m.RawValue, m.Precision, newRaw, newPrec)
+	m.RawValue = newRaw
+	m.Value = newRaw * factor
+	m.Precision = newPrec
+	m.Scale = quantity.OrderOfMagnitude(m.Value)
+}
+
+// perturbValue applies the digit transformation. Values with a single
+// significant digit are left alone (there is no less-significant digit to
+// drop).
+func perturbValue(v float64, precision int, p Perturbation) (float64, int, bool) {
+	if v == 0 {
+		return v, precision, false
+	}
+	if precision > 0 {
+		// Drop or round the last decimal digit: 2.74 → 2.7 / 2.7.
+		newPrec := precision - 1
+		pow := math.Pow(10, float64(newPrec))
+		var nv float64
+		if p == Truncated {
+			nv = math.Trunc(v*pow) / pow
+		} else {
+			nv = math.Round(v*pow) / pow
+		}
+		if nv == 0 {
+			// Single significant digit ("0.6"): nothing less significant to
+			// remove without destroying the value.
+			return v, precision, false
+		}
+		return nv, newPrec, true
+	}
+	// Integer: zero or round the ones digit: 6746 → 6740 / 6750.
+	if math.Abs(v) < 10 {
+		return v, precision, false
+	}
+	var nv float64
+	if p == Truncated {
+		nv = math.Trunc(v/10) * 10
+	} else {
+		nv = math.Round(v/10) * 10
+	}
+	return nv, precision, true
+}
+
+// rewriteSurface replaces the numeric literal inside the surface form while
+// keeping units and modifiers: "37.5K EUR" → "37.4K EUR".
+func rewriteSurface(surface string, oldV float64, oldPrec int, newV float64, newPrec int) string {
+	oldStr := strconv.FormatFloat(oldV, 'f', oldPrec, 64)
+	newStr := strconv.FormatFloat(newV, 'f', newPrec, 64)
+	if i := strings.Index(surface, oldStr); i >= 0 {
+		return surface[:i] + newStr + surface[i+len(oldStr):]
+	}
+	// The literal may carry grouping commas; strip them and retry.
+	plain := strings.ReplaceAll(surface, ",", "")
+	if i := strings.Index(plain, oldStr); i >= 0 {
+		return plain[:i] + newStr + plain[i+len(oldStr):]
+	}
+	return newStr
+}

@@ -1,0 +1,56 @@
+package corpus
+
+import (
+	"testing"
+
+	"briq/internal/document"
+	"briq/internal/htmlx"
+)
+
+// TestHTMLRoundTrip verifies the full corpus → HTML → parse → segment path
+// that cmd/corpusgen + cmd/briq rely on: rendering a generated page as HTML
+// and re-ingesting it must reproduce the same documents and mentions.
+func TestHTMLRoundTrip(t *testing.T) {
+	cfg := TableSConfig(37)
+	cfg.Pages = 15
+	c := Generate(cfg)
+
+	for _, pg := range c.Pages {
+		reparsed := htmlx.ParseString(pg.HTML())
+		docs, err := document.NewSegmenter().SegmentPage(pg.ID, reparsed)
+		if err != nil {
+			t.Fatalf("page %s: %v", pg.ID, err)
+		}
+
+		// Compare with the corpus's own documents for this page.
+		var origDocs []*document.Document
+		for _, d := range c.Docs {
+			if d.PageID == pg.ID {
+				origDocs = append(origDocs, d)
+			}
+		}
+		// The round trip interleaves paragraphs before tables (page layout)
+		// while Segment() used a fixed interleave, so adjacency-based
+		// attachment may differ; every original document's text must still
+		// be present with the same mention count.
+		byText := map[string]*document.Document{}
+		for _, d := range docs {
+			byText[d.Text] = d
+		}
+		for _, od := range origDocs {
+			rd, ok := byText[od.Text]
+			if !ok {
+				t.Errorf("page %s: document %q lost in round trip", pg.ID, od.ID)
+				continue
+			}
+			if len(rd.TextMentions) != len(od.TextMentions) {
+				t.Errorf("page %s doc %q: %d mentions after round trip, want %d",
+					pg.ID, od.ID, len(rd.TextMentions), len(od.TextMentions))
+			}
+			if len(rd.TableMentions) != len(od.TableMentions) {
+				t.Errorf("page %s doc %q: %d table mentions after round trip, want %d",
+					pg.ID, od.ID, len(rd.TableMentions), len(od.TableMentions))
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package document implements the Table-Text Extraction stage of BriQ
+// (Fig. 2, §III): splitting a web page into coherent documents — a paragraph
+// together with all related tables from the same page — and extracting the
+// quantity mentions on both sides. Related tables are found by token
+// similarity between paragraph and table content above a threshold.
+package document
+
+import (
+	"fmt"
+
+	"briq/internal/htmlx"
+	"briq/internal/nlp"
+	"briq/internal/quantity"
+	"briq/internal/table"
+)
+
+// Document is a coherent unit of alignment: one paragraph plus its related
+// tables, with all quantity mentions extracted.
+type Document struct {
+	ID            string
+	PageID        string
+	Text          string             // the paragraph text
+	Tables        []*table.Table     // related tables (≥1)
+	TextMentions  []quantity.Mention // mentions extracted from Text, in order
+	TableMentions []*table.Mention   // single + virtual cells across Tables
+	TextTokens    []string           // lowercase word tokens of Text (cached)
+}
+
+// TokenCount returns the number of word tokens in the document text,
+// the denominator of the proximity edge weight (§VI-A).
+func (d *Document) TokenCount() int { return len(d.TextTokens) }
+
+// Segmenter splits pages into documents. The zero value is not useful; use
+// NewSegmenter.
+type Segmenter struct {
+	// SimilarityThreshold is the minimum paragraph↔table token Jaccard
+	// similarity for the table to count as related.
+	SimilarityThreshold float64
+	// AttachAdjacent additionally relates a table to the paragraphs
+	// immediately before and after it in page order even below the
+	// similarity threshold, matching how explanatory text hugs its table.
+	AttachAdjacent bool
+	// VirtualOpts controls virtual-cell generation for table mentions.
+	VirtualOpts table.VirtualOptions
+	// MinTextMentions drops documents whose paragraph has fewer text
+	// quantity mentions (default 1: paragraphs without quantities cannot be
+	// aligned).
+	MinTextMentions int
+}
+
+// NewSegmenter returns a Segmenter with the defaults used throughout the
+// experiments: threshold 0.08, adjacency attachment on, the paper's four
+// aggregations, at least one text mention.
+func NewSegmenter() *Segmenter {
+	return &Segmenter{
+		SimilarityThreshold: 0.08,
+		AttachAdjacent:      true,
+		VirtualOpts:         table.DefaultVirtualOptions(),
+		MinTextMentions:     1,
+	}
+}
+
+// SegmentPage parses the blocks of an HTML page into documents.
+func (s *Segmenter) SegmentPage(pageID string, page *htmlx.Page) ([]*Document, error) {
+	var paras []string
+	var paraBlock []int // block index per paragraph
+	var tables []*table.Table
+	var tableBlock []int
+
+	for i, b := range page.Blocks {
+		switch blk := b.(type) {
+		case *htmlx.Paragraph:
+			if blk.Heading {
+				continue // headings carry topic words but no alignable text
+			}
+			paras = append(paras, blk.Text)
+			paraBlock = append(paraBlock, i)
+		case *htmlx.TableBlock:
+			id := fmt.Sprintf("%s-t%d", pageID, len(tables))
+			tbl, err := table.New(id, blk.Caption, blk.Grid)
+			if err != nil {
+				continue // skew or empty table: skip, pages are noisy
+			}
+			if len(tbl.NumericCells()) == 0 {
+				continue // the corpus criterion: tables must contain numerical cells
+			}
+			tables = append(tables, tbl)
+			tableBlock = append(tableBlock, i)
+		}
+	}
+	return s.segment(pageID, paras, paraBlock, tables, tableBlock), nil
+}
+
+// Segment builds documents from pre-extracted paragraphs and tables, with
+// positions taken as their slice order.
+func (s *Segmenter) Segment(pageID string, paras []string, tables []*table.Table) []*Document {
+	paraBlock := make([]int, len(paras))
+	tableBlock := make([]int, len(tables))
+	for i := range paras {
+		paraBlock[i] = i * 2 // interleave positions: p0 t0 p1 t1 ...
+	}
+	for i := range tables {
+		tableBlock[i] = i*2 + 1
+	}
+	return s.segment(pageID, paras, paraBlock, tables, tableBlock)
+}
+
+func (s *Segmenter) segment(pageID string, paras []string, paraBlock []int, tables []*table.Table, tableBlock []int) []*Document {
+	if len(tables) == 0 {
+		return nil
+	}
+	tableTokens := make([][]string, len(tables))
+	for i, t := range tables {
+		tableTokens[i] = t.Tokens()
+	}
+
+	var docs []*Document
+	for pi, para := range paras {
+		paraTokens := nlp.Words(para)
+		var related []*table.Table
+		for ti, t := range tables {
+			sim := nlp.JaccardTokens(paraTokens, tableTokens[ti])
+			adjacent := s.AttachAdjacent && isAdjacent(paraBlock[pi], tableBlock[ti], paraBlock, tableBlock)
+			if sim >= s.SimilarityThreshold || adjacent {
+				related = append(related, t)
+			}
+		}
+		if len(related) == 0 {
+			continue
+		}
+		doc := &Document{
+			ID:         fmt.Sprintf("%s-d%d", pageID, len(docs)),
+			PageID:     pageID,
+			Text:       para,
+			Tables:     related,
+			TextTokens: paraTokens,
+		}
+		doc.TextMentions = quantity.ExtractText(para)
+		if len(doc.TextMentions) < s.MinTextMentions {
+			continue
+		}
+		for _, t := range related {
+			doc.TableMentions = append(doc.TableMentions, t.Mentions(s.VirtualOpts)...)
+		}
+		// Re-index mentions across the union of tables.
+		for i, m := range doc.TableMentions {
+			m.Index = i
+		}
+		docs = append(docs, doc)
+	}
+	return docs
+}
+
+// isAdjacent reports whether the paragraph at block position p and the table
+// at block position t are adjacent in page order: no other paragraph or
+// table lies strictly between them.
+func isAdjacent(p, t int, paraBlocks, tableBlocks []int) bool {
+	lo, hi := p, t
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	for _, b := range paraBlocks {
+		if b > lo && b < hi {
+			return false
+		}
+	}
+	for _, b := range tableBlocks {
+		if b > lo && b < hi {
+			return false
+		}
+	}
+	return true
+}

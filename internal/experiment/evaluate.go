@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"briq/internal/corpus"
+	"briq/internal/document"
+	"briq/internal/mlmetrics"
+	"briq/internal/quantity"
+)
+
+// Eval is the quality result of one system over a document set.
+type Eval struct {
+	Overall mlmetrics.PRF
+	Counts  mlmetrics.Counts
+	// ByType breaks results down by gold aggregation type: recall counts a
+	// gold pair of type T as found when the exact table mention was
+	// predicted; precision for type T is measured over predictions whose
+	// predicted table mention has aggregation T (Tables III–V).
+	ByType map[quantity.Agg]mlmetrics.PRF
+}
+
+// Evaluate scores a system against the gold standard of the given documents.
+func Evaluate(sys System, c *corpus.Corpus, docs []*document.Document) Eval {
+	type tpfpfn struct{ tp, fp, fn int }
+	perType := make(map[quantity.Agg]*tpfpfn)
+	touch := func(agg quantity.Agg) *tpfpfn {
+		if perType[agg] == nil {
+			perType[agg] = &tpfpfn{}
+		}
+		return perType[agg]
+	}
+
+	var counts mlmetrics.Counts
+	for _, doc := range docs {
+		gold := make(map[int]corpus.Gold)
+		for _, g := range c.GoldFor(doc.ID) {
+			gold[g.TextIndex] = g
+		}
+		aggOfKey := make(map[string]quantity.Agg, len(doc.TableMentions))
+		for _, tm := range doc.TableMentions {
+			aggOfKey[tm.Key()] = tm.Agg
+		}
+
+		predicted := make(map[int]Prediction)
+		for _, p := range sys.Predict(doc) {
+			predicted[p.TextIndex] = p
+		}
+
+		for xi, p := range predicted {
+			g, hasGold := gold[xi]
+			if hasGold && g.TableKey == p.TableKey {
+				counts.TP++
+				touch(g.Agg).tp++
+			} else {
+				counts.FP++
+				touch(aggOfKey[p.TableKey]).fp++
+			}
+		}
+		for xi, g := range gold {
+			if p, ok := predicted[xi]; !ok || p.TableKey != g.TableKey {
+				counts.FN++
+				touch(g.Agg).fn++
+			}
+		}
+	}
+
+	eval := Eval{
+		Overall: counts.PRF(),
+		Counts:  counts,
+		ByType:  make(map[quantity.Agg]mlmetrics.PRF),
+	}
+	for agg, t := range perType {
+		eval.ByType[agg] = mlmetrics.NewPRF(t.tp, t.fp, t.fn)
+	}
+	return eval
+}

@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"briq/internal/feature"
+	"briq/internal/forest"
+	"briq/internal/tagger"
+)
+
+// modelBundle is the on-disk representation of a trained BriQ model set:
+// the mention-pair classifier, the text-mention tagger, and the feature
+// configuration they were trained under.
+type modelBundle struct {
+	Version    int             `json:"version"`
+	Features   feature.Config  `json:"features"`
+	Mask       []bool          `json:"mask"`
+	Classifier json.RawMessage `json:"classifier"`
+	Tagger     json.RawMessage `json:"tagger"`
+}
+
+const bundleVersion = 1
+
+// SaveModels writes the trained classifier and tagger with their feature
+// configuration, so a pipeline can be reconstructed without retraining.
+func SaveModels(w io.Writer, tr *Trained) error {
+	clsJSON, err := forestJSON(tr.Classifier)
+	if err != nil {
+		return fmt.Errorf("save models: classifier: %w", err)
+	}
+	tagJSON, err := forestJSON(tr.Tagger.Forest())
+	if err != nil {
+		return fmt.Errorf("save models: tagger: %w", err)
+	}
+	bundle := modelBundle{
+		Version:    bundleVersion,
+		Features:   tr.Opts.FeatureConfig,
+		Mask:       tr.Opts.Mask[:],
+		Classifier: clsJSON,
+		Tagger:     tagJSON,
+	}
+	if err := json.NewEncoder(w).Encode(bundle); err != nil {
+		return fmt.Errorf("save models: %w", err)
+	}
+	return nil
+}
+
+// LoadModels reads a bundle written by SaveModels and reconstructs a
+// Trained suitable for NewBriQ / NewRFOnly.
+func LoadModels(r io.Reader) (*Trained, error) {
+	var bundle modelBundle
+	if err := json.NewDecoder(r).Decode(&bundle); err != nil {
+		return nil, fmt.Errorf("load models: %w", err)
+	}
+	if bundle.Version != bundleVersion {
+		return nil, fmt.Errorf("load models: unsupported version %d", bundle.Version)
+	}
+	if len(bundle.Mask) != feature.NumFeatures {
+		return nil, fmt.Errorf("load models: mask has %d features, want %d",
+			len(bundle.Mask), feature.NumFeatures)
+	}
+	cls, err := forestFromJSON(bundle.Classifier)
+	if err != nil {
+		return nil, fmt.Errorf("load models: classifier: %w", err)
+	}
+	tagForest, err := forestFromJSON(bundle.Tagger)
+	if err != nil {
+		return nil, fmt.Errorf("load models: tagger: %w", err)
+	}
+	lt, err := tagger.FromForest(tagForest)
+	if err != nil {
+		return nil, fmt.Errorf("load models: tagger: %w", err)
+	}
+
+	var mask feature.Mask
+	copy(mask[:], bundle.Mask)
+	opts := DefaultTrainOptions(0)
+	opts.FeatureConfig = bundle.Features
+	opts.Mask = mask
+	return &Trained{Classifier: cls, Tagger: lt, Opts: opts}, nil
+}
+
+func forestJSON(f *forest.Forest) (json.RawMessage, error) {
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		return nil, err
+	}
+	return json.RawMessage(buf.Bytes()), nil
+}
+
+func forestFromJSON(raw json.RawMessage) (*forest.Forest, error) {
+	return forest.Load(bytes.NewReader(raw))
+}

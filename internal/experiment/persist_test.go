@@ -1,0 +1,54 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadModels(t *testing.T) {
+	c, split, tr := fixture(t)
+
+	var buf bytes.Buffer
+	if err := SaveModels(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModels(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The reconstructed system must predict identically to the original.
+	origSys := NewBriQ(tr)
+	loadedSys := NewBriQ(loaded)
+	docs := split.Test
+	if len(docs) > 10 {
+		docs = docs[:10]
+	}
+	for _, doc := range docs {
+		orig := origSys.Predict(doc)
+		got := loadedSys.Predict(doc)
+		if len(orig) != len(got) {
+			t.Fatalf("doc %s: %d vs %d predictions after reload", doc.ID, len(orig), len(got))
+		}
+		for i := range orig {
+			if orig[i] != got[i] {
+				t.Fatalf("doc %s prediction %d: %+v vs %+v", doc.ID, i, orig[i], got[i])
+			}
+		}
+	}
+	_ = c
+}
+
+func TestLoadModelsRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"version":99}`,
+		`{"version":1,"mask":[true],"classifier":{},"tagger":{}}`,
+	}
+	for _, src := range cases {
+		if _, err := LoadModels(strings.NewReader(src)); err == nil {
+			t.Errorf("LoadModels(%.30q) should fail", src)
+		}
+	}
+}

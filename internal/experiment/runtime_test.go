@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"briq/internal/core"
+	"briq/internal/corpus"
+	"briq/internal/feature"
+	"briq/internal/table"
+)
+
+func TestRunTableVIISmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("retrains four models")
+	}
+	cfg := corpus.TableSConfig(5)
+	cfg.Pages = 50
+	c := corpus.Generate(cfg)
+	split := SplitCorpus(c, 5)
+	rep, results, err := RunTableVII(c, split, DefaultTrainOptions(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("want 4 ablations, got %d", len(results))
+	}
+	for _, abl := range AblationMasks() {
+		byName, ok := results[abl.Name]
+		if !ok {
+			t.Fatalf("ablation %q missing", abl.Name)
+		}
+		for _, sys := range []string{"RF", "RWR", "BriQ"} {
+			if _, ok := byName[sys]; !ok {
+				t.Fatalf("ablation %q missing system %s", abl.Name, sys)
+			}
+		}
+	}
+	out := rep.String()
+	for _, want := range []string{"all features", "w/o surf. sim.", "w/o context", "w/o quantity"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing row %q", want)
+		}
+	}
+}
+
+func TestRunTableVIIIAndIXSmall(t *testing.T) {
+	lc := corpus.Generate(corpus.TableLConfig(9, 40))
+
+	rep8, rows8 := RunTableVIII(lc, core.NewPipeline(), 2)
+	if len(rows8) == 0 {
+		t.Fatal("no throughput rows")
+	}
+	for _, row := range rows8 {
+		if row.Documents <= 0 || row.DocsPerMin <= 0 {
+			t.Errorf("degenerate row: %+v", row)
+		}
+	}
+	if !strings.Contains(rep8.String(), "total") {
+		t.Error("throughput report missing total row")
+	}
+
+	rep9, rows9 := RunTableIX(lc, table.DefaultVirtualOptions())
+	if len(rows9) == 0 {
+		t.Fatal("no stats rows")
+	}
+	bySport := map[corpus.Domain]StatsRow{}
+	for _, row := range rows9 {
+		bySport[row.Domain] = row
+		if row.Rows <= 0 || row.Cols <= 0 {
+			t.Errorf("degenerate stats: %+v", row)
+		}
+	}
+	// Table IX shape: sports has the most virtual cells, health the fewest
+	// (when both domains are present at this corpus size).
+	sports, hasSports := bySport[corpus.Sports]
+	health, hasHealth := bySport[corpus.Health]
+	if hasSports && hasHealth && sports.VirtualCells <= health.VirtualCells {
+		t.Errorf("sports virtual cells (%v) should exceed health (%v)",
+			sports.VirtualCells, health.VirtualCells)
+	}
+	if !strings.Contains(rep9.String(), "average") {
+		t.Error("stats report missing average row")
+	}
+}
+
+func TestMeasureThroughput(t *testing.T) {
+	cfg := corpus.TableSConfig(11)
+	cfg.Pages = 5
+	c := corpus.Generate(cfg)
+	rate := MeasureThroughput(NewRWROnly(feature.DefaultConfig(), feature.FullMask()), c.Docs[:2])
+	if rate <= 0 {
+		t.Errorf("rate = %v, want > 0", rate)
+	}
+}

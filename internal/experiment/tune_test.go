@@ -1,0 +1,38 @@
+package experiment
+
+import "testing"
+
+func TestTuneGraphAndFilter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid search is slow")
+	}
+	c, split, tr := fixture(t)
+	val := split.Val
+	if len(val) > 25 {
+		val = val[:25] // a validation subsample keeps the grid affordable in tests
+	}
+
+	graphTune := TuneGraph(c, tr, val)
+	if graphTune.F1 <= 0 {
+		t.Errorf("graph tuning found no working configuration: %+v", graphTune)
+	}
+	for _, key := range []string{"alpha", "epsilon", "restart"} {
+		if _, ok := graphTune.Params[key]; !ok {
+			t.Errorf("graph tuning missing %s", key)
+		}
+	}
+
+	filterTune := TuneFilter(c, tr, val)
+	if filterTune.F1 <= 0 {
+		t.Errorf("filter tuning found no working configuration: %+v", filterTune)
+	}
+
+	// The tuned system must be at least as good on the validation slice as
+	// the defaults (the grids include near-default points).
+	tuned := ApplyTuned(tr, graphTune, filterTune)
+	tunedF1 := Evaluate(tuned, c, val).Overall.F1
+	defaultF1 := Evaluate(NewBriQ(tr), c, val).Overall.F1
+	if tunedF1+0.02 < defaultF1 {
+		t.Errorf("tuned F1 %.3f well below default %.3f on validation", tunedF1, defaultF1)
+	}
+}

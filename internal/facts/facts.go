@@ -1,0 +1,170 @@
+// Package facts turns quantity alignments into knowledge-base facts — the
+// augmentation use case of §I: "quantity alignment links the text to data
+// from the tables, and vice versa. Hence, it can be combined with entity
+// linking techniques to augment knowledge bases."
+//
+// A fact is (entity, measure, value, unit) with provenance: the entity comes
+// from the row header (lightly canonicalized), the measure from the column
+// header and caption, and the value from the aligned cell. Text-confirmed
+// facts — cells that the surrounding prose actually discusses — carry the
+// alignment's confidence; they are exactly the cells a knowledge base wants
+// first.
+package facts
+
+import (
+	"sort"
+	"strings"
+
+	"briq/internal/core"
+	"briq/internal/document"
+	"briq/internal/quantity"
+)
+
+// Fact is one extracted quantity fact.
+type Fact struct {
+	Entity  string  `json:"entity"`  // canonicalized row header
+	Measure string  `json:"measure"` // column header (+ caption hint)
+	Value   float64 `json:"value"`
+	Unit    string  `json:"unit,omitempty"`
+	Agg     string  `json:"agg"` // single-cell or the aggregation that produced it
+
+	// Provenance.
+	DocID       string  `json:"doc_id"`
+	TableKey    string  `json:"table_key"`
+	TextSurface string  `json:"text_surface"` // the confirming text mention
+	Confidence  float64 `json:"confidence"`   // the alignment's overall score
+}
+
+// Extract derives facts from a document's alignments. Single-cell alignments
+// yield one fact each; aggregate alignments yield one fact per input cell
+// region is out of scope — they instead yield a fact for the aggregate
+// itself with the shared row/column header as entity/measure.
+func Extract(doc *document.Document, alignments []core.Alignment) []Fact {
+	var out []Fact
+	for _, a := range alignments {
+		tm := doc.TableMentions[a.TableIndex]
+		tbl := tm.Table
+
+		fact := Fact{
+			Value:       tm.Value,
+			Unit:        tm.Unit,
+			Agg:         tm.Agg.String(),
+			DocID:       doc.ID,
+			TableKey:    a.TableKey,
+			TextSurface: a.TextSurface,
+			Confidence:  a.Score,
+		}
+
+		if tm.Agg == quantity.SingleCell {
+			ref := tm.Cells[0]
+			fact.Entity = CanonicalEntity(header(tbl.RowHeaders, ref.Row))
+			fact.Measure = measureName(header(tbl.ColHeaders, ref.Col), tbl.Caption)
+		} else {
+			// Aggregates: the constant line's header names the scope.
+			rows := map[int]bool{}
+			cols := map[int]bool{}
+			for _, ref := range tm.Cells {
+				rows[ref.Row] = true
+				cols[ref.Col] = true
+			}
+			switch {
+			case len(rows) == 1:
+				fact.Entity = CanonicalEntity(header(tbl.RowHeaders, tm.Cells[0].Row))
+				fact.Measure = measureName(tm.Agg.String(), tbl.Caption)
+			case len(cols) == 1:
+				fact.Entity = CanonicalEntity(tbl.Caption)
+				fact.Measure = measureName(tm.Agg.String()+" of "+header(tbl.ColHeaders, tm.Cells[0].Col), "")
+			default:
+				continue // no single naming line: skip
+			}
+		}
+		if fact.Entity == "" || fact.Measure == "" {
+			continue
+		}
+		out = append(out, fact)
+	}
+	return Dedupe(out)
+}
+
+func header(headers []string, idx int) string {
+	if idx < len(headers) {
+		return strings.TrimSpace(headers[idx])
+	}
+	return ""
+}
+
+func measureName(column, caption string) string {
+	column = strings.TrimSpace(strings.ToLower(column))
+	if column != "" {
+		return column
+	}
+	return strings.TrimSpace(strings.ToLower(caption))
+}
+
+// entitySuffixes are organization/qualifier suffixes stripped during
+// canonicalization, the light-weight stand-in for entity linking against a
+// knowledge base.
+var entitySuffixes = []string{
+	"inc", "inc.", "corp", "corp.", "ltd", "ltd.", "llc", "plc",
+	"group", "co", "co.", "company", "party", "district", "region",
+}
+
+// CanonicalEntity normalizes an entity surface form: lowercase, collapsed
+// whitespace, organization suffixes stripped.
+func CanonicalEntity(s string) string {
+	words := strings.Fields(strings.ToLower(s))
+	for len(words) > 0 {
+		last := words[len(words)-1]
+		stripped := false
+		for _, suf := range entitySuffixes {
+			if last == suf {
+				words = words[:len(words)-1]
+				stripped = true
+				break
+			}
+		}
+		if !stripped {
+			break
+		}
+	}
+	return strings.Join(words, " ")
+}
+
+// Dedupe keeps the highest-confidence fact per (entity, measure, value,
+// unit) and returns facts sorted by confidence descending (ties by entity).
+func Dedupe(facts []Fact) []Fact {
+	type key struct {
+		entity, measure, unit string
+		value                 float64
+	}
+	best := map[key]Fact{}
+	for _, f := range facts {
+		k := key{f.Entity, f.Measure, f.Unit, f.Value}
+		if cur, ok := best[k]; !ok || f.Confidence > cur.Confidence {
+			best[k] = f
+		}
+	}
+	out := make([]Fact, 0, len(best))
+	for _, f := range best {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		if out[i].Entity != out[j].Entity {
+			return out[i].Entity < out[j].Entity
+		}
+		return out[i].Measure < out[j].Measure
+	})
+	return out
+}
+
+// ExtractAll runs the pipeline over many documents and pools the facts.
+func ExtractAll(p *core.Pipeline, docs []*document.Document) []Fact {
+	var all []Fact
+	for _, doc := range docs {
+		all = append(all, Extract(doc, p.Align(doc))...)
+	}
+	return Dedupe(all)
+}

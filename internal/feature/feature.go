@@ -1,0 +1,460 @@
+// Package feature computes the mention-pair features f1–f12 of §IV-B: one
+// surface-form feature, five context features and six quantity features for
+// each candidate (text mention, table mention) pair. Categorical features
+// are encoded as ordinal levels so threshold splits in the Random Forest
+// remain meaningful.
+package feature
+
+import (
+	"strings"
+
+	"briq/internal/document"
+	"briq/internal/nlp"
+	"briq/internal/quantity"
+	"briq/internal/table"
+)
+
+// Feature indices into the vector produced by Vector. The names follow the
+// paper's numbering.
+const (
+	F1SurfaceSim     = iota // Jaro-Winkler surface similarity
+	F2LocalOverlap          // position-weighted local context word overlap
+	F3GlobalOverlap         // global context word overlap
+	F4LocalPhrases          // local noun-phrase overlap
+	F5GlobalPhrases         // global noun-phrase overlap
+	F6RelDiff               // relative difference of normalized values
+	F7RawRelDiff            // relative difference of unnormalized values
+	F8UnitMatch             // 4-valued unit match
+	F9ScaleDiff             // difference in orders of magnitude
+	F10PrecisionDiff        // difference in decimal precision
+	F11Approx               // approximation indicator of the text mention
+	F12AggMatch             // 4-valued aggregate-function match
+	NumFeatures
+)
+
+// Names are human-readable feature names, index-aligned with the constants.
+var Names = [NumFeatures]string{
+	"f1_surface_sim", "f2_local_overlap", "f3_global_overlap",
+	"f4_local_phrases", "f5_global_phrases", "f6_rel_diff",
+	"f7_raw_rel_diff", "f8_unit_match", "f9_scale_diff",
+	"f10_precision_diff", "f11_approx", "f12_agg_match",
+}
+
+// Four-valued match levels for f8 and f12 (§IV-B), encoded so that stronger
+// agreement is larger.
+const (
+	StrongMismatch = 0.0
+	WeakMismatch   = 1.0 / 3.0
+	WeakMatch      = 2.0 / 3.0
+	StrongMatch    = 1.0
+)
+
+// Config holds the tunable feature parameters (window size n, stepSize and
+// stepWeight of the f2 position weighting, and the f12 cue window), tuned on
+// the validation split in the experiments.
+type Config struct {
+	Window       int     // words before/after the text mention for f2 (default 8)
+	StepSize     int     // distance step of the weight decay (default 2)
+	StepWeight   float64 // weight lost per step (default 0.15)
+	AggCueWindow int     // words around the mention scanned for aggregation cues in f12 (default 5)
+}
+
+// DefaultConfig returns the defaults used before tuning.
+func DefaultConfig() Config {
+	return Config{Window: 10, StepSize: 2, StepWeight: 0.12, AggCueWindow: 5}
+}
+
+// Group identifies a feature group for the ablation study (§VIII-B).
+type Group int
+
+// Feature groups of the ablation study.
+const (
+	GroupSurface  Group = iota // f1
+	GroupContext               // f2, f3, f4, f5, f11, f12
+	GroupQuantity              // f6, f7, f8, f9, f10
+)
+
+// GroupOf maps each feature index to its ablation group.
+func GroupOf(feature int) Group {
+	switch feature {
+	case F1SurfaceSim:
+		return GroupSurface
+	case F6RelDiff, F7RawRelDiff, F8UnitMatch, F9ScaleDiff, F10PrecisionDiff:
+		return GroupQuantity
+	default:
+		return GroupContext
+	}
+}
+
+// Mask selects a feature subset; Mask[i] == true keeps feature i.
+type Mask [NumFeatures]bool
+
+// FullMask keeps every feature.
+func FullMask() Mask {
+	var m Mask
+	for i := range m {
+		m[i] = true
+	}
+	return m
+}
+
+// WithoutGroup returns a mask dropping every feature of the given group.
+func WithoutGroup(g Group) Mask {
+	m := FullMask()
+	for i := 0; i < NumFeatures; i++ {
+		if GroupOf(i) == g {
+			m[i] = false
+		}
+	}
+	return m
+}
+
+// Apply projects a full feature vector onto the mask's kept features.
+func (m Mask) Apply(vec []float64) []float64 {
+	out := make([]float64, 0, len(vec))
+	for i, v := range vec {
+		if m[i] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Goodness maps a feature value to a higher-is-better score in [0,1]. Most
+// features are already goodness-oriented; the distance features (f6/f7
+// relative differences, f9/f10 scale and precision differences) are
+// inverted. Used by the uninformed uniform-weight scorer of the RWR-only
+// baseline (§VII-D) and the classifier-free pipeline fallback.
+func Goodness(feature int, v float64) float64 {
+	switch feature {
+	case F6RelDiff, F7RawRelDiff:
+		return 1 - v
+	case F9ScaleDiff, F10PrecisionDiff:
+		return 1 / (1 + v)
+	default:
+		if v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+}
+
+// Count returns the number of kept features.
+func (m Mask) Count() int {
+	n := 0
+	for _, keep := range m {
+		if keep {
+			n++
+		}
+	}
+	return n
+}
+
+// Extractor computes feature vectors for all pairs of one document, caching
+// per-mention context so that the cost is amortized over the (large) pair
+// space.
+type Extractor struct {
+	cfg Config
+	doc *document.Document
+
+	textLower  []nlp.Token // tokens of the document text
+	globalBag  nlp.WeightedBag
+	globalNPs  []string
+	localBags  []nlp.WeightedBag // per text mention
+	sentenceOf []string          // sentence text per text mention
+	localNPs   [][]string        // noun phrases of the mention's sentence
+	mentionAgg [][]quantity.Agg  // aggregations cued near each text mention
+
+	tableData []tableMentionData // per table mention
+}
+
+type tableMentionData struct {
+	surface  string
+	localBag nlp.WeightedBag
+	localNPs []string
+	tableBag nlp.WeightedBag
+	tableNPs []string
+	rawValue float64
+}
+
+// NewExtractor prepares an extractor for one document.
+func NewExtractor(cfg Config, doc *document.Document) *Extractor {
+	if cfg.Window <= 0 {
+		cfg = DefaultConfig()
+	}
+	e := &Extractor{cfg: cfg, doc: doc}
+	e.prepareText()
+	e.prepareTables()
+	return e
+}
+
+func (e *Extractor) prepareText() {
+	e.textLower = nlp.Tokenize(e.doc.Text)
+	e.globalBag = nlp.NewWeightedBag(wordsOf(e.textLower))
+	e.globalNPs = nlp.NounPhrases(e.doc.Text)
+	sentences := nlp.SplitSentences(e.doc.Text)
+
+	e.localBags = make([]nlp.WeightedBag, len(e.doc.TextMentions))
+	e.sentenceOf = make([]string, len(e.doc.TextMentions))
+	e.localNPs = make([][]string, len(e.doc.TextMentions))
+	e.mentionAgg = make([][]quantity.Agg, len(e.doc.TextMentions))
+
+	for i, x := range e.doc.TextMentions {
+		e.localBags[i] = e.localBag(x.TokenPos)
+		si := x.Sentence
+		if si >= 0 && si < len(sentences) {
+			e.sentenceOf[i] = sentences[si]
+			e.localNPs[i] = nlp.NounPhrases(sentences[si])
+		}
+		e.mentionAgg[i] = e.cuedAggs(x.TokenPos)
+	}
+}
+
+// localBag builds the position-weighted bag of words around token position
+// pos: weight(e) = 1 − (d/stepSize)·stepWeight, clamped at 0 (§IV-B, f2).
+func (e *Extractor) localBag(pos int) nlp.WeightedBag {
+	bag := nlp.WeightedBag{}
+	for d := 1; d <= e.cfg.Window; d++ {
+		w := 1 - float64(d)/float64(e.cfg.StepSize)*e.cfg.StepWeight
+		if w <= 0 {
+			break
+		}
+		for _, p := range []int{pos - d, pos + d} {
+			if p < 0 || p >= len(e.textLower) {
+				continue
+			}
+			tok := e.textLower[p]
+			if k := tok.Kind(); k == nlp.KindWord || k == nlp.KindAlnum {
+				lw := strings.ToLower(tok.Text)
+				if !nlp.Stopword(lw) {
+					bag.Add(lw, w)
+				}
+			}
+		}
+	}
+	return bag
+}
+
+// cuedAggs collects the aggregations cued within AggCueWindow words of the
+// token position.
+func (e *Extractor) cuedAggs(pos int) []quantity.Agg {
+	seen := map[quantity.Agg]bool{}
+	var out []quantity.Agg
+	for d := 1; d <= e.cfg.AggCueWindow; d++ {
+		for _, p := range []int{pos - d, pos + d} {
+			if p < 0 || p >= len(e.textLower) {
+				continue
+			}
+			for _, agg := range quantity.CueAggs(strings.ToLower(e.textLower[p].Text)) {
+				if !seen[agg] {
+					seen[agg] = true
+					out = append(out, agg)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (e *Extractor) prepareTables() {
+	// Cache per-table global context.
+	type tcache struct {
+		bag nlp.WeightedBag
+		nps []string
+	}
+	tables := map[*table.Table]tcache{}
+	for _, t := range e.doc.Tables {
+		content := t.Content()
+		tables[t] = tcache{
+			bag: nlp.NewWeightedBag(nlp.Words(content)),
+			nps: nlp.NounPhrases(content),
+		}
+	}
+
+	e.tableData = make([]tableMentionData, len(e.doc.TableMentions))
+	// Cache row/col contexts per table to avoid recomputation across
+	// mentions sharing lines.
+	type lineKey struct {
+		t   *table.Table
+		row bool
+		idx int
+	}
+	lineBags := map[lineKey]nlp.WeightedBag{}
+	lineNPs := map[lineKey][]string{}
+	lineCtx := func(t *table.Table, row bool, idx int) (nlp.WeightedBag, []string) {
+		k := lineKey{t, row, idx}
+		if bag, ok := lineBags[k]; ok {
+			return bag, lineNPs[k]
+		}
+		var ctx string
+		if row {
+			ctx = t.RowContext(idx)
+		} else {
+			ctx = t.ColContext(idx)
+		}
+		bag := nlp.NewWeightedBag(nlp.Words(ctx))
+		nps := nlp.NounPhrases(ctx)
+		lineBags[k], lineNPs[k] = bag, nps
+		return bag, nps
+	}
+
+	for i, tm := range e.doc.TableMentions {
+		tc := tables[tm.Table]
+		data := tableMentionData{
+			surface:  tm.Surface(),
+			tableBag: tc.bag,
+			tableNPs: tc.nps,
+			rawValue: tm.Value,
+		}
+		if !tm.IsVirtual() {
+			if q := tm.Table.Cell(tm.Cells[0].Row, tm.Cells[0].Col).Quantity; q != nil {
+				data.rawValue = q.RawValue
+			}
+		}
+		// Local context: union of the mention's rows and columns.
+		local := nlp.WeightedBag{}
+		var nps []string
+		seenRow, seenCol := map[int]bool{}, map[int]bool{}
+		for _, ref := range tm.Cells {
+			if !seenRow[ref.Row] {
+				seenRow[ref.Row] = true
+				bag, ns := lineCtx(tm.Table, true, ref.Row)
+				mergeBag(local, bag)
+				nps = append(nps, ns...)
+			}
+			if !seenCol[ref.Col] {
+				seenCol[ref.Col] = true
+				bag, ns := lineCtx(tm.Table, false, ref.Col)
+				mergeBag(local, bag)
+				nps = append(nps, ns...)
+			}
+		}
+		data.localBag = local
+		data.localNPs = nps
+		e.tableData[i] = data
+	}
+}
+
+func mergeBag(dst, src nlp.WeightedBag) {
+	for w, weight := range src {
+		dst.Add(w, weight)
+	}
+}
+
+func wordsOf(toks []nlp.Token) []string {
+	out := make([]string, 0, len(toks))
+	for _, t := range toks {
+		switch t.Kind() {
+		case nlp.KindWord, nlp.KindNumber, nlp.KindAlnum:
+			out = append(out, strings.ToLower(t.Text))
+		}
+	}
+	return out
+}
+
+// Vector computes the full 12-feature vector for text mention xi and table
+// mention ti (indices into the document's mention slices).
+func (e *Extractor) Vector(xi, ti int) []float64 {
+	x := &e.doc.TextMentions[xi]
+	tm := e.doc.TableMentions[ti]
+	td := &e.tableData[ti]
+
+	vec := make([]float64, NumFeatures)
+
+	// f1: surface form similarity on the raw strings.
+	vec[F1SurfaceSim] = nlp.JaroWinkler(normalizeSurface(x.Surface), normalizeSurface(td.surface))
+
+	// f2/f3: weighted word overlap local and global.
+	vec[F2LocalOverlap] = nlp.OverlapCoefficient(e.localBags[xi], td.localBag)
+	vec[F3GlobalOverlap] = nlp.OverlapCoefficient(e.globalBag, td.tableBag)
+
+	// f4/f5: noun-phrase overlap local and global.
+	vec[F4LocalPhrases] = nlp.PhraseOverlap(e.localNPs[xi], td.localNPs)
+	vec[F5GlobalPhrases] = nlp.PhraseOverlap(e.globalNPs, td.tableNPs)
+
+	// f6/f7: relative numeric distance, normalized and raw.
+	vec[F6RelDiff] = quantity.RelativeDifference(x.Value, tm.Value)
+	vec[F7RawRelDiff] = quantity.RelativeDifference(x.RawValue, td.rawValue)
+
+	// f8: unit match.
+	vec[F8UnitMatch] = unitMatch(x.Unit, tm.Unit)
+
+	// f9/f10: scale and precision differences.
+	vec[F9ScaleDiff] = absInt(x.Scale - tm.Scale())
+	vec[F10PrecisionDiff] = absInt(x.Precision - tm.Precision())
+
+	// f11: approximation indicator, ordinal.
+	vec[F11Approx] = float64(x.Approx) / 4
+
+	// f12: aggregate function match.
+	vec[F12AggMatch] = aggMatch(e.mentionAgg[xi], tm.Agg)
+
+	return vec
+}
+
+// TextMentionAggs exposes the aggregations cued near text mention xi (reused
+// by the adaptive filter's tagger features).
+func (e *Extractor) TextMentionAggs(xi int) []quantity.Agg { return e.mentionAgg[xi] }
+
+// normalizeSurface lowercases and strips grouping commas and spaces so that
+// "3,263" and "3263" compare equal under Jaro-Winkler while decimal points
+// and unit symbols still matter.
+func normalizeSurface(s string) string {
+	var sb strings.Builder
+	for _, r := range strings.ToLower(s) {
+		if r == ',' || r == ' ' {
+			continue
+		}
+		sb.WriteRune(r)
+	}
+	return sb.String()
+}
+
+// unitMatch implements the 4-valued f8: strong match (both units specified
+// and equal), weak match (both unspecified), weak mismatch (exactly one
+// specified), strong mismatch (both specified, different).
+func unitMatch(xUnit, tUnit string) float64 {
+	switch {
+	case xUnit != "" && tUnit != "":
+		if quantity.UnitsCompatible(xUnit, tUnit) {
+			return StrongMatch
+		}
+		return StrongMismatch
+	case xUnit == "" && tUnit == "":
+		return WeakMatch
+	default:
+		return WeakMismatch
+	}
+}
+
+// aggMatch implements the 4-valued f12: comparing the aggregations cued in
+// the text against the table mention's aggregation. With no cues at all, a
+// single-cell pairing is a weak match and a virtual pairing a weak mismatch;
+// with cues, membership decides strong match vs (strong/weak) mismatch.
+func aggMatch(cued []quantity.Agg, agg quantity.Agg) float64 {
+	if len(cued) == 0 {
+		if agg == quantity.SingleCell {
+			return WeakMatch
+		}
+		return WeakMismatch
+	}
+	for _, a := range cued {
+		if a == agg {
+			return StrongMatch
+		}
+	}
+	if agg == quantity.SingleCell {
+		return WeakMismatch
+	}
+	return StrongMismatch
+}
+
+func absInt(d int) float64 {
+	if d < 0 {
+		d = -d
+	}
+	return float64(d)
+}

@@ -1,0 +1,264 @@
+// Package filter implements BriQ's adaptive filtering stage (§V): reducing
+// the mention-pair candidate space from thousands to the hundreds the global
+// resolution step can afford, without discarding good candidates. It applies,
+// in order:
+//
+//  1. tagger-based pruning — aggregate (virtual-cell) pairs survive only when
+//     their aggregation matches the text-mention tagger's prediction, while
+//     single-cell pairs are never pruned at this step;
+//  2. value-difference and unit-mismatch pruning — pairs whose numeric values
+//     differ by more than a threshold are dropped unless the classifier is
+//     confident, and pairs with contradicting explicit units are dropped;
+//  3. per-mention top-k selection adapted to mention type (exact vs
+//     approximate/truncated surface forms) and to the entropy of the
+//     classifier's score distribution.
+package filter
+
+import (
+	"sort"
+	"strings"
+
+	"briq/internal/document"
+	"briq/internal/mlmetrics"
+	"briq/internal/quantity"
+	"briq/internal/tagger"
+)
+
+// Candidate is one scored mention pair: text mention xi ↔ table mention ti.
+type Candidate struct {
+	Text  int     // index into doc.TextMentions
+	Table int     // index into doc.TableMentions
+	Score float64 // classifier confidence σ (prior for global resolution)
+}
+
+// MentionType classifies how a text mention's surface relates to table
+// surfaces (§V-B).
+type MentionType int
+
+// Mention types.
+const (
+	Exact MentionType = iota
+	Approximate
+	Truncated
+)
+
+// String returns the lowercase mention-type name.
+func (t MentionType) String() string {
+	switch t {
+	case Exact:
+		return "exact"
+	case Approximate:
+		return "approximate"
+	default:
+		return "truncated"
+	}
+}
+
+// Config holds the filtering thresholds; v, p and the four k values are
+// tuned on the validation split (§V-B).
+type Config struct {
+	// ValueDiffMax is v: pairs with relative value difference above it are
+	// pruned when the classifier score is below MinScoreLooseValue (p).
+	ValueDiffMax float64
+	// MinScoreLooseValue is p.
+	MinScoreLooseValue float64
+	// KExact / KApprox are the top-k caps by mention type.
+	KExact, KApprox int
+	// EntropyThreshold splits skewed from near-uniform score distributions
+	// (normalized entropy in [0,1]).
+	EntropyThreshold float64
+	// KSmall / KLarge are the entropy-dependent caps (ks, kl).
+	KSmall, KLarge int
+	// HighConfidence is the score above which a pair's table surface votes
+	// on the mention type.
+	HighConfidence float64
+}
+
+// DefaultConfig returns the pre-tuning defaults.
+func DefaultConfig() Config {
+	return Config{
+		ValueDiffMax:       0.35,
+		MinScoreLooseValue: 0.55,
+		KExact:             4,
+		KApprox:            8,
+		EntropyThreshold:   0.55,
+		KSmall:             2,
+		KLarge:             12,
+		HighConfidence:     0.5,
+	}
+}
+
+// Result is the outcome of filtering one document.
+type Result struct {
+	Kept    []Candidate
+	Types   map[int]MentionType  // mention type per text-mention index
+	Tags    map[int]quantity.Agg // tagger prediction per text-mention index
+	Dropped int                  // number of pruned candidates
+}
+
+// Apply filters the candidates of one document. The tagger tags each text
+// mention; candidates must carry classifier scores.
+func Apply(cfg Config, doc *document.Document, tag tagger.Tagger, candidates []Candidate) Result {
+	res := Result{
+		Types: make(map[int]MentionType),
+		Tags:  make(map[int]quantity.Agg),
+	}
+
+	// Group candidates by text mention.
+	byText := make(map[int][]Candidate)
+	for _, c := range candidates {
+		byText[c.Text] = append(byText[c.Text], c)
+	}
+
+	total := 0
+	for xi, group := range byText {
+		total += len(group)
+		predicted := tag.Tag(doc, xi)
+		res.Tags[xi] = predicted
+
+		// Step 1: tagger-based pruning of aggregate pairs.
+		step1 := group[:0]
+		for _, c := range group {
+			tm := doc.TableMentions[c.Table]
+			if tm.IsVirtual() && tm.Agg != predicted {
+				continue
+			}
+			step1 = append(step1, c)
+		}
+
+		// Step 2: value-difference and unit-mismatch pruning.
+		x := &doc.TextMentions[xi]
+		step2 := step1[:0]
+		for _, c := range step1 {
+			tm := doc.TableMentions[c.Table]
+			relDiff := quantity.RelativeDifference(x.Value, tm.Value)
+			if relDiff > cfg.ValueDiffMax && c.Score < cfg.MinScoreLooseValue {
+				continue
+			}
+			if x.Unit != "" && tm.Unit != "" && !quantity.UnitsCompatible(x.Unit, tm.Unit) {
+				continue
+			}
+			step2 = append(step2, c)
+		}
+
+		// Step 3: adaptive top-k.
+		sort.Slice(step2, func(i, j int) bool {
+			if step2[i].Score != step2[j].Score {
+				return step2[i].Score > step2[j].Score
+			}
+			return step2[i].Table < step2[j].Table // deterministic tie-break
+		})
+
+		mt := mentionType(doc, xi, step2, cfg.HighConfidence)
+		res.Types[xi] = mt
+
+		kType := cfg.KApprox
+		if mt == Exact {
+			kType = cfg.KExact
+		}
+		scores := make([]float64, len(step2))
+		for i, c := range step2 {
+			scores[i] = c.Score
+		}
+		k := kType
+		if mlmetrics.NormalizedEntropy(scores) < cfg.EntropyThreshold {
+			// Skewed distribution: few candidates suffice.
+			if cfg.KSmall < k {
+				k = cfg.KSmall
+			}
+		} else {
+			// Near-uniform: keep more near-ties.
+			if cfg.KLarge > k {
+				k = cfg.KLarge
+			}
+		}
+		if k > len(step2) {
+			k = len(step2)
+		}
+		res.Kept = append(res.Kept, step2[:k]...)
+	}
+	res.Dropped = total - len(res.Kept)
+
+	// Deterministic output order.
+	sort.Slice(res.Kept, func(i, j int) bool {
+		if res.Kept[i].Text != res.Kept[j].Text {
+			return res.Kept[i].Text < res.Kept[j].Text
+		}
+		return res.Kept[i].Table < res.Kept[j].Table
+	})
+	return res
+}
+
+// mentionType determines whether a text mention is exact, approximate or
+// truncated (§V-B): context modifiers decide first; otherwise the surfaces
+// of high-confidence candidate table mentions vote.
+func mentionType(doc *document.Document, xi int, ranked []Candidate, highConf float64) MentionType {
+	x := &doc.TextMentions[xi]
+	switch x.Approx {
+	case quantity.Approximate, quantity.UpperBound, quantity.LowerBound:
+		return Approximate
+	case quantity.ApproxExact:
+		return Exact
+	}
+
+	// Vote among up to five high-confidence candidates. "High confidence" is
+	// relative to the best candidate: a pair must reach both the absolute
+	// threshold and 80% of the top score, so a single dominant match is not
+	// outvoted by mediocre runners-up.
+	votes := map[MentionType]int{}
+	counted := 0
+	xDigits := digits(x.Surface)
+	minScore := highConf
+	if len(ranked) > 0 && 0.8*ranked[0].Score > minScore {
+		minScore = 0.8 * ranked[0].Score
+	}
+	for _, c := range ranked {
+		if counted >= 5 {
+			break
+		}
+		if c.Score < minScore {
+			continue
+		}
+		counted++
+		tDigits := digits(doc.TableMentions[c.Table].Surface())
+		switch {
+		case xDigits == tDigits:
+			votes[Exact]++
+		case len(xDigits) < len(tDigits) && strings.HasPrefix(tDigits, xDigits):
+			votes[Truncated]++
+		default:
+			votes[Approximate]++
+		}
+	}
+	if counted == 0 {
+		return Exact // no evidence: treat as exact, the common case
+	}
+	best, bestVotes := Exact, -1
+	for _, mt := range []MentionType{Exact, Approximate, Truncated} {
+		if votes[mt] > bestVotes {
+			best, bestVotes = mt, votes[mt]
+		}
+	}
+	return best
+}
+
+// digits extracts the digit characters of a surface form, ignoring
+// formatting (commas, currency, spaces) but keeping order.
+func digits(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] >= '0' && s[i] <= '9' {
+			sb.WriteByte(s[i])
+		}
+	}
+	return sb.String()
+}
+
+// Selectivity returns kept/total, the Table VI headline statistic, with 0
+// for an empty input.
+func Selectivity(kept, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(kept) / float64(total)
+}

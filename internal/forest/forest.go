@@ -1,0 +1,162 @@
+package forest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config holds Random Forest hyper-parameters. The zero value is completed
+// by defaults in Train; the experiment harness grid-searches Trees, MaxDepth
+// and MinLeaf on the validation split (§VII-C).
+type Config struct {
+	Trees            int       // number of trees (default 100)
+	MaxDepth         int       // maximum tree depth (default 12)
+	MinLeaf          int       // minimum samples per leaf (default 2)
+	FeaturesPerSplit int       // features considered per split (default ⌈√n⌉)
+	ClassWeights     []float64 // per-class weights; nil = inverse class frequency (§VII-B)
+	Seed             int64     // RNG seed for bootstrap and feature sampling
+}
+
+func (c Config) withDefaults(nFeatures int) Config {
+	if c.Trees <= 0 {
+		c.Trees = 100
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 12
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 2
+	}
+	if c.FeaturesPerSplit <= 0 {
+		c.FeaturesPerSplit = int(math.Ceil(math.Sqrt(float64(nFeatures))))
+	}
+	return c
+}
+
+// Forest is a trained Random Forest classifier.
+type Forest struct {
+	trees     []*tree
+	classes   int
+	nFeatures int
+}
+
+// Train fits a Random Forest on the samples. Labels must lie in [0,
+// classes). When cfg.ClassWeights is nil, weights inversely proportional to
+// class frequency are used, countering label imbalance as the paper does for
+// its mention-pair training data.
+func Train(samples []Sample, classes int, cfg Config) (*Forest, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("forest: no training samples")
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("forest: need ≥2 classes, got %d", classes)
+	}
+	nFeatures := len(samples[0].Features)
+	if nFeatures == 0 {
+		return nil, errors.New("forest: samples have no features")
+	}
+	for i, s := range samples {
+		if len(s.Features) != nFeatures {
+			return nil, fmt.Errorf("forest: sample %d has %d features, want %d", i, len(s.Features), nFeatures)
+		}
+		if s.Label < 0 || s.Label >= classes {
+			return nil, fmt.Errorf("forest: sample %d label %d out of range [0,%d)", i, s.Label, classes)
+		}
+	}
+	cfg = cfg.withDefaults(nFeatures)
+
+	weights := cfg.ClassWeights
+	if weights == nil {
+		weights = InverseFrequencyWeights(samples, classes)
+	} else if len(weights) != classes {
+		return nil, fmt.Errorf("forest: %d class weights for %d classes", len(weights), classes)
+	}
+
+	f := &Forest{classes: classes, nFeatures: nFeatures}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for t := 0; t < cfg.Trees; t++ {
+		// Independent bootstrap sample per tree.
+		indices := make([]int, len(samples))
+		for i := range indices {
+			indices[i] = rng.Intn(len(samples))
+		}
+		b := &treeBuilder{
+			samples:      samples,
+			classWeights: weights,
+			classes:      classes,
+			maxDepth:     cfg.MaxDepth,
+			minLeaf:      cfg.MinLeaf,
+			mtry:         cfg.FeaturesPerSplit,
+			rng:          rand.New(rand.NewSource(rng.Int63())),
+		}
+		f.trees = append(f.trees, b.build(indices))
+	}
+	return f, nil
+}
+
+// InverseFrequencyWeights returns per-class weights inversely proportional
+// to the class frequencies in the samples, normalized so the most frequent
+// class has weight 1.
+func InverseFrequencyWeights(samples []Sample, classes int) []float64 {
+	counts := make([]float64, classes)
+	for _, s := range samples {
+		counts[s.Label]++
+	}
+	maxCount := 0.0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	weights := make([]float64, classes)
+	for i, c := range counts {
+		if c == 0 {
+			weights[i] = 1
+		} else {
+			weights[i] = maxCount / c
+		}
+	}
+	return weights
+}
+
+// Classes returns the number of classes the forest was trained on.
+func (f *Forest) Classes() int { return f.classes }
+
+// NumFeatures returns the expected feature-vector length.
+func (f *Forest) NumFeatures() int { return f.nFeatures }
+
+// PredictProba returns the per-class probability estimates for x, computed
+// as the fraction of tree votes per class. Random Forest vote fractions are
+// well calibrated (Caruana & Niculescu-Mizil), which §IV-A relies on for
+// the global-resolution prior.
+func (f *Forest) PredictProba(x []float64) []float64 {
+	votes := make([]float64, f.classes)
+	for _, t := range f.trees {
+		votes[t.predict(x)]++
+	}
+	n := float64(len(f.trees))
+	for i := range votes {
+		votes[i] /= n
+	}
+	return votes
+}
+
+// Predict returns the majority-vote class for x.
+func (f *Forest) Predict(x []float64) int {
+	proba := f.PredictProba(x)
+	best, bestP := 0, -1.0
+	for c, p := range proba {
+		if p > bestP {
+			best, bestP = c, p
+		}
+	}
+	return best
+}
+
+// PositiveProba is shorthand for binary classifiers: the probability of
+// class 1.
+func (f *Forest) PositiveProba(x []float64) float64 {
+	return f.PredictProba(x)[1%f.classes]
+}

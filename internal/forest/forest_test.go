@@ -1,0 +1,249 @@
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// xorSamples builds a noisy 2-D XOR dataset — not linearly separable, so a
+// working tree ensemble is required to fit it.
+func xorSamples(n int, seed int64) []Sample {
+	rng := rand.New(rand.NewSource(seed))
+	samples := make([]Sample, n)
+	for i := range samples {
+		x := rng.Float64()
+		y := rng.Float64()
+		label := 0
+		if (x > 0.5) != (y > 0.5) {
+			label = 1
+		}
+		samples[i] = Sample{Features: []float64{x, y}, Label: label}
+	}
+	return samples
+}
+
+func accuracy(f *Forest, samples []Sample) float64 {
+	correct := 0
+	for _, s := range samples {
+		if f.Predict(s.Features) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}
+
+func TestTrainXOR(t *testing.T) {
+	train := xorSamples(600, 1)
+	test := xorSamples(300, 2)
+	f, err := Train(train, 2, Config{Trees: 60, MaxDepth: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(f, test); acc < 0.9 {
+		t.Errorf("XOR accuracy = %.3f, want ≥ 0.9", acc)
+	}
+}
+
+func TestTrainMultiClass(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var samples []Sample
+	centers := [][]float64{{0, 0}, {3, 0}, {0, 3}, {3, 3}}
+	for i := 0; i < 800; i++ {
+		c := i % 4
+		samples = append(samples, Sample{
+			Features: []float64{centers[c][0] + rng.NormFloat64()*0.4, centers[c][1] + rng.NormFloat64()*0.4},
+			Label:    c,
+		})
+	}
+	f, err := Train(samples, 4, Config{Trees: 40, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(f, samples); acc < 0.95 {
+		t.Errorf("4-class accuracy = %.3f, want ≥ 0.95", acc)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, 2, Config{}); err == nil {
+		t.Error("want error for empty samples")
+	}
+	if _, err := Train([]Sample{{Features: []float64{1}, Label: 0}}, 1, Config{}); err == nil {
+		t.Error("want error for single class")
+	}
+	if _, err := Train([]Sample{{Features: nil, Label: 0}}, 2, Config{}); err == nil {
+		t.Error("want error for empty features")
+	}
+	if _, err := Train([]Sample{
+		{Features: []float64{1, 2}, Label: 0},
+		{Features: []float64{1}, Label: 1},
+	}, 2, Config{}); err == nil {
+		t.Error("want error for ragged features")
+	}
+	if _, err := Train([]Sample{{Features: []float64{1}, Label: 5}}, 2, Config{}); err == nil {
+		t.Error("want error for out-of-range label")
+	}
+	if _, err := Train([]Sample{
+		{Features: []float64{1}, Label: 0},
+		{Features: []float64{2}, Label: 1},
+	}, 2, Config{ClassWeights: []float64{1}}); err == nil {
+		t.Error("want error for wrong class-weight count")
+	}
+}
+
+func TestPredictProbaSumsToOne(t *testing.T) {
+	f, err := Train(xorSamples(200, 4), 2, Config{Trees: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(a, b float64) bool {
+		x := []float64{math.Mod(math.Abs(a), 1), math.Mod(math.Abs(b), 1)}
+		if math.IsNaN(x[0]) || math.IsNaN(x[1]) {
+			return true
+		}
+		p := f.PredictProba(x)
+		total := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				return false
+			}
+			total += v
+		}
+		return math.Abs(total-1) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	samples := xorSamples(300, 9)
+	f1, err := Train(samples, 2, Config{Trees: 20, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Train(samples, 2, Config{Trees: 20, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := xorSamples(50, 10)
+	for _, s := range probe {
+		p1 := f1.PositiveProba(s.Features)
+		p2 := f2.PositiveProba(s.Features)
+		if p1 != p2 {
+			t.Fatalf("same seed, different predictions: %v vs %v", p1, p2)
+		}
+	}
+}
+
+func TestClassWeightsCounterImbalance(t *testing.T) {
+	// 95:5 imbalance on an easy 1-D problem with overlap: without class
+	// weights the minority class drowns; with inverse-frequency weights the
+	// forest must recover most minority samples.
+	rng := rand.New(rand.NewSource(13))
+	var samples []Sample
+	for i := 0; i < 950; i++ {
+		samples = append(samples, Sample{Features: []float64{rng.NormFloat64()}, Label: 0})
+	}
+	for i := 0; i < 50; i++ {
+		samples = append(samples, Sample{Features: []float64{2.0 + rng.NormFloat64()*0.7}, Label: 1})
+	}
+	weighted, err := Train(samples, 2, Config{Trees: 50, MaxDepth: 6, MinLeaf: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := Train(samples, 2, Config{Trees: 50, MaxDepth: 6, MinLeaf: 5, Seed: 1,
+		ClassWeights: []float64{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recall := func(f *Forest) float64 {
+		tp, fn := 0, 0
+		for i := 0; i < 200; i++ {
+			x := []float64{2.0 + rng.NormFloat64()*0.7}
+			if f.Predict(x) == 1 {
+				tp++
+			} else {
+				fn++
+			}
+		}
+		return float64(tp) / float64(tp+fn)
+	}
+	rw, ru := recall(weighted), recall(uniform)
+	if rw <= ru {
+		t.Errorf("weighted recall %.3f should beat uniform %.3f on imbalanced data", rw, ru)
+	}
+	if rw < 0.7 {
+		t.Errorf("weighted minority recall = %.3f, want ≥ 0.7", rw)
+	}
+}
+
+func TestInverseFrequencyWeights(t *testing.T) {
+	samples := []Sample{
+		{Features: []float64{0}, Label: 0},
+		{Features: []float64{0}, Label: 0},
+		{Features: []float64{0}, Label: 0},
+		{Features: []float64{0}, Label: 1},
+	}
+	w := InverseFrequencyWeights(samples, 3)
+	if w[0] != 1 {
+		t.Errorf("majority weight = %v, want 1", w[0])
+	}
+	if w[1] != 3 {
+		t.Errorf("minority weight = %v, want 3", w[1])
+	}
+	if w[2] != 1 {
+		t.Errorf("absent-class weight = %v, want 1", w[2])
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	f, err := Train(xorSamples(100, 20), 2, Config{Trees: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Classes() != 2 || f.NumFeatures() != 2 {
+		t.Errorf("Classes=%d NumFeatures=%d", f.Classes(), f.NumFeatures())
+	}
+}
+
+func TestConstantFeaturesYieldLeafForest(t *testing.T) {
+	// All features identical: no split is possible; the forest must still
+	// train and predict the majority class.
+	samples := []Sample{
+		{Features: []float64{1, 1}, Label: 0},
+		{Features: []float64{1, 1}, Label: 0},
+		{Features: []float64{1, 1}, Label: 1},
+	}
+	f, err := Train(samples, 2, Config{Trees: 10, Seed: 1, ClassWeights: []float64{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Predict([]float64{1, 1}); got != 0 {
+		t.Errorf("Predict = %d, want majority class 0", got)
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	samples := xorSamples(1000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(samples, 2, Config{Trees: 20, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictProba(b *testing.B) {
+	f, err := Train(xorSamples(1000, 1), 2, Config{Trees: 100, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := []float64{0.3, 0.8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PredictProba(x)
+	}
+}

@@ -1,0 +1,93 @@
+package forest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// serialized is the stable on-disk representation of a Forest.
+type serialized struct {
+	Version   int              `json:"version"`
+	Classes   int              `json:"classes"`
+	NFeatures int              `json:"n_features"`
+	Trees     [][]serifiedNode `json:"trees"`
+}
+
+type serifiedNode struct {
+	Feature   int     `json:"f"`
+	Threshold float64 `json:"t,omitempty"`
+	Left      int     `json:"l,omitempty"`
+	Right     int     `json:"r,omitempty"`
+	Class     int     `json:"c"`
+}
+
+const serializeVersion = 1
+
+// Save writes the forest as JSON. Models are small (tens of KB for the
+// configurations used here) and loading them skips the training cost.
+func (f *Forest) Save(w io.Writer) error {
+	out := serialized{
+		Version:   serializeVersion,
+		Classes:   f.classes,
+		NFeatures: f.nFeatures,
+		Trees:     make([][]serifiedNode, len(f.trees)),
+	}
+	for ti, t := range f.trees {
+		nodes := make([]serifiedNode, len(t.nodes))
+		for ni, n := range t.nodes {
+			nodes[ni] = serifiedNode{
+				Feature: n.feature, Threshold: n.threshold,
+				Left: n.left, Right: n.right, Class: n.class,
+			}
+		}
+		out.Trees[ti] = nodes
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("forest: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a forest saved with Save and validates its structure.
+func Load(r io.Reader) (*Forest, error) {
+	var in serialized
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("forest: load: %w", err)
+	}
+	if in.Version != serializeVersion {
+		return nil, fmt.Errorf("forest: load: unsupported version %d", in.Version)
+	}
+	if in.Classes < 2 || in.NFeatures < 1 || len(in.Trees) == 0 {
+		return nil, fmt.Errorf("forest: load: malformed model (classes=%d features=%d trees=%d)",
+			in.Classes, in.NFeatures, len(in.Trees))
+	}
+	f := &Forest{classes: in.Classes, nFeatures: in.NFeatures}
+	for ti, nodes := range in.Trees {
+		if len(nodes) == 0 {
+			return nil, fmt.Errorf("forest: load: tree %d is empty", ti)
+		}
+		t := &tree{nodes: make([]node, len(nodes))}
+		for ni, n := range nodes {
+			if n.Feature >= in.NFeatures {
+				return nil, fmt.Errorf("forest: load: tree %d node %d references feature %d of %d",
+					ti, ni, n.Feature, in.NFeatures)
+			}
+			if n.Class < 0 || n.Class >= in.Classes {
+				return nil, fmt.Errorf("forest: load: tree %d node %d class %d out of range", ti, ni, n.Class)
+			}
+			if n.Feature >= 0 {
+				if n.Left <= 0 || n.Left >= len(nodes) || n.Right <= 0 || n.Right >= len(nodes) {
+					return nil, fmt.Errorf("forest: load: tree %d node %d has invalid children", ti, ni)
+				}
+			}
+			t.nodes[ni] = node{
+				feature: n.Feature, threshold: n.Threshold,
+				left: n.Left, right: n.Right, class: n.Class,
+			}
+		}
+		f.trees = append(f.trees, t)
+	}
+	return f, nil
+}

@@ -1,0 +1,223 @@
+// Package forest implements the supervised classifier of BriQ's mention-pair
+// classification stage (§IV): a Random Forest of CART decision trees with
+// class-weighted Gini impurity to counter the heavy label imbalance of the
+// training data (#pos ≪ #neg, §VII-B), and calibrated probabilities computed
+// as the fraction of tree votes for the positive class — the prior fed into
+// global resolution.
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Sample is one training example.
+type Sample struct {
+	Features []float64
+	Label    int
+}
+
+// node is a decision-tree node. Leaves have feature == -1.
+type node struct {
+	feature   int     // split feature index, -1 for leaf
+	threshold float64 // go left when x[feature] <= threshold
+	left      int     // child indices into the tree's node slice
+	right     int
+	class     int // majority class at a leaf
+}
+
+// tree is a single CART decision tree stored as a flat node slice.
+type tree struct {
+	nodes []node
+}
+
+func (t *tree) predict(x []float64) int {
+	i := 0
+	for {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return n.class
+		}
+		if x[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// treeBuilder grows one tree on a bootstrap sample.
+type treeBuilder struct {
+	samples      []Sample
+	classWeights []float64
+	classes      int
+	maxDepth     int
+	minLeaf      int
+	mtry         int // features considered per split
+	rng          *rand.Rand
+	tree         *tree
+
+	// scratch buffers reused across nodes
+	featOrder []int
+}
+
+func (b *treeBuilder) build(indices []int) *tree {
+	b.tree = &tree{}
+	nFeatures := len(b.samples[0].Features)
+	b.featOrder = make([]int, nFeatures)
+	for i := range b.featOrder {
+		b.featOrder[i] = i
+	}
+	b.grow(indices, 0)
+	return b.tree
+}
+
+// grow recursively grows the subtree over the given sample indices and
+// returns the index of its root node.
+func (b *treeBuilder) grow(indices []int, depth int) int {
+	counts := make([]float64, b.classes)
+	for _, i := range indices {
+		counts[b.samples[i].Label] += b.classWeights[b.samples[i].Label]
+	}
+	best := majorityClass(counts)
+
+	idx := len(b.tree.nodes)
+	b.tree.nodes = append(b.tree.nodes, node{feature: -1, class: best})
+
+	if depth >= b.maxDepth || len(indices) < 2*b.minLeaf || isPure(counts) {
+		return idx
+	}
+
+	feature, threshold, ok := b.bestSplit(indices, counts)
+	if !ok {
+		return idx
+	}
+
+	var left, right []int
+	for _, i := range indices {
+		if b.samples[i].Features[feature] <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < b.minLeaf || len(right) < b.minLeaf {
+		return idx
+	}
+
+	leftIdx := b.grow(left, depth+1)
+	rightIdx := b.grow(right, depth+1)
+	b.tree.nodes[idx] = node{feature: feature, threshold: threshold, left: leftIdx, right: rightIdx, class: best}
+	return idx
+}
+
+// bestSplit searches a random subset of features for the threshold split
+// with the lowest weighted Gini impurity.
+func (b *treeBuilder) bestSplit(indices []int, totalCounts []float64) (feature int, threshold float64, ok bool) {
+	// Shuffle feature order and take the first mtry.
+	b.rng.Shuffle(len(b.featOrder), func(i, j int) {
+		b.featOrder[i], b.featOrder[j] = b.featOrder[j], b.featOrder[i]
+	})
+
+	total := sum(totalCounts)
+	parentGini := gini(totalCounts, total)
+	bestGain := 1e-12
+	feature = -1
+
+	sorted := make([]int, len(indices))
+	leftCounts := make([]float64, b.classes)
+
+	for fi := 0; fi < b.mtry && fi < len(b.featOrder); fi++ {
+		f := b.featOrder[fi]
+		copy(sorted, indices)
+		sort.Slice(sorted, func(i, j int) bool {
+			return b.samples[sorted[i]].Features[f] < b.samples[sorted[j]].Features[f]
+		})
+
+		for i := range leftCounts {
+			leftCounts[i] = 0
+		}
+		leftTotal := 0.0
+
+		for k := 0; k < len(sorted)-1; k++ {
+			s := &b.samples[sorted[k]]
+			w := b.classWeights[s.Label]
+			leftCounts[s.Label] += w
+			leftTotal += w
+
+			v, next := s.Features[f], b.samples[sorted[k+1]].Features[f]
+			if v == next {
+				continue // can only split between distinct values
+			}
+			rightTotal := total - leftTotal
+			if leftTotal == 0 || rightTotal == 0 {
+				continue
+			}
+			gl := giniLeft(leftCounts, leftTotal)
+			gr := giniRight(totalCounts, leftCounts, rightTotal)
+			gain := parentGini - (leftTotal*gl+rightTotal*gr)/total
+			if gain > bestGain {
+				bestGain = gain
+				feature = f
+				threshold = (v + next) / 2
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, ok
+}
+
+func gini(counts []float64, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := c / total
+		g -= p * p
+	}
+	return g
+}
+
+func giniLeft(left []float64, total float64) float64 { return gini(left, total) }
+
+func giniRight(all, left []float64, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for i := range all {
+		p := (all[i] - left[i]) / total
+		g -= p * p
+	}
+	return g
+}
+
+func majorityClass(counts []float64) int {
+	best, bestW := 0, math.Inf(-1)
+	for c, w := range counts {
+		if w > bestW {
+			best, bestW = c, w
+		}
+	}
+	return best
+}
+
+func isPure(counts []float64) bool {
+	nonzero := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	return nonzero <= 1
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,471 @@
+// Package htmlx is a small, dependency-free HTML parser covering the subset
+// of markup BriQ needs to ingest web pages: paragraphs, headings, tables
+// (with captions, header cells, colspan), lists, and inline formatting. It is
+// the substrate standing in for the Common Crawl HTML processing of §VII-A.
+//
+// The parser is forgiving in the way web browsers are: unknown tags are
+// ignored (their text content is kept), unclosed tags are closed implicitly,
+// and script/style content is dropped.
+package htmlx
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Page is a parsed HTML page as an ordered sequence of content blocks.
+type Page struct {
+	Title  string
+	Blocks []Block
+}
+
+// Paragraphs returns the text of all paragraph blocks in order.
+func (p *Page) Paragraphs() []string {
+	var out []string
+	for _, b := range p.Blocks {
+		if para, ok := b.(*Paragraph); ok && strings.TrimSpace(para.Text) != "" {
+			out = append(out, para.Text)
+		}
+	}
+	return out
+}
+
+// Tables returns all table blocks in order.
+func (p *Page) Tables() []*TableBlock {
+	var out []*TableBlock
+	for _, b := range p.Blocks {
+		if t, ok := b.(*TableBlock); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Block is a top-level content block: *Paragraph or *TableBlock.
+type Block interface{ isBlock() }
+
+// Paragraph is a block of running text (from <p>, headings, or list items).
+type Paragraph struct {
+	Text    string
+	Heading bool // true when the source element was <h1>..<h6>
+}
+
+func (*Paragraph) isBlock() {}
+
+// TableBlock is a parsed <table>: a rectangular grid of cell texts plus the
+// caption. Colspans are expanded by duplicating the cell text; short rows
+// are padded with empty cells.
+type TableBlock struct {
+	Caption string
+	Grid    [][]string
+}
+
+func (*TableBlock) isBlock() {}
+
+// Parse reads an HTML document and extracts its content blocks.
+func Parse(r io.Reader) (*Page, error) {
+	data, err := io.ReadAll(bufio.NewReader(r))
+	if err != nil {
+		return nil, err
+	}
+	return ParseString(string(data)), nil
+}
+
+// ParseString parses an HTML document held in memory.
+func ParseString(src string) *Page {
+	p := &parser{src: src, page: &Page{}}
+	p.run()
+	return p.page
+}
+
+type parser struct {
+	src  string
+	pos  int
+	page *Page
+
+	// text accumulation for the current paragraph
+	text strings.Builder
+
+	// table state (one level; nested tables are flattened into text)
+	inTable    bool
+	tableDepth int
+	table      *TableBlock
+	row        []string
+	cellText   strings.Builder
+	inCell     bool
+	cellSpan   int
+	inCaption  bool
+	caption    strings.Builder
+
+	inTitle  bool
+	title    strings.Builder
+	skipUntl string // lowercase tag name whose content is skipped (script/style)
+	headed   bool   // current paragraph came from a heading tag
+}
+
+func (p *parser) run() {
+	for p.pos < len(p.src) {
+		if p.skipUntl != "" {
+			p.skipRawText()
+			continue
+		}
+		if p.src[p.pos] == '<' {
+			p.parseTag()
+		} else {
+			p.parseText()
+		}
+	}
+	p.flushParagraph()
+	p.closeTable()
+}
+
+// skipRawText skips script/style content verbatim up to and including the
+// matching closing tag; '<' inside the content (string literals, comparison
+// operators) must not be interpreted as markup.
+func (p *parser) skipRawText() {
+	closer := "</" + p.skipUntl
+	rest := strings.ToLower(p.src[p.pos:])
+	idx := strings.Index(rest, closer)
+	if idx < 0 {
+		p.pos = len(p.src)
+		p.skipUntl = ""
+		return
+	}
+	p.pos += idx
+	if end := strings.IndexByte(p.src[p.pos:], '>'); end >= 0 {
+		p.pos += end + 1
+	} else {
+		p.pos = len(p.src)
+	}
+	p.skipUntl = ""
+}
+
+func (p *parser) parseText() {
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != '<' {
+		p.pos++
+	}
+	text := DecodeEntities(p.src[start:p.pos])
+	switch {
+	case p.inTitle:
+		p.title.WriteString(text)
+	case p.inCaption:
+		p.caption.WriteString(text)
+	case p.inCell:
+		p.cellText.WriteString(text)
+	case p.inTable:
+		// Loose text inside a table outside cells: ignore (browser behavior
+		// hoists it, which does not matter for extraction).
+	default:
+		p.text.WriteString(text)
+	}
+}
+
+// parseTag consumes a tag, comment, or declaration starting at '<'.
+func (p *parser) parseTag() {
+	if strings.HasPrefix(p.src[p.pos:], "<!--") {
+		if end := strings.Index(p.src[p.pos:], "-->"); end >= 0 {
+			p.pos += end + 3
+		} else {
+			p.pos = len(p.src)
+		}
+		return
+	}
+	if strings.HasPrefix(p.src[p.pos:], "<!") || strings.HasPrefix(p.src[p.pos:], "<?") {
+		if end := strings.IndexByte(p.src[p.pos:], '>'); end >= 0 {
+			p.pos += end + 1
+		} else {
+			p.pos = len(p.src)
+		}
+		return
+	}
+	end := strings.IndexByte(p.src[p.pos:], '>')
+	if end < 0 {
+		p.pos = len(p.src)
+		return
+	}
+	tag := p.src[p.pos+1 : p.pos+end]
+	p.pos += end + 1
+
+	closing := strings.HasPrefix(tag, "/")
+	tag = strings.TrimPrefix(tag, "/")
+	tag = strings.TrimSuffix(tag, "/")
+	name, attrs := splitTag(tag)
+	name = strings.ToLower(name)
+
+	switch name {
+	case "script", "style", "noscript":
+		if !closing {
+			p.skipUntl = name
+		}
+	case "title":
+		p.inTitle = !closing
+		if closing {
+			p.page.Title = strings.TrimSpace(p.title.String())
+		}
+	case "p", "div", "section", "article", "li", "blockquote":
+		if p.inTable {
+			return // block tags inside table cells act as separators
+		}
+		p.flushParagraph()
+	case "h1", "h2", "h3", "h4", "h5", "h6":
+		if p.inTable {
+			return
+		}
+		p.flushParagraph()
+		p.headed = !closing
+	case "br":
+		if p.inCell {
+			p.cellText.WriteByte(' ')
+		} else if !p.inTable {
+			p.text.WriteByte(' ')
+		}
+	case "table":
+		if closing {
+			if p.tableDepth > 1 {
+				p.tableDepth--
+				return
+			}
+			p.closeTable()
+			return
+		}
+		if p.inTable {
+			p.tableDepth++ // nested table: flatten into the current cell
+			return
+		}
+		p.flushParagraph()
+		p.inTable = true
+		p.tableDepth = 1
+		p.table = &TableBlock{}
+	case "caption":
+		if p.inTable && p.tableDepth == 1 {
+			p.inCaption = !closing
+			if closing {
+				p.table.Caption = collapseSpace(p.caption.String())
+				p.caption.Reset()
+			}
+		}
+	case "tr":
+		if !p.inTable || p.tableDepth > 1 {
+			return
+		}
+		p.closeCell()
+		if closing {
+			p.closeRow()
+		} else {
+			p.closeRow() // implicit close of a previous unclosed row
+		}
+	case "td", "th":
+		if !p.inTable || p.tableDepth > 1 {
+			return
+		}
+		if closing {
+			p.closeCell()
+			return
+		}
+		p.closeCell()
+		p.inCell = true
+		p.cellSpan = 1
+		if v, ok := attrValue(attrs, "colspan"); ok {
+			if n, err := strconv.Atoi(strings.TrimSpace(v)); err == nil && n > 1 && n <= 100 {
+				p.cellSpan = n
+			}
+		}
+	case "thead", "tbody", "tfoot", "a", "b", "i", "em", "strong", "span", "u", "small", "sup", "sub":
+		// structural / inline: no block effect
+	}
+}
+
+func (p *parser) flushParagraph() {
+	text := collapseSpace(p.text.String())
+	p.text.Reset()
+	if text != "" {
+		p.page.Blocks = append(p.page.Blocks, &Paragraph{Text: text, Heading: p.headed})
+	}
+	p.headed = false
+}
+
+func (p *parser) closeCell() {
+	if !p.inCell {
+		return
+	}
+	text := collapseSpace(p.cellText.String())
+	p.cellText.Reset()
+	p.inCell = false
+	for i := 0; i < p.cellSpan; i++ {
+		p.row = append(p.row, text)
+	}
+}
+
+func (p *parser) closeRow() {
+	if len(p.row) > 0 {
+		p.table.Grid = append(p.table.Grid, p.row)
+		p.row = nil
+	}
+}
+
+func (p *parser) closeTable() {
+	if !p.inTable {
+		return
+	}
+	p.closeCell()
+	p.closeRow()
+	p.inTable = false
+	p.tableDepth = 0
+	p.inCaption = false
+	if len(p.table.Grid) > 0 {
+		padGrid(p.table)
+		p.page.Blocks = append(p.page.Blocks, p.table)
+	}
+	p.table = nil
+}
+
+// padGrid makes the grid rectangular by padding short rows with empty cells.
+func padGrid(t *TableBlock) {
+	width := 0
+	for _, row := range t.Grid {
+		if len(row) > width {
+			width = len(row)
+		}
+	}
+	for i, row := range t.Grid {
+		for len(row) < width {
+			row = append(row, "")
+		}
+		t.Grid[i] = row
+	}
+}
+
+func splitTag(tag string) (name, attrs string) {
+	tag = strings.TrimSpace(tag)
+	if i := strings.IndexAny(tag, " \t\n"); i >= 0 {
+		return tag[:i], tag[i+1:]
+	}
+	return tag, ""
+}
+
+// attrValue extracts a named attribute value from a raw attribute string.
+func attrValue(attrs, name string) (string, bool) {
+	lower := strings.ToLower(attrs)
+	idx := 0
+	for {
+		i := strings.Index(lower[idx:], name)
+		if i < 0 {
+			return "", false
+		}
+		i += idx
+		// Must be a word boundary.
+		if i > 0 && isAttrNameByte(lower[i-1]) {
+			idx = i + len(name)
+			continue
+		}
+		j := i + len(name)
+		for j < len(attrs) && attrs[j] == ' ' {
+			j++
+		}
+		if j >= len(attrs) || attrs[j] != '=' {
+			idx = i + len(name)
+			continue
+		}
+		j++
+		for j < len(attrs) && attrs[j] == ' ' {
+			j++
+		}
+		if j < len(attrs) && (attrs[j] == '"' || attrs[j] == '\'') {
+			q := attrs[j]
+			k := strings.IndexByte(attrs[j+1:], q)
+			if k < 0 {
+				return attrs[j+1:], true
+			}
+			return attrs[j+1 : j+1+k], true
+		}
+		k := j
+		for k < len(attrs) && attrs[k] != ' ' {
+			k++
+		}
+		return attrs[j:k], true
+	}
+}
+
+func isAttrNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '-'
+}
+
+// collapseSpace trims and collapses runs of whitespace to single spaces.
+func collapseSpace(s string) string {
+	var sb strings.Builder
+	sb.Grow(len(s))
+	space := true
+	for _, r := range s {
+		if r == ' ' || r == '\t' || r == '\n' || r == '\r' || r == ' ' {
+			if !space {
+				sb.WriteByte(' ')
+				space = true
+			}
+			continue
+		}
+		sb.WriteRune(r)
+		space = false
+	}
+	return strings.TrimRight(sb.String(), " ")
+}
+
+// entities maps the named entities we decode.
+var entities = map[string]string{
+	"amp": "&", "lt": "<", "gt": ">", "quot": `"`, "apos": "'",
+	"nbsp": " ", "ndash": "–", "mdash": "—", "plusmn": "±",
+	"euro": "€", "pound": "£", "yen": "¥", "cent": "¢", "copy": "©",
+	"hellip": "…", "rsquo": "'", "lsquo": "'", "ldquo": "“",
+	"rdquo": "”", "times": "×", "deg": "°",
+}
+
+// DecodeEntities replaces HTML entities (&amp;, &#65;, &#x41;) with their
+// character values. Unknown entities are left verbatim.
+func DecodeEntities(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for i := 0; i < len(s); {
+		if s[i] != '&' {
+			sb.WriteByte(s[i])
+			i++
+			continue
+		}
+		end := strings.IndexByte(s[i:], ';')
+		if end < 0 || end > 10 {
+			sb.WriteByte(s[i])
+			i++
+			continue
+		}
+		name := s[i+1 : i+end]
+		if strings.HasPrefix(name, "#") {
+			code := name[1:]
+			base := 10
+			if strings.HasPrefix(code, "x") || strings.HasPrefix(code, "X") {
+				base, code = 16, code[1:]
+			}
+			if n, err := strconv.ParseInt(code, base, 32); err == nil && n > 0 {
+				sb.WriteRune(rune(n))
+				i += end + 1
+				continue
+			}
+		} else if rep, ok := entities[name]; ok {
+			sb.WriteString(rep)
+			i += end + 1
+			continue
+		}
+		sb.WriteByte(s[i])
+		i++
+	}
+	return sb.String()
+}
+
+// EscapeText escapes text for inclusion in HTML content.
+func EscapeText(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

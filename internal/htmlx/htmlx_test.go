@@ -1,0 +1,230 @@
+package htmlx
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasicPage(t *testing.T) {
+	src := `<!DOCTYPE html>
+<html><head><title>Quarterly Report</title></head>
+<body>
+<h2>Transportation Systems</h2>
+<p>Sales were up 5% on both a reported and organic basis.</p>
+<table>
+<caption>Table 1: Transportation Systems ($ Millions)</caption>
+<tr><th>metric</th><th>2Q 2012</th><th>2Q 2013</th></tr>
+<tr><td>Sales</td><td>900</td><td>947</td></tr>
+<tr><td>Segment Profit</td><td>114</td><td>126</td></tr>
+</table>
+<p>Segment profit was up 11%.</p>
+</body></html>`
+	page := ParseString(src)
+
+	if page.Title != "Quarterly Report" {
+		t.Errorf("Title = %q", page.Title)
+	}
+	paras := page.Paragraphs()
+	if len(paras) != 3 {
+		t.Fatalf("want 3 paragraphs (incl. heading), got %d: %#v", len(paras), paras)
+	}
+	if paras[1] != "Sales were up 5% on both a reported and organic basis." {
+		t.Errorf("paragraph = %q", paras[1])
+	}
+	tables := page.Tables()
+	if len(tables) != 1 {
+		t.Fatalf("want 1 table, got %d", len(tables))
+	}
+	tbl := tables[0]
+	if tbl.Caption != "Table 1: Transportation Systems ($ Millions)" {
+		t.Errorf("caption = %q", tbl.Caption)
+	}
+	want := [][]string{
+		{"metric", "2Q 2012", "2Q 2013"},
+		{"Sales", "900", "947"},
+		{"Segment Profit", "114", "126"},
+	}
+	if !reflect.DeepEqual(tbl.Grid, want) {
+		t.Errorf("grid = %#v, want %#v", tbl.Grid, want)
+	}
+}
+
+func TestParseEntities(t *testing.T) {
+	page := ParseString("<p>A &amp; B cost &euro;5 &lt;together&gt; &#37; &#x24;</p>")
+	paras := page.Paragraphs()
+	if len(paras) != 1 {
+		t.Fatal("want 1 paragraph")
+	}
+	want := "A & B cost €5 <together> % $"
+	if paras[0] != want {
+		t.Errorf("text = %q, want %q", paras[0], want)
+	}
+}
+
+func TestParseSkipsScriptAndStyle(t *testing.T) {
+	page := ParseString(`<p>visible</p><script>var x = "1 < 2";</script><style>p{}</style><p>also visible</p>`)
+	paras := page.Paragraphs()
+	if !reflect.DeepEqual(paras, []string{"visible", "also visible"}) {
+		t.Errorf("paragraphs = %#v", paras)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	page := ParseString("<p>a<!-- hidden <table> -->b</p>")
+	if got := page.Paragraphs(); len(got) != 1 || got[0] != "ab" {
+		t.Errorf("paragraphs = %#v", got)
+	}
+}
+
+func TestParseColspan(t *testing.T) {
+	page := ParseString(`<table>
+<tr><th colspan="2">wide</th><th>c</th></tr>
+<tr><td>1</td><td>2</td><td>3</td></tr>
+</table>`)
+	tbl := page.Tables()[0]
+	want := [][]string{{"wide", "wide", "c"}, {"1", "2", "3"}}
+	if !reflect.DeepEqual(tbl.Grid, want) {
+		t.Errorf("grid = %#v, want %#v", tbl.Grid, want)
+	}
+}
+
+func TestParseRaggedRowsPadded(t *testing.T) {
+	page := ParseString(`<table><tr><td>a</td><td>b</td></tr><tr><td>c</td></tr></table>`)
+	tbl := page.Tables()[0]
+	want := [][]string{{"a", "b"}, {"c", ""}}
+	if !reflect.DeepEqual(tbl.Grid, want) {
+		t.Errorf("grid = %#v, want %#v", tbl.Grid, want)
+	}
+}
+
+func TestParseUnclosedCells(t *testing.T) {
+	// Browsers tolerate unclosed <tr>/<td>; so do we.
+	page := ParseString(`<table><tr><td>a<td>b<tr><td>c<td>d</table>`)
+	tbl := page.Tables()[0]
+	want := [][]string{{"a", "b"}, {"c", "d"}}
+	if !reflect.DeepEqual(tbl.Grid, want) {
+		t.Errorf("grid = %#v, want %#v", tbl.Grid, want)
+	}
+}
+
+func TestParseNestedTableFlattened(t *testing.T) {
+	page := ParseString(`<table><tr><td>outer <table><tr><td>inner</td></tr></table></td></tr></table>`)
+	tables := page.Tables()
+	if len(tables) != 1 {
+		t.Fatalf("want 1 table, got %d", len(tables))
+	}
+	if !strings.Contains(tables[0].Grid[0][0], "outer") {
+		t.Errorf("outer cell = %q", tables[0].Grid[0][0])
+	}
+}
+
+func TestParseInlineTagsKeepText(t *testing.T) {
+	page := ParseString(`<p>The <b>net</b> <a href="x">income</a> was <em>high</em>.</p>`)
+	if got := page.Paragraphs()[0]; got != "The net income was high." {
+		t.Errorf("text = %q", got)
+	}
+}
+
+func TestParseEmptyTablesDropped(t *testing.T) {
+	page := ParseString(`<table></table><p>text</p>`)
+	if len(page.Tables()) != 0 {
+		t.Error("empty table should be dropped")
+	}
+}
+
+func TestAttrValue(t *testing.T) {
+	tests := []struct {
+		attrs, name, want string
+		ok                bool
+	}{
+		{`colspan="3"`, "colspan", "3", true},
+		{`colspan=3`, "colspan", "3", true},
+		{`colspan = '2' class="x"`, "colspan", "2", true},
+		{`class="colspan"`, "colspan", "", false},
+		{`data-colspan="9" colspan="2"`, "colspan", "2", true},
+		{``, "colspan", "", false},
+	}
+	for _, tc := range tests {
+		got, ok := attrValue(tc.attrs, tc.name)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("attrValue(%q,%q) = (%q,%v), want (%q,%v)", tc.attrs, tc.name, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestDecodeEntitiesIdempotentOnPlain(t *testing.T) {
+	check := func(s string) bool {
+		clean := strings.Map(func(r rune) rune {
+			if r == '&' || r == ';' || r == '#' {
+				return 'x'
+			}
+			return r
+		}, s)
+		return DecodeEntities(clean) == clean
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRenderParseRoundTrip(t *testing.T) {
+	page := &Page{
+		Title: "Round & Trip",
+		Blocks: []Block{
+			&Paragraph{Text: "Heading here", Heading: true},
+			&Paragraph{Text: "Sales grew 5% to $900 million <fast>."},
+			&TableBlock{
+				Caption: "T1 ($ Millions)",
+				Grid: [][]string{
+					{"metric", "2012", "2013"},
+					{"Sales", "900", "947"},
+				},
+			},
+			&Paragraph{Text: "Closing remarks."},
+		},
+	}
+	parsed := ParseString(Render(page))
+	if parsed.Title != page.Title {
+		t.Errorf("title = %q, want %q", parsed.Title, page.Title)
+	}
+	if len(parsed.Blocks) != len(page.Blocks) {
+		t.Fatalf("blocks = %d, want %d", len(parsed.Blocks), len(page.Blocks))
+	}
+	for i, b := range page.Blocks {
+		switch want := b.(type) {
+		case *Paragraph:
+			got, ok := parsed.Blocks[i].(*Paragraph)
+			if !ok || got.Text != want.Text || got.Heading != want.Heading {
+				t.Errorf("block %d = %#v, want %#v", i, parsed.Blocks[i], want)
+			}
+		case *TableBlock:
+			got, ok := parsed.Blocks[i].(*TableBlock)
+			if !ok || got.Caption != want.Caption || !reflect.DeepEqual(got.Grid, want.Grid) {
+				t.Errorf("block %d = %#v, want %#v", i, parsed.Blocks[i], want)
+			}
+		}
+	}
+}
+
+func TestParseReader(t *testing.T) {
+	page, err := Parse(strings.NewReader("<p>hello</p>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := page.Paragraphs(); len(got) != 1 || got[0] != "hello" {
+		t.Errorf("paragraphs = %#v", got)
+	}
+}
+
+func TestParseMalformedInputsDoNotPanic(t *testing.T) {
+	inputs := []string{
+		"", "<", "<>", "<p", "<p><table><tr><td>x", "</td></tr></table>",
+		"<table><caption>c", "&#xZZ;", "&unknown;", "<!-- unterminated",
+		strings.Repeat("<p>", 1000),
+	}
+	for _, in := range inputs {
+		_ = ParseString(in) // must not panic
+	}
+}

@@ -1,0 +1,54 @@
+package htmlx
+
+import "strings"
+
+// Render serializes a Page back to HTML. The corpus generator uses it to
+// emit synthetic web pages; Parse(Render(p)) round-trips the block
+// structure, which the tests rely on.
+func Render(p *Page) string {
+	var sb strings.Builder
+	sb.WriteString("<!DOCTYPE html>\n<html>\n<head><title>")
+	sb.WriteString(EscapeText(p.Title))
+	sb.WriteString("</title></head>\n<body>\n")
+	for _, b := range p.Blocks {
+		switch blk := b.(type) {
+		case *Paragraph:
+			if blk.Heading {
+				sb.WriteString("<h2>")
+				sb.WriteString(EscapeText(blk.Text))
+				sb.WriteString("</h2>\n")
+			} else {
+				sb.WriteString("<p>")
+				sb.WriteString(EscapeText(blk.Text))
+				sb.WriteString("</p>\n")
+			}
+		case *TableBlock:
+			sb.WriteString("<table>\n")
+			if blk.Caption != "" {
+				sb.WriteString("<caption>")
+				sb.WriteString(EscapeText(blk.Caption))
+				sb.WriteString("</caption>\n")
+			}
+			for i, row := range blk.Grid {
+				sb.WriteString("<tr>")
+				cellTag := "td"
+				if i == 0 {
+					cellTag = "th"
+				}
+				for _, cell := range row {
+					sb.WriteString("<")
+					sb.WriteString(cellTag)
+					sb.WriteString(">")
+					sb.WriteString(EscapeText(cell))
+					sb.WriteString("</")
+					sb.WriteString(cellTag)
+					sb.WriteString(">")
+				}
+				sb.WriteString("</tr>\n")
+			}
+			sb.WriteString("</table>\n")
+		}
+	}
+	sb.WriteString("</body>\n</html>\n")
+	return sb.String()
+}

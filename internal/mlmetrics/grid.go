@@ -1,0 +1,83 @@
+package mlmetrics
+
+import "fmt"
+
+// Params is one hyper-parameter assignment: name → value.
+type Params map[string]float64
+
+// clone copies the parameter map.
+func (p Params) clone() Params {
+	c := make(Params, len(p))
+	for k, v := range p {
+		c[k] = v
+	}
+	return c
+}
+
+// String renders the parameters deterministically for logging.
+func (p Params) String() string {
+	// Keys sorted for stable output.
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	s := "{"
+	for i, k := range keys {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%g", k, p[k])
+	}
+	return s + "}"
+}
+
+// Grid is a hyper-parameter search space: name → candidate values.
+type Grid map[string][]float64
+
+// Combinations enumerates the full Cartesian product of the grid in a
+// deterministic order.
+func (g Grid) Combinations() []Params {
+	names := make([]string, 0, len(g))
+	for name := range g {
+		names = append(names, name)
+	}
+	// Sort names for determinism.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	combos := []Params{{}}
+	for _, name := range names {
+		var next []Params
+		for _, base := range combos {
+			for _, v := range g[name] {
+				p := base.clone()
+				p[name] = v
+				next = append(next, p)
+			}
+		}
+		combos = next
+	}
+	return combos
+}
+
+// GridSearch evaluates score (higher is better) for every combination of the
+// grid and returns the best parameters and score. Ties keep the earlier
+// combination, so results are deterministic.
+func GridSearch(grid Grid, score func(Params) float64) (Params, float64) {
+	best := Params{}
+	bestScore := -1.0
+	for _, p := range grid.Combinations() {
+		s := score(p)
+		if s > bestScore {
+			best, bestScore = p, s
+		}
+	}
+	return best, bestScore
+}

@@ -1,0 +1,218 @@
+package nlp
+
+import "strings"
+
+// posTag is a coarse part-of-speech class used by the noun-phrase chunker.
+type posTag int
+
+const (
+	tagNoun posTag = iota // default class for unknown words
+	tagAdj
+	tagDet
+	tagVerb
+	tagPrep
+	tagAdv
+	tagPron
+	tagConj
+	tagNum
+	tagOther
+)
+
+// closedClass maps function words and common verbs/adverbs to their tag.
+// Unknown open-class words default to noun, which is the right bias for the
+// noun-phrase overlap features: table headers ("segment profit", "gross
+// income") are noun compounds of exactly this shape.
+var closedClass = map[string]posTag{
+	// determiners
+	"a": tagDet, "an": tagDet, "the": tagDet, "this": tagDet, "that": tagDet,
+	"these": tagDet, "those": tagDet, "each": tagDet, "every": tagDet,
+	"some": tagDet, "any": tagDet, "no": tagDet, "both": tagDet, "all": tagDet,
+	"its": tagDet, "their": tagDet, "his": tagDet, "her": tagDet, "our": tagDet,
+	// prepositions / particles
+	"of": tagPrep, "in": tagPrep, "on": tagPrep, "at": tagPrep, "to": tagPrep,
+	"from": tagPrep, "by": tagPrep, "for": tagPrep, "with": tagPrep,
+	"about": tagPrep, "as": tagPrep, "than": tagPrep, "over": tagPrep,
+	"under": tagPrep, "per": tagPrep, "into": tagPrep, "since": tagPrep,
+	"during": tagPrep, "compared": tagPrep,
+	// conjunctions
+	"and": tagConj, "or": tagConj, "but": tagConj, "while": tagConj,
+	"if": tagConj, "because": tagConj, "although": tagConj,
+	// pronouns
+	"it": tagPron, "they": tagPron, "we": tagPron, "he": tagPron,
+	"she": tagPron, "you": tagPron, "them": tagPron, "which": tagPron,
+	"who": tagPron, "there": tagPron,
+	// auxiliaries and very common verbs
+	"is": tagVerb, "are": tagVerb, "was": tagVerb, "were": tagVerb,
+	"be": tagVerb, "been": tagVerb, "being": tagVerb, "has": tagVerb,
+	"have": tagVerb, "had": tagVerb, "do": tagVerb, "does": tagVerb,
+	"did": tagVerb, "will": tagVerb, "would": tagVerb, "can": tagVerb,
+	"could": tagVerb, "should": tagVerb, "may": tagVerb, "might": tagVerb,
+	"increased": tagVerb, "decreased": tagVerb, "rose": tagVerb,
+	"fell": tagVerb, "grew": tagVerb, "dropped": tagVerb, "reported": tagVerb,
+	"sold": tagVerb, "earned": tagVerb, "gained": tagVerb, "remained": tagVerb,
+	"said": tagVerb, "was'nt": tagVerb, "achieved": tagVerb, "counted": tagVerb,
+	"undergo": tagVerb, "refers": tagVerb, "reached": tagVerb, "posted": tagVerb,
+	"recorded": tagVerb, "stood": tagVerb, "totaled": tagVerb, "totalled": tagVerb,
+	"amounted": tagVerb, "climbed": tagVerb, "declined": tagVerb, "slipped": tagVerb,
+	// adverbs / qualifiers
+	"very": tagAdv, "most": tagAdv, "more": tagAdv, "less": tagAdv,
+	"least": tagAdv, "approximately": tagAdv, "nearly": tagAdv,
+	"about*": tagAdv, "roughly": tagAdv, "around": tagAdv, "almost": tagAdv,
+	"respectively": tagAdv, "up": tagAdv, "down": tagAdv, "not": tagAdv,
+	"only": tagAdv, "also": tagAdv, "just": tagAdv, "again": tagAdv,
+	"slightly": tagAdv, "sharply": tagAdv, "overall*": tagAdv,
+}
+
+// adjSuffixes mark open-class words that are likely adjectives.
+var adjSuffixes = []string{"al", "ous", "ive", "able", "ible", "ic", "ful", "less", "est"}
+
+// knownAdjectives are domain adjectives that do not match the suffix rules.
+var knownAdjectives = map[string]bool{
+	"total": true, "gross": true, "net": true, "average": true,
+	"common": true, "final": true, "annual": true, "quarterly": true,
+	"monthly": true, "overall": true, "highest": true, "lowest": true,
+	"affordable": true, "expensive": true, "cheap": true, "cheaper": true,
+	"new": true, "previous": true, "last": true, "first": true,
+	"second": true, "third": true, "male": true, "female": true,
+	"domestic": true, "foreign": true, "electric": true, "private": true,
+	"taxable": true, "municipal": true, "fixed": true, "senior": true,
+	"strong": true, "weak": true, "big": true, "small": true, "large": true,
+}
+
+// unitCodes are currency/measure codes that should never head a noun phrase;
+// they belong to the quantity, not to its descriptive context.
+var unitCodes = map[string]bool{
+	"eur": true, "usd": true, "cdn": true, "gbp": true, "jpy": true,
+	"aud": true, "chf": true, "inr": true, "bps": true, "mpge": true,
+	"kwh": true, "km": true, "kg": true, "mg": true, "lbs": true,
+	"mph": true, "msrp": true, "mio": true, "mrd": true,
+}
+
+func tagWord(w string) posTag {
+	lw := strings.ToLower(w)
+	// Single letters ("e" from "e-tron", list markers) carry no phrasal
+	// content and would head-match across unrelated phrases.
+	if len(lw) <= 1 {
+		return tagOther
+	}
+	if unitCodes[lw] {
+		return tagOther
+	}
+	if t, ok := closedClass[lw]; ok {
+		return t
+	}
+	if knownAdjectives[lw] {
+		return tagAdj
+	}
+	if len(lw) > 0 && lw[0] >= '0' && lw[0] <= '9' {
+		return tagNum
+	}
+	for _, suf := range adjSuffixes {
+		if len(lw) > len(suf)+2 && strings.HasSuffix(lw, suf) {
+			return tagAdj
+		}
+	}
+	return tagNoun
+}
+
+// NounPhrases extracts the noun phrases of s as lowercase strings. A noun
+// phrase is a maximal sequence (DET)? (ADJ|NOUN)* NOUN, with numbers allowed
+// as modifiers inside the phrase but never as the head. Single stopword
+// phrases are dropped.
+//
+// Feature f4/f5 of the paper compare noun phrases of the mention context
+// with noun phrases of the table context (headers, captions), e.g. the
+// phrase "segment profit" in Fig. 3.
+func NounPhrases(s string) []string {
+	toks := Tokenize(s)
+	var phrases []string
+	var current []string
+	hasNoun := false
+
+	flush := func() {
+		if hasNoun && len(current) > 0 {
+			// Trim leading determiners from the stored phrase.
+			start := 0
+			for start < len(current) && tagWord(current[start]) == tagDet {
+				start++
+			}
+			// Trim trailing non-noun modifiers (e.g. a dangling number).
+			end := len(current)
+			for end > start && tagWord(current[end-1]) != tagNoun {
+				end--
+			}
+			if end > start {
+				phrase := strings.ToLower(strings.Join(current[start:end], " "))
+				if !Stopword(phrase) {
+					phrases = append(phrases, phrase)
+				}
+			}
+		}
+		current = current[:0]
+		hasNoun = false
+	}
+
+	for _, t := range toks {
+		kind := t.Kind()
+		if kind == KindPunct || kind == KindCurrency || kind == KindPercent {
+			flush()
+			continue
+		}
+		switch tagWord(t.Text) {
+		case tagNoun:
+			current = append(current, t.Text)
+			hasNoun = true
+		case tagAdj, tagDet, tagNum:
+			current = append(current, t.Text)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return phrases
+}
+
+// PhraseOverlap returns the overlap coefficient between the two noun-phrase
+// multisets, counting a match when the phrases are equal or one head-matches
+// the other (same final word).
+func PhraseOverlap(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	// Pass 1: exact multiset matching, consuming matched b phrases.
+	bExact := make(map[string]int, len(b))
+	for _, p := range b {
+		bExact[p]++
+	}
+	matches := 0
+	var aRest []string
+	for _, p := range a {
+		if bExact[p] > 0 {
+			bExact[p]--
+			matches++
+		} else {
+			aRest = append(aRest, p)
+		}
+	}
+	// Pass 2: head matching on the unconsumed remainder only, so a single b
+	// phrase can never be matched twice.
+	bHeads := make(map[string]int, len(b))
+	for p, n := range bExact {
+		bHeads[phraseHead(p)] += n
+	}
+	for _, p := range aRest {
+		h := phraseHead(p)
+		if bHeads[h] > 0 {
+			bHeads[h]--
+			matches++
+		}
+	}
+	return float64(matches) / float64(minInt(len(a), len(b)))
+}
+
+func phraseHead(p string) string {
+	if i := strings.LastIndexByte(p, ' '); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

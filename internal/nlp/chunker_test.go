@@ -1,0 +1,100 @@
+package nlp
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNounPhrases(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{
+			"Segment profit was up 11%",
+			[]string{"segment profit"},
+		},
+		{
+			"The net income of 2013",
+			[]string{"net income"},
+		},
+		{
+			"the least affordable option with 37K EUR in Germany",
+			[]string{"affordable option", "germany"},
+		},
+		{
+			"Total Revenue and Gross income",
+			[]string{"total revenue", "gross income"},
+		},
+		{"", nil},
+		{"5 % , .", nil},
+		{
+			"taxable bond funds had an inflow",
+			[]string{"taxable bond funds", "inflow"},
+		},
+	}
+	for _, tc := range tests {
+		got := NounPhrases(tc.in)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("NounPhrases(%q) = %#v, want %#v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestNounPhrasesNumberNeverHead(t *testing.T) {
+	for _, phrase := range NounPhrases("sales of 123 patients in 2013") {
+		head := phraseHead(phrase)
+		if head[0] >= '0' && head[0] <= '9' {
+			t.Errorf("numeric head in phrase %q", phrase)
+		}
+	}
+}
+
+func TestPhraseOverlap(t *testing.T) {
+	a := []string{"segment profit", "sales"}
+	b := []string{"segment profit", "segment margin"}
+	if got := PhraseOverlap(a, b); got != 0.5 {
+		t.Errorf("exact overlap = %v, want 0.5", got)
+	}
+
+	// Head match: "gross profit" head-matches "segment profit".
+	a = []string{"gross profit"}
+	b = []string{"segment profit"}
+	if got := PhraseOverlap(a, b); got != 1 {
+		t.Errorf("head overlap = %v, want 1", got)
+	}
+
+	if got := PhraseOverlap(nil, b); got != 0 {
+		t.Errorf("empty overlap = %v, want 0", got)
+	}
+}
+
+func TestPhraseOverlapBounded(t *testing.T) {
+	a := []string{"x y", "x y", "z"}
+	b := []string{"x y"}
+	got := PhraseOverlap(a, b)
+	if got < 0 || got > 1 {
+		t.Errorf("PhraseOverlap out of range: %v", got)
+	}
+}
+
+func TestTagWord(t *testing.T) {
+	tests := []struct {
+		w    string
+		want posTag
+	}{
+		{"the", tagDet},
+		{"of", tagPrep},
+		{"total", tagAdj},
+		{"financial", tagAdj},
+		{"revenue", tagNoun},
+		{"increased", tagVerb},
+		{"123", tagNum},
+		{"Germany", tagNoun},
+	}
+	for _, tc := range tests {
+		if got := tagWord(tc.w); got != tc.want {
+			t.Errorf("tagWord(%q) = %v, want %v", tc.w, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package nlp_test
+
+import (
+	"fmt"
+
+	"briq/internal/nlp"
+)
+
+func ExampleJaroWinkler() {
+	// The prefix emphasis that motivates the choice for surface similarity:
+	// "26.7$" is closer to "26.65$" than to "29.75$".
+	fmt.Printf("%.3f %.3f\n",
+		nlp.JaroWinkler("26.7$", "26.65$"),
+		nlp.JaroWinkler("26.7$", "29.75$"))
+	// Output: 0.876 0.840
+}
+
+func ExampleNounPhrases() {
+	fmt.Println(nlp.NounPhrases("Segment profit was up 11% and segment margins increased"))
+	// Output: [segment profit segment margins]
+}
+
+func ExampleSplitSentences() {
+	for _, s := range nlp.SplitSentences("Sales hit 3.26 billion. Profit was up 11%.") {
+		fmt.Println(s)
+	}
+	// Output:
+	// Sales hit 3.26 billion.
+	// Profit was up 11%.
+}

@@ -1,0 +1,43 @@
+package nlp
+
+// stopwords is a compact English stopword list adequate for the web-table
+// domain vocabulary produced by the corpus generator and for typical
+// Common-Crawl-style explanatory text.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "the": true, "and": true, "or": true, "but": true,
+	"of": true, "in": true, "on": true, "at": true, "to": true, "from": true,
+	"by": true, "for": true, "with": true, "about": true, "as": true,
+	"is": true, "are": true, "was": true, "were": true, "be": true,
+	"been": true, "being": true, "has": true, "have": true, "had": true,
+	"do": true, "does": true, "did": true, "will": true, "would": true,
+	"can": true, "could": true, "shall": true, "should": true, "may": true,
+	"might": true, "must": true, "it": true, "its": true, "this": true,
+	"that": true, "these": true, "those": true, "which": true, "who": true,
+	"whom": true, "whose": true, "what": true, "where": true, "when": true,
+	"there": true, "here": true, "than": true, "then": true, "so": true,
+	"such": true, "if": true, "not": true, "no": true, "nor": true,
+	"we": true, "they": true, "he": true, "she": true, "i": true,
+	"you": true, "their": true, "our": true, "his": true, "her": true,
+	"them": true, "him": true, "us": true, "was'nt": true, "also": true,
+	"both": true, "each": true, "per": true, "into": true, "over": true,
+	"under": true, "up": true, "down": true, "out": true, "off": true,
+	"all": true, "any": true, "some": true, "more": true, "most": true,
+	"other": true, "own": true, "same": true, "very": true, "just": true,
+	"only": true, "while": true, "during": true, "again": true,
+	"compared": true, "respectively": true,
+}
+
+// Stopword reports whether the (already lowercased) word is a stopword.
+func Stopword(w string) bool { return stopwords[w] }
+
+// ContentWords returns the lowercase non-stopword word tokens of s.
+func ContentWords(s string) []string {
+	words := Words(s)
+	out := words[:0]
+	for _, w := range words {
+		if !Stopword(w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}

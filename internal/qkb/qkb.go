@@ -1,0 +1,168 @@
+// Package qkb implements the quantity-knowledge-base baseline the paper
+// derived from its earlier work ([13]) and dismissed (§VII-D): both the text
+// mention and the table cell are linked to a small, manually crafted
+// knowledge base of canonicalized measures and units; a pair aligns only
+// when both link to the same KB entry with exactly matching normalized
+// values. The baseline demonstrates two failure modes the paper names: the
+// KB covers only a fraction of the units found in web tables, and exact
+// value matching cannot handle the approximate mentions that dominate real
+// data.
+package qkb
+
+import (
+	"strings"
+
+	"briq/internal/document"
+	"briq/internal/quantity"
+)
+
+// Measure is a canonical quantity dimension in the knowledge base.
+type Measure string
+
+// The KB's measures.
+const (
+	MeasureMoney    Measure = "money"
+	MeasureFraction Measure = "fraction"
+	MeasureLength   Measure = "length"
+	MeasureMass     Measure = "mass"
+	MeasureEnergy   Measure = "energy"
+)
+
+// Entry canonicalizes one unit: the measure it belongs to and the conversion
+// factor to the measure's base unit.
+type Entry struct {
+	Measure Measure
+	ToBase  float64 // multiply a value in this unit to get base units
+}
+
+// KB is a small quantity knowledge base, deliberately limited in coverage
+// the way hand-crafted QKBs are.
+type KB struct {
+	entries map[string]Entry
+}
+
+// Default returns the built-in KB: major currencies (no exchange rates — a
+// currency is its own base, as in the original QKB), percent/bps, and a few
+// physical units. Count nouns ("patients", "votes", "points") are absent,
+// exactly the coverage gap the paper calls out.
+func Default() *KB {
+	return &KB{entries: map[string]Entry{
+		"USD": {MeasureMoney, 1},
+		"EUR": {MeasureMoney, 1},
+		"GBP": {MeasureMoney, 1},
+		"CAD": {MeasureMoney, 1},
+		"JPY": {MeasureMoney, 1},
+		"%":   {MeasureFraction, 0.01},
+		"bps": {MeasureFraction, 0.0001},
+		"km":  {MeasureLength, 1000},
+		"mi":  {MeasureLength, 1609.344},
+		"kg":  {MeasureMass, 1000},
+		"g":   {MeasureMass, 1},
+		"lb":  {MeasureMass, 453.59237},
+		"kWh": {MeasureEnergy, 3.6e6},
+	}}
+}
+
+// Linked is a canonicalized quantity: measure, base-unit value, and the
+// original currency code for money (currencies do not unify).
+type Linked struct {
+	Measure  Measure
+	Value    float64
+	Currency string
+}
+
+// Link canonicalizes a mention against the KB. Mentions without a unit or
+// with a unit outside the KB do not link — the coverage limitation.
+func (kb *KB) Link(unit string, value float64) (Linked, bool) {
+	e, ok := kb.entries[unit]
+	if !ok {
+		return Linked{}, false
+	}
+	l := Linked{Measure: e.Measure, Value: value * e.ToBase}
+	if e.Measure == MeasureMoney {
+		l.Currency = unit
+	}
+	return l, true
+}
+
+// Covered reports whether the KB knows the unit.
+func (kb *KB) Covered(unit string) bool {
+	_, ok := kb.entries[unit]
+	return ok
+}
+
+// Same reports whether two linked quantities denote the same canonical
+// quantity: same measure, same currency, exactly matching values (a tiny
+// numeric tolerance covers float formatting only, not approximation).
+func Same(a, b Linked) bool {
+	if a.Measure != b.Measure || a.Currency != b.Currency {
+		return false
+	}
+	diff := a.Value - b.Value
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := a.Value
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale == 0 {
+		return diff == 0
+	}
+	return diff/scale < 1e-9
+}
+
+// Alignment is one baseline output pair.
+type Alignment struct {
+	TextIndex  int
+	TableIndex int
+}
+
+// Baseline is the QKB alignment baseline.
+type Baseline struct {
+	KB *KB
+}
+
+// Predict aligns each text mention to the unique table mention with an
+// identical canonical quantity; ambiguous exact matches (several cells with
+// the same canonical value) are skipped, as the method has no way to choose.
+func (b *Baseline) Predict(doc *document.Document) []Alignment {
+	kb := b.KB
+	if kb == nil {
+		kb = Default()
+	}
+	var out []Alignment
+	for xi, x := range doc.TextMentions {
+		lx, ok := kb.Link(x.Unit, x.Value)
+		if !ok {
+			continue
+		}
+		match := -1
+		ambiguous := false
+		for ti, tm := range doc.TableMentions {
+			lt, ok := kb.Link(tm.Unit, tm.Value)
+			if !ok || !Same(lx, lt) {
+				continue
+			}
+			if match >= 0 {
+				ambiguous = true
+				break
+			}
+			match = ti
+		}
+		if match >= 0 && !ambiguous {
+			out = append(out, Alignment{TextIndex: xi, TableIndex: match})
+		}
+	}
+	return out
+}
+
+// NormalizeUnitSpelling maps a raw unit spelling to the KB's canonical key
+// (delegating to the shared unit table, then verifying coverage).
+func (kb *KB) NormalizeUnitSpelling(s string) (string, bool) {
+	u, ok := quantity.CanonicalUnit(strings.TrimSpace(s))
+	if !ok {
+		return "", false
+	}
+	return u, kb.Covered(u)
+}

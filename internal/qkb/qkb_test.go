@@ -1,0 +1,124 @@
+package qkb
+
+import (
+	"testing"
+
+	"briq/internal/document"
+	"briq/internal/table"
+)
+
+func TestLink(t *testing.T) {
+	kb := Default()
+	tests := []struct {
+		unit  string
+		value float64
+		ok    bool
+		base  float64
+	}{
+		{"USD", 100, true, 100},
+		{"%", 5, true, 0.05},
+		{"bps", 500, true, 0.05}, // 500 bps = 5%
+		{"km", 2, true, 2000},
+		{"patients", 10, false, 0}, // count nouns not covered
+		{"", 10, false, 0},
+		{"MPGe", 105, false, 0}, // domain unit outside the KB
+	}
+	for _, tc := range tests {
+		l, ok := kb.Link(tc.unit, tc.value)
+		if ok != tc.ok {
+			t.Errorf("Link(%q) ok = %v, want %v", tc.unit, ok, tc.ok)
+			continue
+		}
+		if ok && l.Value != tc.base {
+			t.Errorf("Link(%q,%v) base = %v, want %v", tc.unit, tc.value, l.Value, tc.base)
+		}
+	}
+}
+
+func TestSameUnifiesAcrossUnits(t *testing.T) {
+	kb := Default()
+	pct, _ := kb.Link("%", 5)
+	bps, _ := kb.Link("bps", 500)
+	if !Same(pct, bps) {
+		t.Error("5% should equal 500 bps after canonicalization")
+	}
+	usd, _ := kb.Link("USD", 100)
+	eur, _ := kb.Link("EUR", 100)
+	if Same(usd, eur) {
+		t.Error("currencies must not unify without exchange rates")
+	}
+	km, _ := kb.Link("km", 1)
+	g, _ := kb.Link("kg", 1)
+	if Same(km, g) {
+		t.Error("different measures must not unify")
+	}
+}
+
+func TestSameRequiresExactValues(t *testing.T) {
+	kb := Default()
+	a, _ := kb.Link("USD", 36900)
+	b, _ := kb.Link("USD", 37000)
+	if Same(a, b) {
+		t.Error("approximate values must not match — that is the baseline's documented weakness")
+	}
+}
+
+func TestBaselinePredict(t *testing.T) {
+	tbl, err := table.New("t0", "prices", [][]string{
+		{"item", "price"},
+		{"alpha", "$100"},
+		{"beta", "$250"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := document.NewSegmenter().Segment("p",
+		[]string{"The alpha item price was exactly $100 while beta cost about $249."},
+		[]*table.Table{tbl})
+	if len(docs) != 1 {
+		t.Fatal("no doc")
+	}
+	doc := docs[0]
+
+	preds := (&Baseline{}).Predict(doc)
+	if len(preds) != 1 {
+		t.Fatalf("want exactly 1 prediction (the exact match), got %d", len(preds))
+	}
+	tm := doc.TableMentions[preds[0].TableIndex]
+	if tm.Value != 100 {
+		t.Errorf("predicted value %v, want 100", tm.Value)
+	}
+}
+
+func TestBaselineSkipsAmbiguousMatches(t *testing.T) {
+	tbl, err := table.New("t0", "prices", [][]string{
+		{"item", "us", "eu"},
+		{"alpha", "$100", "$100"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := document.NewSegmenter().Segment("p",
+		[]string{"The alpha item cost $100 in both regions."},
+		[]*table.Table{tbl})
+	if len(docs) != 1 {
+		t.Fatal("no doc")
+	}
+	preds := (&Baseline{}).Predict(docs[0])
+	if len(preds) != 0 {
+		t.Errorf("ambiguous exact match should abstain, got %d predictions", len(preds))
+	}
+}
+
+func TestNormalizeUnitSpelling(t *testing.T) {
+	kb := Default()
+	if u, ok := kb.NormalizeUnitSpelling("dollars"); !ok || u != "USD" {
+		t.Errorf("dollars → (%q,%v)", u, ok)
+	}
+	if _, ok := kb.NormalizeUnitSpelling("MPGe"); ok {
+		t.Error("MPGe should not be covered")
+	}
+	if _, ok := kb.NormalizeUnitSpelling("zorkmids"); ok {
+		t.Error("unknown spelling should not link")
+	}
+}

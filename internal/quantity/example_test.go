@@ -1,0 +1,30 @@
+package quantity_test
+
+import (
+	"fmt"
+
+	"briq/internal/quantity"
+)
+
+func ExampleExtractText() {
+	text := "Revenue of $3.26 billion was up 2% from the previous year."
+	for _, m := range quantity.ExtractText(text) {
+		fmt.Printf("%q = %g %s\n", m.Surface, m.Value, m.Unit)
+	}
+	// Output:
+	// "$3.26 billion" = 3.26e+09 USD
+	// "2%" = 2 %
+}
+
+func ExampleParseCell() {
+	m, ok := quantity.ParseCell("$(9.49) Million")
+	fmt.Println(ok, m.Value, m.Unit)
+	// Output: true -9.49e+06 USD
+}
+
+func ExampleAgg_Apply() {
+	sum, _ := quantity.Sum.Apply([]float64{35, 38, 34, 11, 5})
+	ratio, _ := quantity.Ratio.Apply([]float64{890, 876})
+	fmt.Printf("sum=%g ratio=%.4f\n", sum, ratio)
+	// Output: sum=123 ratio=0.0157
+}

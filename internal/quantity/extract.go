@@ -1,0 +1,299 @@
+package quantity
+
+import (
+	"strings"
+
+	"briq/internal/nlp"
+)
+
+// ExtractText scans a paragraph of text and returns its quantity mentions in
+// document order (§III). Following the paper it:
+//
+//   - first identifies complex quantities with multiple parts ("5 ± 1 km per
+//     hour") and removes them so they are not erroneously split;
+//   - then extracts simple quantities such as "$500 million" and "1.34%";
+//   - eliminates non-informative numbers: date/time expressions, section
+//     headings ("Section 1.1"), phone numbers, bracketed references ("[2]"),
+//     and product-style alphanumerics ("Win10" — never tokenized as numbers);
+//   - normalizes values ("0.5 million" → 500000) and attaches units and
+//     approximation indicators from surrounding cues.
+func ExtractText(text string) []Mention {
+	toks := nlp.Tokenize(text)
+	sentenceOf := sentenceIndex(text)
+
+	skip := make([]bool, len(toks))
+	markComplexQuantities(toks, skip)
+	markFilteredNumbers(text, toks, skip)
+
+	var mentions []Mention
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if t.Kind() != nlp.KindNumber || skip[i] {
+			continue
+		}
+		num, ok := parseNumberLiteral(t.Text)
+		if !ok {
+			continue
+		}
+		m := Mention{
+			Surface:   t.Text,
+			RawValue:  num.raw,
+			Value:     num.value,
+			Precision: num.precision,
+			Start:     t.Start,
+			End:       t.End,
+			TokenPos:  i,
+		}
+		if t.Start < len(text) {
+			m.Sentence = sentenceOf(t.Start)
+		}
+
+		// Unit or sign before the number: "$3.26", "€500".
+		unitFromSymbol := false
+		if i > 0 {
+			prev := toks[i-1]
+			if prev.Kind() == nlp.KindCurrency {
+				if u, ok := CanonicalUnit(prev.Text); ok {
+					m.Unit = u
+					unitFromSymbol = true
+					m.Start = prev.Start
+					m.Surface = text[m.Start:m.End]
+				}
+			}
+		}
+
+		// Scale words and unit after the number: "3.26 billion CDN",
+		// "1.5%", "37K EUR", "60 bps".
+		end := i
+		for j := i + 1; j < len(toks) && j <= i+3; j++ {
+			nt := toks[j]
+			lower := strings.ToLower(nt.Text)
+			if mult, ok := ScaleWord(lower); ok && m.Value == m.RawValue*suffixMult(num) {
+				m.Value *= mult
+				end = j
+				continue
+			}
+			if nt.Kind() == nlp.KindPercent {
+				if m.Unit == "" {
+					m.Unit = "%"
+				}
+				end = j
+				break
+			}
+			if u, ok := CanonicalUnit(lower); ok {
+				// An explicit trailing currency code refines an ambiguous
+				// symbol: "$3.26 billion CDN" is Canadian dollars.
+				if m.Unit == "" || (unitFromSymbol && IsCurrency(u)) {
+					m.Unit = u
+					unitFromSymbol = false
+				}
+				end = j
+				continue
+			}
+			break
+		}
+		if end > i {
+			m.End = toks[end].End
+			m.Surface = text[m.Start:m.End]
+		}
+
+		m.Approx = approxBefore(toks, firstTokenAt(toks, m.Start, i))
+		m.Scale = OrderOfMagnitude(m.Value)
+		mentions = append(mentions, m)
+	}
+	return mentions
+}
+
+// suffixMult reports the multiplier already applied by an attached literal
+// suffix (value/raw), so that "37K million" does not double-scale.
+func suffixMult(p parsedNumber) float64 {
+	if p.raw == 0 {
+		return 1
+	}
+	return p.value / p.raw
+}
+
+// firstTokenAt returns the index of the token that begins at byte offset
+// start, scanning backwards from hint; used when the mention surface was
+// extended leftwards over a currency symbol.
+func firstTokenAt(toks []nlp.Token, start, hint int) int {
+	for k := hint; k >= 0; k-- {
+		if toks[k].Start == start {
+			return k
+		}
+		if toks[k].Start < start {
+			break
+		}
+	}
+	return hint
+}
+
+// approxBefore inspects up to three tokens before the mention for an
+// approximation cue, including two-word cues such as "more than".
+func approxBefore(toks []nlp.Token, idx int) Approx {
+	for back := 1; back <= 3 && idx-back >= 0; back++ {
+		w := strings.ToLower(toks[idx-back].Text)
+		if w == "." || w == "," {
+			continue
+		}
+		if idx-back-1 >= 0 {
+			two := strings.ToLower(toks[idx-back-1].Text) + " " + w
+			if a, ok := CueApprox(two); ok {
+				return a
+			}
+		}
+		if a, ok := CueApprox(w); ok {
+			return a
+		}
+	}
+	return ApproxNone
+}
+
+// markComplexQuantities marks tokens participating in multi-part quantities
+// such as "5 ± 1" or "3 - 5" ranges so they are not extracted as two
+// independent mentions.
+func markComplexQuantities(toks []nlp.Token, skip []bool) {
+	for i := 1; i+1 < len(toks); i++ {
+		mid := toks[i].Text
+		if mid != "±" && mid != "+/-" && mid != "–" && mid != "—" {
+			continue
+		}
+		if toks[i-1].Kind() == nlp.KindNumber && toks[i+1].Kind() == nlp.KindNumber {
+			skip[i-1], skip[i], skip[i+1] = true, true, true
+		}
+	}
+	// "between X and Y" ranges.
+	for i := 0; i+3 < len(toks); i++ {
+		if strings.EqualFold(toks[i].Text, "between") &&
+			toks[i+1].Kind() == nlp.KindNumber &&
+			strings.EqualFold(toks[i+2].Text, "and") &&
+			toks[i+3].Kind() == nlp.KindNumber {
+			skip[i+1], skip[i+3] = true, true
+		}
+	}
+}
+
+// markFilteredNumbers marks date/time numbers, phone numbers, section
+// headings and bracketed references (§II-A: "we eliminated date/time,
+// headings, phone numbers and references").
+func markFilteredNumbers(text string, toks []nlp.Token, skip []bool) {
+	for i, t := range toks {
+		if t.Kind() != nlp.KindNumber {
+			continue
+		}
+		// Bracketed reference "[2]".
+		if i > 0 && i+1 < len(toks) && toks[i-1].Text == "[" && toks[i+1].Text == "]" {
+			skip[i] = true
+			continue
+		}
+		// Time "14:30".
+		if i+2 < len(toks) && toks[i+1].Text == ":" && toks[i+2].Kind() == nlp.KindNumber {
+			skip[i], skip[i+2] = true, true
+			continue
+		}
+		if i >= 2 && toks[i-1].Text == ":" && toks[i-2].Kind() == nlp.KindNumber {
+			skip[i] = true
+			continue
+		}
+		// Phone numbers "555-123-4567".
+		if i+4 < len(toks) && toks[i+1].Text == "-" && toks[i+2].Kind() == nlp.KindNumber &&
+			toks[i+3].Text == "-" && toks[i+4].Kind() == nlp.KindNumber {
+			skip[i], skip[i+2], skip[i+4] = true, true, true
+			continue
+		}
+		// Section headings "Section 1.1", "Chapter 3", "Table 2", "Q3" is
+		// alnum and never reaches here.
+		if i > 0 {
+			switch strings.ToLower(toks[i-1].Text) {
+			case "section", "chapter", "table", "figure", "fig", "page", "appendix", "q", "quarter":
+				skip[i] = true
+				continue
+			}
+		}
+		// Bare calendar years: a 4-digit integer in [1900, 2100] with no
+		// decimal part, not preceded by a currency symbol and not followed
+		// by a scale word, unit or percent. Years in running text ("In 2013
+		// revenue ...") are dates, not quantities.
+		if looksLikeYear(toks, i) {
+			skip[i] = true
+			continue
+		}
+		// Date fragments "18-Dec-2021" or "July 2014": number adjacent to a
+		// month name.
+		if (i > 0 && isMonth(toks[i-1].Text)) || (i+1 < len(toks) && isMonth(toks[i+1].Text)) {
+			skip[i] = true
+		}
+	}
+}
+
+func looksLikeYear(toks []nlp.Token, i int) bool {
+	t := toks[i].Text
+	if len(t) != 4 {
+		return false
+	}
+	num, ok := parseNumberLiteral(t)
+	if !ok || num.precision != 0 || num.value != num.raw {
+		return false
+	}
+	v := int(num.value)
+	if v < 1900 || v > 2100 {
+		return false
+	}
+	// Preceded by a currency symbol → it is a price, keep it.
+	if i > 0 && toks[i-1].Kind() == nlp.KindCurrency {
+		return false
+	}
+	// Followed by a unit, scale word or percent → a measured amount.
+	if i+1 < len(toks) {
+		next := strings.ToLower(toks[i+1].Text)
+		if _, ok := ScaleWord(next); ok {
+			return false
+		}
+		if _, ok := CanonicalUnit(next); ok {
+			return false
+		}
+		if toks[i+1].Kind() == nlp.KindPercent {
+			return false
+		}
+	}
+	return true
+}
+
+var monthNames = map[string]bool{
+	"january": true, "february": true, "march": true, "april": true,
+	"may": true, "june": true, "july": true, "august": true,
+	"september": true, "october": true, "november": true, "december": true,
+	"jan": true, "feb": true, "mar": true, "apr": true, "jun": true,
+	"jul": true, "aug": true, "sep": true, "sept": true, "oct": true,
+	"nov": true, "dec": true,
+}
+
+func isMonth(s string) bool { return monthNames[strings.ToLower(s)] }
+
+// sentenceIndex returns a function mapping a byte offset in text to the
+// index of its containing sentence.
+func sentenceIndex(text string) func(off int) int {
+	sents := nlp.SplitSentences(text)
+	// Reconstruct sentence start offsets by sequential search; sentences are
+	// trimmed substrings of text in order.
+	starts := make([]int, len(sents))
+	pos := 0
+	for i, s := range sents {
+		idx := strings.Index(text[pos:], s)
+		if idx < 0 {
+			starts[i] = pos
+			continue
+		}
+		starts[i] = pos + idx
+		pos = starts[i] + len(s)
+	}
+	return func(off int) int {
+		idx := 0
+		for i, st := range starts {
+			if off >= st {
+				idx = i
+			}
+		}
+		return idx
+	}
+}

@@ -1,0 +1,201 @@
+package quantity
+
+import (
+	"math"
+	"testing"
+)
+
+func surfaces(ms []Mention) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.Surface
+	}
+	return out
+}
+
+func findMention(ms []Mention, surface string) (Mention, bool) {
+	for _, m := range ms {
+		if m.Surface == surface {
+			return m, true
+		}
+	}
+	return Mention{}, false
+}
+
+func TestExtractTextPaperFig1a(t *testing.T) {
+	text := "A total of 123 patients who undergo the drug trials reported side effects, " +
+		"of which there were 69 female patients and 54 male patients."
+	ms := ExtractText(text)
+	if len(ms) != 3 {
+		t.Fatalf("want 3 mentions, got %d: %v", len(ms), surfaces(ms))
+	}
+	values := []float64{123, 69, 54}
+	for i, m := range ms {
+		if m.Value != values[i] {
+			t.Errorf("mention %d value = %v, want %v", i, m.Value, values[i])
+		}
+	}
+}
+
+func TestExtractTextPaperFig1c(t *testing.T) {
+	text := "In 2013 revenue of $3.26 billion CDN was up $70 million CDN or 2% " +
+		"from the previous year. The net income of 2013 was $0.9 billion CDN. " +
+		"Compared to the revenue of 2012, it increased by 1.5%."
+	ms := ExtractText(text)
+
+	// Years 2013, 2013, 2012 must be filtered as dates.
+	for _, m := range ms {
+		if m.Value == 2013 || m.Value == 2012 {
+			t.Errorf("year extracted as quantity: %q", m.Surface)
+		}
+	}
+
+	rev, ok := findMention(ms, "$3.26 billion CDN")
+	if !ok {
+		t.Fatalf("revenue mention missing from %v", surfaces(ms))
+	}
+	if rev.Value != 3.26e9 {
+		t.Errorf("revenue value = %v, want 3.26e9", rev.Value)
+	}
+	if rev.Unit != "CAD" {
+		t.Errorf("revenue unit = %q, want CAD (CDN code refines $)", rev.Unit)
+	}
+	if rev.RawValue != 3.26 {
+		t.Errorf("revenue raw = %v, want 3.26", rev.RawValue)
+	}
+
+	up, ok := findMention(ms, "$70 million CDN")
+	if !ok {
+		t.Fatalf("up mention missing from %v", surfaces(ms))
+	}
+	if up.Value != 70e6 {
+		t.Errorf("up value = %v", up.Value)
+	}
+
+	pct, ok := findMention(ms, "1.5%")
+	if !ok {
+		t.Fatalf("percent mention missing from %v", surfaces(ms))
+	}
+	if pct.Unit != "%" || pct.Value != 1.5 || pct.Precision != 1 {
+		t.Errorf("pct = %+v", pct)
+	}
+}
+
+func TestExtractTextApproximateAndUnits(t *testing.T) {
+	text := "Audi A3 e-tron is the least affordable option with 37K EUR in Germany " +
+		"and about 39K USD in the US."
+	ms := ExtractText(text)
+	eur, ok := findMention(ms, "37K EUR")
+	if !ok {
+		t.Fatalf("37K EUR missing from %v", surfaces(ms))
+	}
+	if eur.Value != 37000 || eur.Unit != "EUR" {
+		t.Errorf("37K EUR = {v:%v unit:%q}", eur.Value, eur.Unit)
+	}
+	if eur.Scale != 4 {
+		t.Errorf("scale = %d, want 4", eur.Scale)
+	}
+
+	usd, ok := findMention(ms, "39K USD")
+	if !ok {
+		t.Fatalf("39K USD missing from %v", surfaces(ms))
+	}
+	if usd.Approx != Approximate {
+		t.Errorf("approx = %v, want Approximate", usd.Approx)
+	}
+}
+
+func TestExtractTextBounds(t *testing.T) {
+	ms := ExtractText("They sold more than 500 units but less than 800 units.")
+	if len(ms) != 2 {
+		t.Fatalf("want 2 mentions, got %v", surfaces(ms))
+	}
+	if ms[0].Approx != LowerBound {
+		t.Errorf("mention 0 approx = %v, want LowerBound", ms[0].Approx)
+	}
+	if ms[1].Approx != UpperBound {
+		t.Errorf("mention 1 approx = %v, want UpperBound", ms[1].Approx)
+	}
+}
+
+func TestExtractTextFiltersNoise(t *testing.T) {
+	tests := []struct {
+		text string
+		desc string
+	}{
+		{"See reference [2] for details.", "bracketed reference"},
+		{"Call 555-123-4567 now.", "phone number"},
+		{"Section 1.2 describes the setup.", "section heading"},
+		{"The meeting is at 14:30 today.", "time"},
+		{"In July 2014 the crawl was collected.", "month-year date"},
+		{"Windows Win10 shipped.", "alphanumeric product"},
+	}
+	for _, tc := range tests {
+		if ms := ExtractText(tc.text); len(ms) != 0 {
+			t.Errorf("%s: extracted %v from %q", tc.desc, surfaces(ms), tc.text)
+		}
+	}
+}
+
+func TestExtractTextComplexQuantities(t *testing.T) {
+	ms := ExtractText("The speed was 5 ± 1 km per hour on average.")
+	if len(ms) != 0 {
+		t.Errorf("complex quantity should be removed, got %v", surfaces(ms))
+	}
+	ms = ExtractText("Between 10 and 20 samples failed, while 30 passed.")
+	if len(ms) != 1 || ms[0].Value != 30 {
+		t.Errorf("range members should be removed, got %v", surfaces(ms))
+	}
+}
+
+func TestExtractTextKeepsQuantityYears(t *testing.T) {
+	// A 4-digit number with a unit is a quantity even if year-like.
+	ms := ExtractText("The plant produced 2000 units last month.")
+	if len(ms) != 1 || ms[0].Value != 2000 {
+		t.Fatalf("unit-bearing 4-digit number should be kept: %v", surfaces(ms))
+	}
+	// And with a currency symbol.
+	ms = ExtractText("It costs $1999 at retail.")
+	if len(ms) != 1 || ms[0].Value != 1999 {
+		t.Fatalf("currency 4-digit number should be kept: %v", surfaces(ms))
+	}
+}
+
+func TestExtractTextSentenceIndex(t *testing.T) {
+	text := "Sales were 900 in Q2. Profit was 114 overall."
+	ms := ExtractText(text)
+	if len(ms) != 2 {
+		t.Fatalf("want 2 mentions, got %v", surfaces(ms))
+	}
+	if ms[0].Sentence != 0 || ms[1].Sentence != 1 {
+		t.Errorf("sentence indices = %d,%d, want 0,1", ms[0].Sentence, ms[1].Sentence)
+	}
+}
+
+func TestExtractTextSpansMatchSource(t *testing.T) {
+	text := "Overall, 246,725 passenger vehicles were sold, an increase of 33.65% " +
+		"over the 184,611 units sold in the corresponding period last year."
+	for _, m := range ExtractText(text) {
+		if text[m.Start:m.End] != m.Surface {
+			t.Errorf("surface %q does not match span %q", m.Surface, text[m.Start:m.End])
+		}
+	}
+}
+
+func TestExtractTextBps(t *testing.T) {
+	ms := ExtractText("Segment margins increased 60 bps to 13.3% this quarter.")
+	bps, ok := findMention(ms, "60 bps")
+	if !ok {
+		t.Fatalf("60 bps missing: %v", surfaces(ms))
+	}
+	if bps.Unit != "bps" {
+		t.Errorf("unit = %q, want bps", bps.Unit)
+	}
+	pct, ok := findMention(ms, "13.3%")
+	if !ok {
+		t.Fatalf("13.3%% missing: %v", surfaces(ms))
+	}
+	if pct.Unit != "%" || math.Abs(pct.Value-13.3) > 1e-9 {
+		t.Errorf("pct = %+v", pct)
+	}
+}

@@ -1,0 +1,205 @@
+package quantity
+
+import (
+	"strconv"
+	"strings"
+)
+
+// parsedNumber is the result of parsing a bare numeric literal.
+type parsedNumber struct {
+	value     float64 // literal value including an attached suffix (37K → 37000)
+	raw       float64 // literal value excluding any suffix (37K → 37)
+	precision int     // digits after the decimal point
+	negative  bool
+}
+
+// parseNumberLiteral parses a numeric literal as produced by the tokenizer:
+// digits with grouping commas, an optional decimal point, and an optional
+// directly attached scale suffix (K/M/B). Reports ok=false for non-numeric
+// input.
+func parseNumberLiteral(s string) (parsedNumber, bool) {
+	var p parsedNumber
+	if s == "" {
+		return p, false
+	}
+	if s[0] == '-' || s[0] == '+' {
+		p.negative = s[0] == '-'
+		s = s[1:]
+		if s == "" {
+			return p, false
+		}
+	}
+	// Detach a scale suffix.
+	mult := 1.0
+	if last := s[len(s)-1]; last == 'K' || last == 'k' {
+		mult, s = 1e3, s[:len(s)-1]
+	} else if last == 'M' || last == 'm' {
+		mult, s = 1e6, s[:len(s)-1]
+	} else if last == 'B' {
+		mult, s = 1e9, s[:len(s)-1]
+	}
+	if s == "" {
+		return p, false
+	}
+	// Grouping commas are separators; periods are decimal points. A comma
+	// followed by exactly 2 digits at the end of the literal (European
+	// decimal comma, e.g. "12,50" in isolation) is still treated as grouping
+	// here because web tables in the corpus use Anglo formatting; the corpus
+	// generator follows the same convention.
+	clean := strings.ReplaceAll(s, ",", "")
+	if strings.Count(clean, ".") > 1 {
+		// Multi-dot literals such as section numbers "1.2.3" are not
+		// quantities.
+		return p, false
+	}
+	v, err := strconv.ParseFloat(clean, 64)
+	if err != nil {
+		return p, false
+	}
+	if i := strings.IndexByte(clean, '.'); i >= 0 {
+		p.precision = len(clean) - i - 1
+	}
+	if p.negative {
+		v = -v
+	}
+	p.raw = v
+	p.value = v * mult
+	return p, true
+}
+
+// ParseCell extracts at most one quantity mention from a table cell (§III:
+// "for tables we attempt to extract a single quantity mention per cell,
+// together with its unit if present"). It handles currency symbols before or
+// after the number, percent signs, scale words, accounting-style negatives
+// "(9.49)", and returns ok=false for non-numeric or empty cells ("--", "n/a").
+func ParseCell(s string) (Mention, bool) {
+	trimmed := strings.TrimSpace(s)
+	if trimmed == "" {
+		return Mention{}, false
+	}
+	switch strings.ToLower(trimmed) {
+	case "--", "-", "n/a", "na", "none", "nil", "—":
+		return Mention{}, false
+	}
+
+	negative := false
+	body := trimmed
+	// Accounting negatives: "(9.49)" or "$(9.49) Million".
+	if open := strings.IndexByte(body, '('); open >= 0 {
+		if close := strings.IndexByte(body[open:], ')'); close > 1 {
+			inner := body[open+1 : open+close]
+			if _, ok := parseNumberLiteral(strings.TrimSpace(strings.Trim(inner, "$€£¥ "))); ok {
+				negative = true
+				body = body[:open] + inner + body[open+close+1:]
+			}
+		}
+	}
+
+	toks := tokenizeCell(body)
+	numIdx := -1
+	for i, t := range toks {
+		if _, ok := parseNumberLiteral(t); ok {
+			numIdx = i
+			break
+		}
+	}
+	if numIdx < 0 {
+		return Mention{}, false
+	}
+	num, _ := parseNumberLiteral(toks[numIdx])
+
+	m := Mention{
+		Surface:   trimmed,
+		RawValue:  num.raw,
+		Value:     num.value,
+		Precision: num.precision,
+		Approx:    ApproxNone,
+	}
+
+	// Unit before the number (currency symbol or code).
+	if numIdx > 0 {
+		if u, ok := CanonicalUnit(toks[numIdx-1]); ok {
+			m.Unit = u
+		}
+	}
+	// Scale word and/or unit after the number.
+	for i := numIdx + 1; i < len(toks) && i <= numIdx+3; i++ {
+		t := toks[i]
+		if mult, ok := ScaleWord(t); ok && m.Value == m.RawValue {
+			m.Value *= mult
+			continue
+		}
+		if u, ok := CanonicalUnit(t); ok && m.Unit == "" {
+			m.Unit = u
+			continue
+		}
+		break
+	}
+	if negative {
+		m.Value, m.RawValue = -m.Value, -m.RawValue
+	}
+	m.Scale = OrderOfMagnitude(m.Value)
+	m.End = len(trimmed)
+	return m, true
+}
+
+// tokenizeCell splits a cell body into number/word/symbol tokens without
+// depending on the nlp package (keeps the dependency graph acyclic).
+func tokenizeCell(s string) []string {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < len(s) && s[i+1] >= '0' && s[i+1] <= '9'):
+			j := i + 1
+			for j < len(s) {
+				cj := s[j]
+				if cj >= '0' && cj <= '9' {
+					j++
+				} else if (cj == '.' || cj == ',') && j+1 < len(s) && s[j+1] >= '0' && s[j+1] <= '9' {
+					j++
+				} else {
+					break
+				}
+			}
+			if j < len(s) && (s[j] == 'K' || s[j] == 'k' || s[j] == 'M' || s[j] == 'B') &&
+				(j+1 >= len(s) || !isLetter(s[j+1])) {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		case isLetter(c):
+			// Letters plus any directly attached digits form one token, so
+			// alphanumeric codes ("Q1", "FY2013", "Win10") never parse as
+			// quantities.
+			j := i + 1
+			for j < len(s) && (isLetter(s[j]) || s[j] == '/' || s[j] >= '0' && s[j] <= '9') {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		default:
+			// Symbol (currency, %, punctuation); multibyte symbols kept whole.
+			j := i + 1
+			for j < len(s) && s[j]&0xC0 == 0x80 {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		}
+	}
+	return toks
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+// FormatNormalized renders a normalized value the way a table cell would
+// print it, used by virtual cells and the corpus generator.
+func FormatNormalized(v float64, precision int) string {
+	return strconv.FormatFloat(v, 'f', precision, 64)
+}

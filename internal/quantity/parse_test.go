@@ -1,0 +1,181 @@
+package quantity
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseNumberLiteral(t *testing.T) {
+	tests := []struct {
+		in        string
+		value     float64
+		raw       float64
+		precision int
+		ok        bool
+	}{
+		{"123", 123, 123, 0, true},
+		{"3,263", 3263, 3263, 0, true},
+		{"2,29,866", 229866, 229866, 0, true}, // Indian grouping, Fig. 5a
+		{"3.26", 3.26, 3.26, 2, true},
+		{"37K", 37000, 37, 0, true},
+		{"2.3K", 2300, 2.3, 1, true},
+		{"5M", 5e6, 5, 0, true},
+		{"1B", 1e9, 1, 0, true},
+		{"-12.5", -12.5, -12.5, 1, true},
+		{"+7", 7, 7, 0, true},
+		{"", 0, 0, 0, false},
+		{"abc", 0, 0, 0, false},
+		{"1.2.3", 0, 0, 0, false}, // section heading
+		{"-", 0, 0, 0, false},
+	}
+	for _, tc := range tests {
+		got, ok := parseNumberLiteral(tc.in)
+		if ok != tc.ok {
+			t.Errorf("parseNumberLiteral(%q) ok = %v, want %v", tc.in, ok, tc.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if got.value != tc.value || got.raw != tc.raw || got.precision != tc.precision {
+			t.Errorf("parseNumberLiteral(%q) = {v:%v raw:%v p:%d}, want {v:%v raw:%v p:%d}",
+				tc.in, got.value, got.raw, got.precision, tc.value, tc.raw, tc.precision)
+		}
+	}
+}
+
+func TestParseCell(t *testing.T) {
+	tests := []struct {
+		in    string
+		value float64
+		unit  string
+		ok    bool
+	}{
+		{"36900", 36900, "", true},
+		{"3,263", 3263, "", true},
+		{"$1.15", 1.15, "USD", true},
+		{"5%", 5, "%", true},
+		{"12.7%", 12.7, "%", true},
+		{"60 bps", 60, "bps", true},
+		{"$232.8 Million", 232.8e6, "USD", true},
+		{"$(9.49) Million", -9.49e6, "USD", true}, // Fig. 5c accounting negative
+		{"€37,000", 37000, "EUR", true},
+		{"105 MPGe", 105, "MPGe", true},
+		{"0", 0, "", true},
+		{"--", 0, "", false},
+		{"n/a", 0, "", false},
+		{"", 0, "", false},
+		{"Depression", 0, "", false},
+		{"(1.33)", -1.33, "", true},
+		{"1,144,716", 1144716, "", true},
+		{"0.9 billion", 0.9e9, "", true},
+	}
+	for _, tc := range tests {
+		m, ok := ParseCell(tc.in)
+		if ok != tc.ok {
+			t.Errorf("ParseCell(%q) ok = %v, want %v", tc.in, ok, tc.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if math.Abs(m.Value-tc.value) > 1e-9 || m.Unit != tc.unit {
+			t.Errorf("ParseCell(%q) = {v:%v unit:%q}, want {v:%v unit:%q}",
+				tc.in, m.Value, m.Unit, tc.value, tc.unit)
+		}
+		if m.Surface != tc.in {
+			t.Errorf("ParseCell(%q) surface = %q", tc.in, m.Surface)
+		}
+	}
+}
+
+func TestParseCellScaleAndPrecision(t *testing.T) {
+	m, ok := ParseCell("$3.26 billion")
+	if !ok {
+		t.Fatal("parse failed")
+	}
+	if m.Scale != 9 {
+		t.Errorf("Scale = %d, want 9", m.Scale)
+	}
+	if m.Precision != 2 {
+		t.Errorf("Precision = %d, want 2", m.Precision)
+	}
+	if m.RawValue != 3.26 {
+		t.Errorf("RawValue = %v, want 3.26", m.RawValue)
+	}
+}
+
+func TestCanonicalUnit(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"$", "USD", true},
+		{"EUR", "EUR", true},
+		{"eur", "EUR", true},
+		{"CDN", "CAD", true},
+		{"%", "%", true},
+		{"bps", "bps", true},
+		{"MPGe", "MPGe", true},
+		{"banana", "", false},
+	}
+	for _, tc := range tests {
+		got, ok := CanonicalUnit(tc.in)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("CanonicalUnit(%q) = (%q,%v), want (%q,%v)", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestUnitsCompatible(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want bool
+	}{
+		{"USD", "USD", true},
+		{"USD", "EUR", false},
+		{"", "USD", true},
+		{"%", "bps", true},
+		{"bps", "%", true},
+		{"%", "USD", false},
+	}
+	for _, tc := range tests {
+		if got := UnitsCompatible(tc.a, tc.b); got != tc.want {
+			t.Errorf("UnitsCompatible(%q,%q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	tests := []struct {
+		unit string
+		want UnitClass
+	}{
+		{"USD", ClassDollar},
+		{"CAD", ClassDollar},
+		{"EUR", ClassEuro},
+		{"%", ClassPercent},
+		{"GBP", ClassPound},
+		{"km", ClassPhysical},
+		{"patients", ClassUnknown},
+		{"", ClassUnknown},
+	}
+	for _, tc := range tests {
+		if got := ClassOf(tc.unit); got != tc.want {
+			t.Errorf("ClassOf(%q) = %v, want %v", tc.unit, got, tc.want)
+		}
+	}
+	if !IsCurrency("USD") || !IsCurrency("GBP") || IsCurrency("%") || IsCurrency("km") {
+		t.Error("IsCurrency misclassifies")
+	}
+}
+
+func TestFormatNormalized(t *testing.T) {
+	if got := FormatNormalized(500000, 0); got != "500000" {
+		t.Errorf("FormatNormalized = %q", got)
+	}
+	if got := FormatNormalized(1.5, 1); got != "1.5" {
+		t.Errorf("FormatNormalized = %q", got)
+	}
+}

@@ -1,0 +1,116 @@
+package quantity
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyParseCellRoundTrip: formatting a finite value and parsing it
+// back recovers the value exactly (at the formatted precision).
+func TestPropertyParseCellRoundTrip(t *testing.T) {
+	check := func(raw int32, decimals uint8) bool {
+		prec := int(decimals % 3)
+		v := float64(raw%1_000_000) / math.Pow(10, float64(prec))
+		s := FormatNormalized(v, prec)
+		m, ok := ParseCell(s)
+		if !ok {
+			// Only the empty-ish forms may fail, and FormatNormalized never
+			// produces those.
+			return false
+		}
+		want, _ := strconv.ParseFloat(s, 64)
+		return m.Value == want && m.Precision == prec
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyExtractTextSpans: for arbitrary generated sentences, every
+// extracted mention's span matches its surface and mentions are ordered and
+// non-overlapping.
+func TestPropertyExtractTextSpans(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	words := []string{"sales", "reached", "the", "figure", "of", "patients",
+		"total", "about", "for", "increased", "by", "units", "EUR", "overall"}
+	for trial := 0; trial < 300; trial++ {
+		n := 3 + rng.Intn(12)
+		text := ""
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				text += " "
+			}
+			if rng.Intn(3) == 0 {
+				text += fmt.Sprintf("%d", rng.Intn(100000))
+			} else {
+				text += words[rng.Intn(len(words))]
+			}
+		}
+		text += "."
+		mentions := ExtractText(text)
+		prevEnd := -1
+		for _, m := range mentions {
+			if m.Start < 0 || m.End > len(text) || m.Start >= m.End {
+				t.Fatalf("trial %d: bad span [%d,%d) in %q", trial, m.Start, m.End, text)
+			}
+			if text[m.Start:m.End] != m.Surface {
+				t.Fatalf("trial %d: surface %q != span %q", trial, m.Surface, text[m.Start:m.End])
+			}
+			if m.Start < prevEnd {
+				t.Fatalf("trial %d: overlapping mentions in %q", trial, text)
+			}
+			prevEnd = m.End
+			if math.IsNaN(m.Value) || math.IsInf(m.Value, 0) {
+				t.Fatalf("trial %d: non-finite value %v", trial, m.Value)
+			}
+		}
+	}
+}
+
+// TestPropertyAggApplySane: for random inputs, every defined aggregation
+// returns finite values and respects its arity contract.
+func TestPropertyAggApplySane(t *testing.T) {
+	// Web-table quantities live far below the float64 overflow frontier;
+	// clamp generated inputs to a realistic magnitude so Sum cannot
+	// legitimately overflow.
+	clamp := func(v float64) (float64, bool) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, false
+		}
+		return math.Mod(v, 1e12), true
+	}
+	check := func(a, b float64, extra []float64) bool {
+		var vals []float64
+		for _, v := range append([]float64{a, b}, extra...) {
+			c, ok := clamp(v)
+			if !ok {
+				return true
+			}
+			vals = append(vals, c)
+		}
+		for agg := SingleCell; agg < numAggs; agg++ {
+			lo, hi := agg.Arity()
+			v, ok := agg.Apply(vals)
+			if ok {
+				if len(vals) < lo || (hi >= 0 && len(vals) > hi) {
+					return false // applied outside its arity
+				}
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return false
+				}
+			}
+		}
+		// Wrong arity must always be rejected for the fixed-arity aggs.
+		if _, ok := Diff.Apply([]float64{a}); ok {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

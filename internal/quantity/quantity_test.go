@@ -1,0 +1,175 @@
+package quantity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAggApply(t *testing.T) {
+	tests := []struct {
+		agg  Agg
+		in   []float64
+		want float64
+		ok   bool
+	}{
+		{Sum, []float64{35, 38, 34, 11, 5}, 123, true}, // Fig. 1a column total
+		{Sum, []float64{1}, 0, false},
+		{Avg, []float64{2, 4}, 3, true},
+		{Diff, []float64{947, 900}, 47, true},
+		{Diff, []float64{1, 2, 3}, 0, false},
+		{Percent, []float64{2907, 5911}, 2907.0 / 5911.0 * 100, true}, // Fig. 5b male share ≈ 49.2%
+		{Percent, []float64{1, 0}, 0, false},
+		{Ratio, []float64{890, 876}, (890.0 - 876.0) / 890.0, true}, // Fig. 1c "increased by 1.5%"
+		{Ratio, []float64{0, 5}, 0, false},
+		{Min, []float64{34900, 36900, 33800}, 33800, true},
+		{Max, []float64{34900, 36900, 33800}, 36900, true},
+		{SingleCell, []float64{42}, 42, true},
+		{SingleCell, []float64{1, 2}, 0, false},
+	}
+	for _, tc := range tests {
+		got, ok := tc.agg.Apply(tc.in)
+		if ok != tc.ok {
+			t.Errorf("%v.Apply(%v) ok = %v, want %v", tc.agg, tc.in, ok, tc.ok)
+			continue
+		}
+		if ok && math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("%v.Apply(%v) = %v, want %v", tc.agg, tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRatioMatchesPaperExample(t *testing.T) {
+	// Fig. 1c: "Compared to the revenue of 2012, it increased by 1.5%."
+	// ratio('890','876') ≈ 1.5% — well, ratio(a,b) = (a-b)/a.
+	v, ok := Ratio.Apply([]float64{890, 876})
+	if !ok {
+		t.Fatal("ratio not ok")
+	}
+	if pct := v * 100; math.Abs(pct-1.5) > 0.1 {
+		t.Errorf("ratio(890,876) = %.3f%%, want ≈1.5%%", pct)
+	}
+}
+
+func TestAggString(t *testing.T) {
+	if Sum.String() != "sum" || SingleCell.String() != "single-cell" || Ratio.String() != "ratio" {
+		t.Error("unexpected Agg names")
+	}
+	if Agg(99).String() != "agg(99)" {
+		t.Errorf("out-of-range name: %s", Agg(99))
+	}
+	for a := SingleCell; a < numAggs; a++ {
+		if !a.Valid() {
+			t.Errorf("%v should be valid", a)
+		}
+	}
+	if Agg(-1).Valid() || Agg(NumAggs).Valid() {
+		t.Error("invalid aggs reported valid")
+	}
+}
+
+func TestAggArity(t *testing.T) {
+	for a := SingleCell; a < numAggs; a++ {
+		lo, hi := a.Arity()
+		if lo < 1 {
+			t.Errorf("%v arity lo = %d", a, lo)
+		}
+		if hi != -1 && hi < lo {
+			t.Errorf("%v arity hi < lo", a)
+		}
+	}
+}
+
+func TestOrderOfMagnitude(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want int
+	}{
+		{37000, 4}, {37, 1}, {0, 0}, {1, 0}, {0.05, -2}, {999, 2},
+		{1000, 3}, {-250, 2}, {math.Inf(1), 0}, {math.NaN(), 0},
+	}
+	for _, tc := range tests {
+		if got := OrderOfMagnitude(tc.v); got != tc.want {
+			t.Errorf("OrderOfMagnitude(%v) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	// Paper f9 example: scale difference of 37000 and 37 is 3.
+	if d := OrderOfMagnitude(37000) - OrderOfMagnitude(37); d != 3 {
+		t.Errorf("scale difference of 37000 vs 37 = %d, want 3", d)
+	}
+}
+
+func TestRelativeDifference(t *testing.T) {
+	if got := RelativeDifference(0, 0); got != 0 {
+		t.Errorf("RelDiff(0,0) = %v, want 0", got)
+	}
+	if got := RelativeDifference(5, 0); got != 1 {
+		t.Errorf("RelDiff(5,0) = %v, want 1", got)
+	}
+	if got := RelativeDifference(37000, 36900); math.Abs(got-100.0/37000.0) > 1e-12 {
+		t.Errorf("RelDiff(37000,36900) = %v", got)
+	}
+	check := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return true
+		}
+		d := RelativeDifference(x, y)
+		return d >= 0 && d <= 1 && d == RelativeDifference(y, x)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCueAggs(t *testing.T) {
+	hasAgg := func(aggs []Agg, want Agg) bool {
+		for _, a := range aggs {
+			if a == want {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasAgg(CueAggs("total"), Sum) {
+		t.Error(`"total" should cue sum`)
+	}
+	if !hasAgg(CueAggs("increased"), Ratio) {
+		t.Error(`"increased" should cue ratio`)
+	}
+	if !hasAgg(CueAggs("cheaper"), Diff) {
+		t.Error(`"cheaper" should cue diff`)
+	}
+	if !hasAgg(CueAggs("least"), Min) {
+		t.Error(`"least" should cue min`)
+	}
+	if CueAggs("banana") != nil {
+		t.Error(`"banana" should not be a cue`)
+	}
+}
+
+func TestCueApprox(t *testing.T) {
+	tests := []struct {
+		phrase string
+		want   Approx
+		ok     bool
+	}{
+		{"about", Approximate, true},
+		{"approximately", Approximate, true},
+		{"more than", LowerBound, true},
+		{"less than", UpperBound, true},
+		{"exactly", ApproxExact, true},
+		{"revenue", ApproxNone, false},
+	}
+	for _, tc := range tests {
+		got, ok := CueApprox(tc.phrase)
+		if ok != tc.ok || got != tc.want {
+			t.Errorf("CueApprox(%q) = (%v,%v), want (%v,%v)", tc.phrase, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestApproxString(t *testing.T) {
+	if Approximate.String() != "approximate" || UpperBound.String() != "upper-bound" {
+		t.Error("unexpected Approx names")
+	}
+}

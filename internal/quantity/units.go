@@ -1,0 +1,125 @@
+package quantity
+
+import "strings"
+
+// UnitClass groups canonical units into coarse families. The text-mention
+// tagger (§V-A) uses the classes dollar, euro, percent, pound, and unknown.
+type UnitClass int
+
+// Unit classes.
+const (
+	ClassUnknown UnitClass = iota
+	ClassDollar
+	ClassEuro
+	ClassPercent
+	ClassPound
+	ClassOtherCurrency
+	ClassPhysical
+)
+
+var unitClassNames = [...]string{"unknown", "dollar", "euro", "percent", "pound", "currency", "physical"}
+
+// String returns the canonical name of the unit class.
+func (c UnitClass) String() string {
+	if c < 0 || int(c) >= len(unitClassNames) {
+		return "unknown"
+	}
+	return unitClassNames[c]
+}
+
+// unitTable maps surface unit spellings (lowercase) to canonical unit names.
+var unitTable = map[string]string{
+	// currency symbols
+	"$": "USD", "€": "EUR", "£": "GBP", "¥": "JPY", "₹": "INR", "¢": "USD",
+	// currency codes and words
+	"usd": "USD", "dollar": "USD", "dollars": "USD", "us$": "USD",
+	"eur": "EUR", "euro": "EUR", "euros": "EUR",
+	"gbp": "GBP", "pound": "GBP", "pounds": "GBP",
+	"cdn": "CAD", "cad": "CAD",
+	"jpy": "JPY", "yen": "JPY",
+	"inr": "INR", "rupee": "INR", "rupees": "INR",
+	"chf": "CHF", "aud": "AUD",
+	// percent / rates
+	"%": "%", "percent": "%", "pct": "%", "per cent": "%",
+	"bps": "bps", "bp": "bps",
+	// physical and domain units
+	"mpge": "MPGe", "mpg": "MPG", "kwh": "kWh",
+	"km": "km", "kilometers": "km", "kilometres": "km",
+	"mi": "mi", "miles": "mi", "mph": "mph",
+	"kg": "kg", "kilograms": "kg", "g": "g", "grams": "g",
+	"lbs": "lb", "lb": "lb",
+	"g/km":     "g/km",
+	"patients": "patients", "units": "units", "people": "people",
+	"vehicles": "vehicles", "mg": "mg",
+	"points": "points", "seats": "seats", "votes": "votes",
+	"goals": "goals", "runs": "runs", "matches": "matches",
+}
+
+// unitClasses maps canonical unit names to their class.
+var unitClasses = map[string]UnitClass{
+	"USD": ClassDollar, "CAD": ClassDollar, "AUD": ClassDollar,
+	"EUR": ClassEuro,
+	"%":   ClassPercent, "bps": ClassPercent,
+	"GBP": ClassPound,
+	"JPY": ClassOtherCurrency, "INR": ClassOtherCurrency, "CHF": ClassOtherCurrency,
+	"MPGe": ClassPhysical, "MPG": ClassPhysical, "kWh": ClassPhysical,
+	"km": ClassPhysical, "mi": ClassPhysical, "mph": ClassPhysical,
+	"kg": ClassPhysical, "g": ClassPhysical, "lb": ClassPhysical,
+	"g/km": ClassPhysical, "mg": ClassPhysical,
+}
+
+// CanonicalUnit maps a surface unit spelling to its canonical name. The
+// second result reports whether the spelling is a known unit.
+func CanonicalUnit(s string) (string, bool) {
+	u, ok := unitTable[strings.ToLower(strings.TrimSpace(s))]
+	return u, ok
+}
+
+// ClassOf returns the class of a canonical unit name. Count-noun units
+// ("patients", "units") and unrecognized units report ClassUnknown.
+func ClassOf(canonical string) UnitClass {
+	if c, ok := unitClasses[canonical]; ok {
+		return c
+	}
+	return ClassUnknown
+}
+
+// IsCurrency reports whether the canonical unit is a currency.
+func IsCurrency(canonical string) bool {
+	switch ClassOf(canonical) {
+	case ClassDollar, ClassEuro, ClassPound, ClassOtherCurrency:
+		return true
+	}
+	return false
+}
+
+// UnitsCompatible reports whether two canonical units can plausibly denote
+// the same quantity: equal units always can; an unknown/absent unit is
+// compatible with anything (the mention may simply omit it); bps and % are
+// mutually compatible (1% = 100 bps).
+func UnitsCompatible(a, b string) bool {
+	if a == b || a == "" || b == "" {
+		return true
+	}
+	if (a == "%" && b == "bps") || (a == "bps" && b == "%") {
+		return true
+	}
+	return false
+}
+
+// scaleWords maps scale words and suffixes to multipliers (§III:
+// normalization such as "0.5 million" → 500000).
+var scaleWords = map[string]float64{
+	"k": 1e3, "thousand": 1e3, "thousands": 1e3,
+	"m": 1e6, "million": 1e6, "millions": 1e6, "mio": 1e6, "mn": 1e6,
+	"b": 1e9, "billion": 1e9, "billions": 1e9, "bn": 1e9, "mrd": 1e9,
+	"trillion": 1e12, "trillions": 1e12, "tn": 1e12,
+	"hundred": 1e2, "dozen": 12, "lakh": 1e5, "crore": 1e7,
+}
+
+// ScaleWord returns the multiplier for a scale word, and whether the word is
+// a scale word at all.
+func ScaleWord(s string) (float64, bool) {
+	f, ok := scaleWords[strings.ToLower(s)]
+	return f, ok
+}

@@ -1,0 +1,275 @@
+// Package quantsearch implements the paper's concluding vision (§XI):
+// quantity queries over web tables — "Internet companies with annual income
+// above 5 Mio. USD, electric cars with energy consumption below 100 MPGe".
+// Aligned documents are indexed into (entity, context, value, unit) entries;
+// queries combine keywords with a numeric comparison and a unit.
+package quantsearch
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"briq/internal/document"
+	"briq/internal/nlp"
+	"briq/internal/quantity"
+)
+
+// Entry is one indexed table quantity with its provenance.
+type Entry struct {
+	DocID   string
+	TableID string
+	Row     int
+	Col     int
+	Entity  string  // the row header naming what the value describes
+	Header  string  // the column header naming the measure
+	Value   float64 // normalized value
+	Unit    string  // canonical unit, "" if unknown
+}
+
+// Index is an inverted index over entries.
+type Index struct {
+	entries []Entry
+	byToken map[string][]int // lowercase token → entry indices (sorted, unique)
+}
+
+// BuildIndex indexes every numeric cell of the documents' tables. A table
+// shared by several documents is indexed once.
+func BuildIndex(docs []*document.Document) *Index {
+	ix := &Index{byToken: make(map[string][]int)}
+	seen := map[string]bool{}
+	for _, doc := range docs {
+		for _, tbl := range doc.Tables {
+			if seen[tbl.ID] {
+				continue
+			}
+			seen[tbl.ID] = true
+			captionTokens := nlp.ContentWords(tbl.Caption)
+			for _, cell := range tbl.NumericCells() {
+				e := Entry{
+					DocID:   doc.ID,
+					TableID: tbl.ID,
+					Row:     cell.Row,
+					Col:     cell.Col,
+					Value:   cell.Quantity.Value,
+					Unit:    cell.Quantity.Unit,
+				}
+				if cell.Row < len(tbl.RowHeaders) {
+					e.Entity = tbl.RowHeaders[cell.Row]
+				}
+				if cell.Col < len(tbl.ColHeaders) {
+					e.Header = tbl.ColHeaders[cell.Col]
+				}
+				id := len(ix.entries)
+				ix.entries = append(ix.entries, e)
+
+				tokens := map[string]bool{}
+				for _, w := range nlp.ContentWords(e.Entity) {
+					tokens[w] = true
+				}
+				for _, w := range nlp.ContentWords(e.Header) {
+					tokens[w] = true
+				}
+				for _, w := range captionTokens {
+					tokens[w] = true
+				}
+				for w := range tokens {
+					ix.byToken[w] = append(ix.byToken[w], id)
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// Size returns the number of indexed entries.
+func (ix *Index) Size() int { return len(ix.entries) }
+
+// Comparison is the numeric predicate of a query.
+type Comparison int
+
+// Comparisons.
+const (
+	Above Comparison = iota
+	Below
+	Equals
+	Between
+)
+
+// String names the comparison.
+func (c Comparison) String() string {
+	switch c {
+	case Above:
+		return "above"
+	case Below:
+		return "below"
+	case Between:
+		return "between"
+	default:
+		return "equals"
+	}
+}
+
+// Query is a parsed quantity query.
+type Query struct {
+	Keywords []string // lowercase content words that must match entry tokens
+	Op       Comparison
+	Value    float64
+	Value2   float64 // upper bound for Between
+	Unit     string  // canonical unit, "" = any
+}
+
+// ErrNoValue reports a query without a numeric threshold.
+var ErrNoValue = errors.New("quantsearch: query contains no numeric value")
+
+// comparatorCues map phrases to comparisons; multi-word cues are matched
+// before single words.
+var comparatorCues = []struct {
+	phrase string
+	op     Comparison
+}{
+	{"more than", Above}, {"greater than", Above}, {"at least", Above},
+	{"less than", Below}, {"at most", Below}, {"up to", Below},
+	{"above", Above}, {"over", Above}, {"exceeding", Above},
+	{"below", Below}, {"under", Below},
+	{"between", Between},
+	{"exactly", Equals}, {"equal to", Equals}, {"equals", Equals}, {"of", Equals},
+}
+
+// ParseQuery parses a natural-ish quantity query such as
+//
+//	"annual income above 5 million USD"
+//	"energy consumption below 100 MPGe"
+//	"votes between 10000 and 50000"
+func ParseQuery(s string) (Query, error) {
+	lower := strings.ToLower(s)
+	q := Query{Op: Equals}
+
+	opIdx := -1
+	opLen := 0
+	for _, cue := range comparatorCues {
+		if i := strings.Index(lower, " "+cue.phrase+" "); i >= 0 {
+			opIdx = i + 1
+			opLen = len(cue.phrase)
+			q.Op = cue.op
+			break
+		}
+	}
+
+	numericPart := s
+	keywordPart := s
+	if opIdx >= 0 {
+		keywordPart = s[:opIdx]
+		numericPart = s[opIdx+opLen:]
+	}
+
+	mentions := quantity.ExtractText(numericPart)
+	if len(mentions) == 0 {
+		// Comparator-free queries may still carry a trailing number.
+		mentions = quantity.ExtractText(s)
+		keywordPart = s
+	}
+	if len(mentions) == 0 {
+		return Query{}, ErrNoValue
+	}
+	q.Value = mentions[0].Value
+	q.Unit = mentions[0].Unit
+	if q.Op == Between {
+		if len(mentions) < 2 {
+			return Query{}, fmt.Errorf("quantsearch: 'between' needs two values")
+		}
+		q.Value2 = mentions[1].Value
+		if q.Value2 < q.Value {
+			q.Value, q.Value2 = q.Value2, q.Value
+		}
+		if u := mentions[1].Unit; q.Unit == "" {
+			q.Unit = u
+		}
+	}
+
+	for _, w := range nlp.ContentWords(keywordPart) {
+		// Drop comparator words and bare numbers from the keyword set.
+		if isComparatorWord(w) || (w[0] >= '0' && w[0] <= '9') {
+			continue
+		}
+		// Drop only the query's own unit word ("USD" in "above 5 USD");
+		// other unit-like words ("votes", "points") are content keywords.
+		if u, isUnit := quantity.CanonicalUnit(w); isUnit && q.Unit != "" && u == q.Unit {
+			continue
+		}
+		q.Keywords = append(q.Keywords, w)
+	}
+	return q, nil
+}
+
+func isComparatorWord(w string) bool {
+	for _, cue := range comparatorCues {
+		if cue.phrase == w {
+			return true
+		}
+	}
+	return w == "and"
+}
+
+// Result is a matched entry with its keyword score.
+type Result struct {
+	Entry
+	Matched int // number of query keywords found in the entry's tokens
+}
+
+// Search returns entries satisfying the query's numeric predicate and unit,
+// ranked by keyword matches (entries matching no keyword are excluded when
+// the query has keywords).
+func (ix *Index) Search(q Query) []Result {
+	// Candidate set: union of posting lists, or everything without keywords.
+	counts := map[int]int{}
+	if len(q.Keywords) == 0 {
+		for i := range ix.entries {
+			counts[i] = 0
+		}
+	} else {
+		for _, kw := range q.Keywords {
+			for _, id := range ix.byToken[kw] {
+				counts[id]++
+			}
+		}
+	}
+
+	var out []Result
+	for id, matched := range counts {
+		e := ix.entries[id]
+		if q.Unit != "" && e.Unit != "" && !quantity.UnitsCompatible(q.Unit, e.Unit) {
+			continue
+		}
+		ok := false
+		switch q.Op {
+		case Above:
+			ok = e.Value > q.Value
+		case Below:
+			ok = e.Value < q.Value
+		case Between:
+			ok = e.Value >= q.Value && e.Value <= q.Value2
+		case Equals:
+			ok = quantity.RelativeDifference(e.Value, q.Value) < 1e-9
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, Result{Entry: e, Matched: matched})
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Matched != out[j].Matched {
+			return out[i].Matched > out[j].Matched
+		}
+		if out[i].Value != out[j].Value {
+			return out[i].Value > out[j].Value
+		}
+		if out[i].TableID != out[j].TableID {
+			return out[i].TableID < out[j].TableID
+		}
+		return out[i].Row*1000+out[i].Col < out[j].Row*1000+out[j].Col
+	})
+	return out
+}

@@ -1,0 +1,106 @@
+// Package spreadsheet ingests CSV spreadsheets as BriQ tables — the
+// enterprise-content setting the paper names as future work (§XI:
+// "spreadsheets in documents"). A CSV sheet becomes a table.Table; a report
+// is a text body plus one or more sheets, segmented and aligned exactly like
+// a web page.
+package spreadsheet
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"briq/internal/document"
+	"briq/internal/table"
+)
+
+// ReadCSV parses one CSV sheet into a table. Blank-only trailing rows are
+// dropped; ragged rows are padded (spreadsheets exported from office tools
+// are frequently ragged).
+func ReadCSV(r io.Reader, id, caption string) (*table.Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // tolerate ragged rows
+	cr.TrimLeadingSpace = true
+
+	var grid [][]string
+	for {
+		record, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("spreadsheet %s: %w", id, err)
+		}
+		grid = append(grid, record)
+	}
+	// Drop trailing blank rows.
+	for len(grid) > 0 && blankRow(grid[len(grid)-1]) {
+		grid = grid[:len(grid)-1]
+	}
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("spreadsheet %s: no rows", id)
+	}
+	// Pad ragged rows.
+	width := 0
+	for _, row := range grid {
+		if len(row) > width {
+			width = len(row)
+		}
+	}
+	for i, row := range grid {
+		for len(row) < width {
+			row = append(row, "")
+		}
+		grid[i] = row
+	}
+	return table.New(id, caption, grid)
+}
+
+func blankRow(row []string) bool {
+	for _, cell := range row {
+		if strings.TrimSpace(cell) != "" {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadCSVFile reads a sheet from disk; the file's base name (without
+// extension) becomes the caption, which often names the sheet's topic.
+func ReadCSVFile(path string) (*table.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	base := filepath.Base(path)
+	caption := strings.TrimSuffix(base, filepath.Ext(base))
+	caption = strings.NewReplacer("_", " ", "-", " ").Replace(caption)
+	return ReadCSV(f, base, caption)
+}
+
+// Report is an enterprise report: narrative text plus its sheets.
+type Report struct {
+	ID     string
+	Text   string
+	Sheets []*table.Table
+}
+
+// Documents segments the report into alignable documents using the given
+// segmenter (nil for defaults).
+func (r *Report) Documents(seg *document.Segmenter) []*document.Document {
+	if seg == nil {
+		seg = document.NewSegmenter()
+	}
+	// Paragraph-split the narrative so each topic aligns with its sheet.
+	var paras []string
+	for _, p := range strings.Split(r.Text, "\n\n") {
+		if strings.TrimSpace(p) != "" {
+			paras = append(paras, strings.TrimSpace(p))
+		}
+	}
+	return seg.Segment(r.ID, paras, r.Sheets)
+}

@@ -1,0 +1,107 @@
+package spreadsheet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"briq/internal/core"
+	"briq/internal/quantity"
+	"briq/internal/table"
+)
+
+const salesCSV = `region,Q1,Q2,Q3
+North,120,135,150
+South,80,90,95
+West,200,210,230
+`
+
+func TestReadCSV(t *testing.T) {
+	tbl, err := ReadCSV(strings.NewReader(salesCSV), "sales", "quarterly sales by region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 3 || tbl.Cols() != 3 {
+		t.Fatalf("dims = %dx%d, want 3x3", tbl.Rows(), tbl.Cols())
+	}
+	if tbl.RowHeaders[0] != "North" || tbl.ColHeaders[1] != "Q2" {
+		t.Errorf("headers wrong: %v / %v", tbl.RowHeaders, tbl.ColHeaders)
+	}
+	if v := tbl.Cell(2, 2).Quantity.Value; v != 230 {
+		t.Errorf("cell(2,2) = %v, want 230", v)
+	}
+}
+
+func TestReadCSVRaggedAndBlank(t *testing.T) {
+	src := "a,b,c\n1,2\n4,5,6\n\n,,\n"
+	tbl, err := ReadCSV(strings.NewReader(src), "x", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 2 {
+		t.Errorf("rows = %d, want 2 (blank rows dropped)", tbl.Rows())
+	}
+	if tbl.Cols() != 3 {
+		t.Errorf("cols = %d, want 3 (ragged rows padded)", tbl.Cols())
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("\n\n"), "x", ""); err == nil {
+		t.Error("want error for empty sheet")
+	}
+}
+
+func TestReadCSVFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "regional_sales-2024.csv")
+	if err := os.WriteFile(path, []byte(salesCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Caption != "regional sales 2024" {
+		t.Errorf("caption = %q, want filename-derived", tbl.Caption)
+	}
+}
+
+func TestReportAlignment(t *testing.T) {
+	tbl, err := ReadCSV(strings.NewReader(salesCSV), "sales", "quarterly sales by region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := &Report{
+		ID: "r1",
+		Text: "The West region led with 230 sales in Q3.\n\n" +
+			"A total of 400 sales was recorded across all regions in Q1.",
+		Sheets: []*table.Table{tbl},
+	}
+	docs := report.Documents(nil)
+	if len(docs) != 2 {
+		t.Fatalf("want 2 documents, got %d", len(docs))
+	}
+
+	pipeline := core.NewPipeline()
+	var all []core.Alignment
+	for _, doc := range docs {
+		all = append(all, pipeline.Align(doc)...)
+	}
+	var got230, gotSum bool
+	for _, a := range all {
+		if a.Value == 230 && a.Agg == quantity.SingleCell {
+			got230 = true
+		}
+		if a.Agg == quantity.Sum && a.Value == 400 {
+			gotSum = true
+		}
+	}
+	if !got230 {
+		t.Errorf("West/Q3 cell 230 not aligned: %+v", all)
+	}
+	if !gotSum {
+		t.Errorf("column sum 400 not aligned: %+v", all)
+	}
+}

@@ -1,0 +1,202 @@
+// Package summarize implements the paper's motivating application (§I):
+// quantity-alignment-aware extractive text summarization. Once alignments
+// are known, the summarizer can tell which sentences reference table
+// aggregates (row/column totals, change ratios) and which merely restate
+// individual cells — "knowing that one sentence references a row sum, while
+// another discusses individual values in the same row, the summarization
+// algorithm could decide to include the former in the summary, but not the
+// latter." Selected sentences carry provenance: the table regions they
+// summarize.
+package summarize
+
+import (
+	"sort"
+	"strings"
+
+	"briq/internal/core"
+	"briq/internal/document"
+	"briq/internal/nlp"
+	"briq/internal/quantity"
+)
+
+// Sentence is one scored sentence of a summarized document.
+type Sentence struct {
+	Index      int // position in the document
+	Text       string
+	Score      float64
+	Alignments []core.Alignment // the quantity alignments inside this sentence
+	// CoversAggregate reports whether the sentence references at least one
+	// virtual cell (sum/diff/percent/ratio) — the high-value content.
+	CoversAggregate bool
+}
+
+// Summary is a selection of sentences with table provenance.
+type Summary struct {
+	Sentences []Sentence // selected, in document order
+	// CellCoverage maps table IDs to the number of distinct cells the
+	// summary's alignments touch.
+	CellCoverage map[string]int
+}
+
+// Text renders the summary as running text.
+func (s *Summary) Text() string {
+	parts := make([]string, len(s.Sentences))
+	for i, sent := range s.Sentences {
+		parts[i] = sent.Text
+	}
+	return strings.Join(parts, " ")
+}
+
+// Config controls sentence scoring.
+type Config struct {
+	// MaxSentences caps the summary length (default 3).
+	MaxSentences int
+	// AggregateBonus is added per aggregate alignment in a sentence: a
+	// sentence stating a total outranks sentences restating its addends.
+	AggregateBonus float64
+	// SingleCellWeight is the per-single-cell-alignment score.
+	SingleCellWeight float64
+	// RedundancyPenalty is subtracted when a sentence's aligned cells are
+	// already covered (as aggregate inputs) by an earlier selected sentence.
+	RedundancyPenalty float64
+	// PositionWeight favors early sentences (lead bias), in [0, 1].
+	PositionWeight float64
+}
+
+// DefaultConfig returns sensible defaults.
+func DefaultConfig() Config {
+	return Config{
+		MaxSentences:      3,
+		AggregateBonus:    1.0,
+		SingleCellWeight:  0.3,
+		RedundancyPenalty: 0.6,
+		PositionWeight:    0.15,
+	}
+}
+
+// Summarizer scores and selects sentences using a BriQ pipeline.
+type Summarizer struct {
+	Pipeline *core.Pipeline
+	Config   Config
+}
+
+// New returns a summarizer over the given pipeline (nil uses the default
+// pipeline).
+func New(p *core.Pipeline) *Summarizer {
+	if p == nil {
+		p = core.NewPipeline()
+	}
+	return &Summarizer{Pipeline: p, Config: DefaultConfig()}
+}
+
+// Summarize aligns the document and selects its most informative sentences.
+func (s *Summarizer) Summarize(doc *document.Document) Summary {
+	alignments := s.Pipeline.Align(doc)
+	return s.FromAlignments(doc, alignments)
+}
+
+// FromAlignments builds the summary from precomputed alignments (useful when
+// the caller already ran the pipeline).
+func (s *Summarizer) FromAlignments(doc *document.Document, alignments []core.Alignment) Summary {
+	cfg := s.Config
+	if cfg.MaxSentences <= 0 {
+		cfg.MaxSentences = 3
+	}
+	sentences := nlp.SplitSentences(doc.Text)
+	if len(sentences) == 0 {
+		return Summary{CellCoverage: map[string]int{}}
+	}
+
+	// Locate each alignment's sentence via its text mention.
+	perSentence := make([][]core.Alignment, len(sentences))
+	for _, a := range alignments {
+		si := doc.TextMentions[a.TextIndex].Sentence
+		if si >= 0 && si < len(sentences) {
+			perSentence[si] = append(perSentence[si], a)
+		}
+	}
+
+	// Score sentences.
+	scored := make([]Sentence, len(sentences))
+	for i, text := range sentences {
+		sent := Sentence{Index: i, Text: text, Alignments: perSentence[i]}
+		for _, a := range perSentence[i] {
+			if a.Agg == quantity.SingleCell {
+				sent.Score += cfg.SingleCellWeight
+			} else {
+				sent.Score += cfg.AggregateBonus
+				sent.CoversAggregate = true
+			}
+		}
+		// Lead bias — only for sentences that carry quantity content; a
+		// content-free opener must not outrank redundant-but-true
+		// restatements.
+		if len(sent.Alignments) > 0 {
+			sent.Score += cfg.PositionWeight * (1 - float64(i)/float64(len(sentences)))
+		}
+		scored[i] = sent
+	}
+
+	// Greedy selection with redundancy penalty: a sentence restating cells
+	// that an already selected aggregate covers is discounted.
+	covered := map[string]map[[2]int]bool{} // tableID → covered cells
+	markCovered := func(a core.Alignment) {
+		tm := doc.TableMentions[a.TableIndex]
+		id := tm.Table.ID
+		if covered[id] == nil {
+			covered[id] = map[[2]int]bool{}
+		}
+		for _, ref := range tm.Cells {
+			covered[id][[2]int{ref.Row, ref.Col}] = true
+		}
+	}
+	redundancy := func(sent Sentence) float64 {
+		var overlap int
+		for _, a := range sent.Alignments {
+			tm := doc.TableMentions[a.TableIndex]
+			cells := covered[tm.Table.ID]
+			if cells == nil {
+				continue
+			}
+			for _, ref := range tm.Cells {
+				if cells[[2]int{ref.Row, ref.Col}] {
+					overlap++
+				}
+			}
+		}
+		return float64(overlap) * cfg.RedundancyPenalty
+	}
+
+	remaining := make([]int, len(scored))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var selected []Sentence
+	for len(selected) < cfg.MaxSentences && len(remaining) > 0 {
+		bestPos, bestScore := -1, 0.0
+		for pos, si := range remaining {
+			eff := scored[si].Score - redundancy(scored[si])
+			if bestPos < 0 || eff > bestScore ||
+				(eff == bestScore && si < remaining[bestPos]) {
+				bestPos, bestScore = pos, eff
+			}
+		}
+		if bestScore <= 0 && len(selected) > 0 {
+			break // only redundant or empty sentences remain
+		}
+		si := remaining[bestPos]
+		selected = append(selected, scored[si])
+		for _, a := range scored[si].Alignments {
+			markCovered(a)
+		}
+		remaining = append(remaining[:bestPos], remaining[bestPos+1:]...)
+	}
+
+	sort.Slice(selected, func(i, j int) bool { return selected[i].Index < selected[j].Index })
+
+	coverage := map[string]int{}
+	for id, cells := range covered {
+		coverage[id] = len(cells)
+	}
+	return Summary{Sentences: selected, CellCoverage: coverage}
+}

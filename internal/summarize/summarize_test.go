@@ -1,0 +1,113 @@
+package summarize
+
+import (
+	"strings"
+	"testing"
+
+	"briq/internal/core"
+	"briq/internal/document"
+	"briq/internal/table"
+)
+
+func healthDoc(t *testing.T) *document.Document {
+	t.Helper()
+	tbl, err := table.New("t0", "side effects reported by patients", [][]string{
+		{"side effects", "male", "female", "total"},
+		{"Rash", "15", "20", "35"},
+		{"Depression", "13", "25", "38"},
+		{"Hypertension", "19", "15", "34"},
+		{"Nausea", "5", "6", "11"},
+		{"Eye Disorders", "2", "3", "5"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sentence 1 carries the aggregate; sentences 2-3 restate members.
+	text := "A total of 123 patients reported side effects in the trial. " +
+		"Rash affected 35 patients in the study overall period. " +
+		"Depression was reported by 38 patients. " +
+		"The weather during the trial was unremarkable."
+	docs := document.NewSegmenter().Segment("p", []string{text}, []*table.Table{tbl})
+	if len(docs) != 1 {
+		t.Fatal("segmentation failed")
+	}
+	return docs[0]
+}
+
+func TestSummarizePrefersAggregates(t *testing.T) {
+	doc := healthDoc(t)
+	s := New(nil)
+	s.Config.MaxSentences = 1
+	sum := s.Summarize(doc)
+	if len(sum.Sentences) != 1 {
+		t.Fatalf("want 1 sentence, got %d", len(sum.Sentences))
+	}
+	if !strings.Contains(sum.Sentences[0].Text, "total of 123") {
+		t.Errorf("summary should lead with the aggregate sentence, got %q", sum.Sentences[0].Text)
+	}
+	if !sum.Sentences[0].CoversAggregate {
+		t.Error("selected sentence should be marked as covering an aggregate")
+	}
+}
+
+func TestSummarizeRedundancyPenalty(t *testing.T) {
+	doc := healthDoc(t)
+	s := New(nil)
+	s.Config.MaxSentences = 2
+	sum := s.Summarize(doc)
+	if len(sum.Sentences) == 0 {
+		t.Fatal("empty summary")
+	}
+	// The no-quantity weather sentence must never be selected while
+	// quantity-bearing sentences remain.
+	for _, sent := range sum.Sentences {
+		if strings.Contains(sent.Text, "weather") {
+			t.Errorf("irrelevant sentence selected: %q", sent.Text)
+		}
+	}
+}
+
+func TestSummaryOrderAndText(t *testing.T) {
+	doc := healthDoc(t)
+	s := New(nil)
+	s.Config.MaxSentences = 3
+	sum := s.Summarize(doc)
+	for i := 1; i < len(sum.Sentences); i++ {
+		if sum.Sentences[i].Index <= sum.Sentences[i-1].Index {
+			t.Error("summary sentences not in document order")
+		}
+	}
+	text := sum.Text()
+	for _, sent := range sum.Sentences {
+		if !strings.Contains(text, sent.Text) {
+			t.Errorf("Text() missing %q", sent.Text)
+		}
+	}
+}
+
+func TestCellCoverage(t *testing.T) {
+	doc := healthDoc(t)
+	sum := New(nil).Summarize(doc)
+	if sum.CellCoverage["t0"] == 0 {
+		t.Error("no cell coverage recorded")
+	}
+}
+
+func TestSummarizeEmptyDocument(t *testing.T) {
+	s := New(core.NewPipeline())
+	sum := s.FromAlignments(&document.Document{Text: ""}, nil)
+	if len(sum.Sentences) != 0 {
+		t.Error("empty document should give empty summary")
+	}
+}
+
+func TestFromAlignmentsMatchesSummarize(t *testing.T) {
+	doc := healthDoc(t)
+	p := core.NewPipeline()
+	s := New(p)
+	direct := s.Summarize(doc)
+	via := s.FromAlignments(doc, p.Align(doc))
+	if direct.Text() != via.Text() {
+		t.Errorf("Summarize %q != FromAlignments %q", direct.Text(), via.Text())
+	}
+}
