@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test race bench experiments fmt
+
+all: test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Tier-1 gate: what CI runs on every change.
+test: build vet
+	$(GO) test ./...
+
+# Race-enabled suite — the concurrency contract (shared read-only Pipeline,
+# AlignAll fan-out, server handlers) is only trusted if this passes.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run ^$$ .
+
+experiments:
+	$(GO) run ./cmd/briq-experiments -table all
+
+fmt:
+	gofmt -l -w .

@@ -117,6 +117,8 @@ func main() {
 			}
 			rep, _ := experiment.RunTableVIII(lc, pipeline.P, *workers)
 			fmt.Println(rep)
+			stages, _ := experiment.RunStageBreakdown(lc, pipeline.P, *workers)
+			fmt.Println(stages)
 		}
 		if wanted("9") {
 			rep, _ := experiment.RunTableIX(lc, table.DefaultVirtualOptions())

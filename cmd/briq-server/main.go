@@ -1,27 +1,38 @@
-// Command briq-server exposes quantity alignment as an HTTP service.
+// Command briq-server exposes quantity alignment as a production HTTP
+// service.
 //
-//	briq-server [-addr :8080] [-trained] [-seed N]
+//	briq-server [-addr :8080] [-trained] [-seed N] [-workers N]
+//	            [-request-timeout 30s] [-shutdown-timeout 15s] [-pprof] [-quiet]
 //
 // Endpoints:
 //
-//	POST /align        HTML page body → JSON alignments
-//	POST /summarize    HTML page body → JSON table-aware summary
-//	GET  /healthz      liveness probe
+//	POST /align         HTML page body → JSON alignments
+//	POST /align/batch   JSON {"pages": [{"id", "html"}]} → per-page alignments,
+//	                    fanned out over the pipeline worker pool
+//	POST /summarize     HTML page body → JSON table-aware summary
+//	GET  /metrics       JSON snapshot: request/error counters, per-stage and
+//	                    per-endpoint latency histograms, batch volume
+//	GET  /healthz       liveness probe
+//	GET  /debug/pprof/  runtime profiles (only with -pprof)
+//
+// The server runs with read/write/idle timeouts and a per-request context
+// deadline. On SIGINT or SIGTERM it stops accepting connections, drains
+// in-flight requests for up to -shutdown-timeout, then exits.
 package main
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"briq"
-	"briq/internal/document"
-	"briq/internal/htmlx"
-	"briq/internal/summarize"
 )
 
 func main() {
@@ -31,6 +42,11 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	trained := flag.Bool("trained", false, "train models on a synthetic corpus at startup")
 	seed := flag.Int64("seed", 42, "training seed (with -trained)")
+	workers := flag.Int("workers", 0, "batch alignment workers (0 = all cores)")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 disables)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 15*time.Second, "drain window on SIGINT/SIGTERM")
+	enablePprof := flag.Bool("pprof", false, "serve /debug/pprof/ profiles")
+	quiet := flag.Bool("quiet", false, "disable per-request access logging")
 	flag.Parse()
 
 	pipeline := briq.New()
@@ -44,92 +60,58 @@ func main() {
 		log.Printf("trained models in %v", time.Since(start).Round(time.Millisecond))
 	}
 
-	srv := &server{pipeline: pipeline}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/align", srv.handleAlign)
-	mux.HandleFunc("/summarize", srv.handleSummarize)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	opts := serverOptions{
+		workers:        *workers,
+		requestTimeout: *requestTimeout,
+		enablePprof:    *enablePprof,
+	}
+	if !*quiet {
+		opts.logger = log.Default()
+	}
+	srv := newServer(pipeline, opts)
 
-	log.Printf("listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.routes(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      90 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	log.Printf("listening on %s (workers=%d, request-timeout=%v, pprof=%v)",
+		*addr, *workers, *requestTimeout, *enablePprof)
+	if err := serve(httpSrv, *shutdownTimeout); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("shutdown complete")
 }
 
-type server struct {
-	pipeline *briq.Pipeline
-}
+// serve runs the server until it fails or a termination signal arrives, then
+// drains gracefully for up to the given window before forcing connections
+// closed.
+func serve(srv *http.Server, drain time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
-// maxBody caps request bodies at 8 MiB — generous for web pages.
-const maxBody = 8 << 20
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 
-func (s *server) readPage(w http.ResponseWriter, r *http.Request) (string, bool) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST an HTML page body", http.StatusMethodNotAllowed)
-		return "", false
-	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
-	if err != nil {
-		http.Error(w, fmt.Sprintf("read body: %v", err), http.StatusBadRequest)
-		return "", false
-	}
-	if len(body) == 0 {
-		http.Error(w, "empty body", http.StatusBadRequest)
-		return "", false
-	}
-	return string(body), true
-}
-
-func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
-	src, ok := s.readPage(w, r)
-	if !ok {
-		return
-	}
-	alignments, err := briq.AlignHTML(s.pipeline, "request", src)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
-		return
-	}
-	writeJSON(w, map[string]any{"alignments": alignments})
-}
-
-func (s *server) handleSummarize(w http.ResponseWriter, r *http.Request) {
-	src, ok := s.readPage(w, r)
-	if !ok {
-		return
-	}
-	page := htmlx.ParseString(src)
-	seg := s.pipeline.Segmenter
-	if seg == nil {
-		seg = document.NewSegmenter()
-	}
-	docs, err := seg.SegmentPage("request", page)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
-		return
-	}
-	summarizer := summarize.New(s.pipeline)
-	type docSummary struct {
-		DocID     string   `json:"doc_id"`
-		Sentences []string `json:"sentences"`
-	}
-	var out []docSummary
-	for _, doc := range docs {
-		sum := summarizer.Summarize(doc)
-		ds := docSummary{DocID: doc.ID}
-		for _, sent := range sum.Sentences {
-			ds.Sentences = append(ds.Sentences, sent.Text)
+	select {
+	case err := <-errCh:
+		return fmt.Errorf("listen: %w", err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills immediately
+		log.Printf("signal received, draining for up to %v", drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			srv.Close()
+			return fmt.Errorf("graceful shutdown: %w", err)
 		}
-		out = append(out, ds)
-	}
-	writeJSON(w, map[string]any{"summaries": out})
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		log.Printf("encode response: %v", err)
+		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
 	}
 }

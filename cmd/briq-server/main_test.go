@@ -2,12 +2,18 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"briq"
+	"briq/internal/core"
 )
 
 const testPage = `<html><body>
@@ -23,13 +29,28 @@ const testPage = `<html><body>
 </table>
 </body></html>`
 
-func newTestServer() *server { return &server{pipeline: briq.New()} }
+func newTestServer() *server {
+	return newServer(briq.New(), serverOptions{workers: 2})
+}
+
+// do routes a request through the full middleware stack, exactly as the
+// listener would.
+func do(t *testing.T, srv *server, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var req *http.Request
+	if body == "" {
+		req = httptest.NewRequest(method, path, nil)
+	} else {
+		req = httptest.NewRequest(method, path, strings.NewReader(body))
+	}
+	rec := httptest.NewRecorder()
+	srv.routes().ServeHTTP(rec, req)
+	return rec
+}
 
 func TestHandleAlign(t *testing.T) {
 	srv := newTestServer()
-	req := httptest.NewRequest(http.MethodPost, "/align", strings.NewReader(testPage))
-	rec := httptest.NewRecorder()
-	srv.handleAlign(rec, req)
+	rec := do(t, srv, http.MethodPost, "/align", testPage)
 
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
@@ -54,29 +75,192 @@ func TestHandleAlign(t *testing.T) {
 	}
 }
 
-func TestHandleAlignRejectsGet(t *testing.T) {
-	srv := newTestServer()
-	rec := httptest.NewRecorder()
-	srv.handleAlign(rec, httptest.NewRequest(http.MethodGet, "/align", nil))
-	if rec.Code != http.StatusMethodNotAllowed {
-		t.Errorf("status = %d, want 405", rec.Code)
+// TestErrorPaths drives every endpoint's failure modes through the middleware
+// and checks both the status code and the error counters.
+func TestErrorPaths(t *testing.T) {
+	bigBody := strings.Repeat("a", maxBody+1)
+	manyPages := `{"pages": [`
+	for i := 0; i <= maxBatchPages; i++ {
+		if i > 0 {
+			manyPages += ","
+		}
+		manyPages += fmt.Sprintf(`{"id": "p%d", "html": "<p>x %d</p>"}`, i, i)
+	}
+	manyPages += `]}`
+
+	tests := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+	}{
+		{"align wrong method", http.MethodGet, "/align", "", http.StatusMethodNotAllowed},
+		{"align empty body", http.MethodPost, "/align", "", http.StatusBadRequest},
+		{"align body over maxBody", http.MethodPost, "/align", bigBody, http.StatusBadRequest},
+		{"align malformed (non-UTF-8) HTML", http.MethodPost, "/align", "<p>\xff\xfe broken</p>", http.StatusBadRequest},
+		{"summarize wrong method", http.MethodGet, "/summarize", "", http.StatusMethodNotAllowed},
+		{"summarize empty body", http.MethodPost, "/summarize", "", http.StatusBadRequest},
+		{"batch wrong method", http.MethodGet, "/align/batch", "", http.StatusMethodNotAllowed},
+		{"batch malformed JSON", http.MethodPost, "/align/batch", `{"pages": [`, http.StatusBadRequest},
+		{"batch no pages", http.MethodPost, "/align/batch", `{"pages": []}`, http.StatusBadRequest},
+		{"batch empty html", http.MethodPost, "/align/batch", `{"pages": [{"id": "a", "html": ""}]}`, http.StatusBadRequest},
+		{"batch duplicate ids", http.MethodPost, "/align/batch", `{"pages": [{"id": "a", "html": "<p>1</p>"}, {"id": "a", "html": "<p>2</p>"}]}`, http.StatusBadRequest},
+		{"batch non-UTF-8 html", http.MethodPost, "/align/batch", `{"pages": [{"id": "a", "html": "�"}]}`, http.StatusOK}, // JSON cannot carry invalid UTF-8; replacement chars are fine
+		{"batch too many pages", http.MethodPost, "/align/batch", manyPages, http.StatusRequestEntityTooLarge},
+		{"metrics wrong method", http.MethodPost, "/metrics", "", http.StatusMethodNotAllowed},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			srv := newTestServer()
+			rec := do(t, srv, tt.method, tt.path, tt.body)
+			if rec.Code != tt.wantStatus {
+				t.Fatalf("status = %d, want %d (body: %.200s)", rec.Code, tt.wantStatus, rec.Body.String())
+			}
+			if tt.wantStatus >= 400 && tt.wantStatus < 500 {
+				if got := srv.metrics.errors.Get("http_4xx"); got != 1 {
+					t.Errorf("http_4xx counter = %d, want 1", got)
+				}
+			}
+		})
 	}
 }
 
-func TestHandleAlignRejectsEmptyBody(t *testing.T) {
+func TestHandleAlignBatch(t *testing.T) {
 	srv := newTestServer()
+	body, _ := json.Marshal(batchRequest{Pages: []batchPage{
+		{ID: "first", HTML: testPage},
+		{HTML: testPage}, // unnamed → page1
+		{ID: "plain", HTML: "<p>no tables here, just 42 words</p>"},
+	}})
+	rec := do(t, srv, http.MethodPost, "/align/batch", string(body))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	var resp struct {
+		Pages      []batchPageResult `json:"pages"`
+		Documents  int               `json:"documents"`
+		Alignments int               `json:"alignments"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Pages) != 3 {
+		t.Fatalf("pages in response = %d, want 3", len(resp.Pages))
+	}
+	if resp.Pages[0].ID != "first" || resp.Pages[1].ID != "page1" || resp.Pages[2].ID != "plain" {
+		t.Errorf("page ids = %q, %q, %q", resp.Pages[0].ID, resp.Pages[1].ID, resp.Pages[2].ID)
+	}
+	for i := 0; i < 2; i++ {
+		if len(resp.Pages[i].Alignments) == 0 {
+			t.Errorf("page %d: no alignments", i)
+		}
+		for _, a := range resp.Pages[i].Alignments {
+			if !strings.HasPrefix(a.DocID, resp.Pages[i].ID) {
+				t.Errorf("page %d: alignment doc %q not from this page", i, a.DocID)
+			}
+		}
+	}
+	// A page without tables aligns nothing but still reports as empty, not null.
+	if resp.Pages[2].Alignments == nil || len(resp.Pages[2].Alignments) != 0 {
+		t.Errorf("tableless page alignments = %v, want []", resp.Pages[2].Alignments)
+	}
+	if resp.Alignments == 0 || resp.Documents == 0 {
+		t.Errorf("totals = %d docs / %d alignments, want > 0", resp.Documents, resp.Alignments)
+	}
+}
+
+// TestMetricsChangeAfterBatch is the acceptance check: stage latency and
+// request counters visible in GET /metrics must move after a 3-page batch.
+func TestMetricsChangeAfterBatch(t *testing.T) {
+	srv := newTestServer()
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	snapshot := func() map[string]any {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	before := snapshot()
+	if n := before["requests"].(map[string]any)["align_batch"].(float64); n != 0 {
+		t.Fatalf("cold server align_batch count = %v", n)
+	}
+
+	body, _ := json.Marshal(batchRequest{Pages: []batchPage{
+		{ID: "a", HTML: testPage}, {ID: "b", HTML: testPage}, {ID: "c", HTML: testPage},
+	}})
+	resp, err := http.Post(ts.URL+"/align/batch", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+
+	after := snapshot()
+	if n := after["requests"].(map[string]any)["align_batch"].(float64); n != 1 {
+		t.Errorf("align_batch count = %v, want 1", n)
+	}
+	if n := after["batch"].(map[string]any)["pages"].(float64); n != 3 {
+		t.Errorf("batch pages counter = %v, want 3", n)
+	}
+	stages := after["stages"].(map[string]any)
+	for _, stage := range []string{core.StageSegment, core.StageClassify, core.StageFilter, core.StageResolve} {
+		s := stages[stage].(map[string]any)
+		if count := s["count"].(float64); count == 0 {
+			t.Errorf("stage %q count still 0 after batch", stage)
+		}
+		if sum := s["sum_ms"].(float64); sum <= 0 {
+			t.Errorf("stage %q sum_ms = %v, want > 0", stage, sum)
+		}
+	}
+}
+
+// TestInstrumentRecoversPanics locks in the recovery middleware: a panicking
+// handler yields a 500, bumps the panic counter, and leaves the server alive.
+func TestInstrumentRecoversPanics(t *testing.T) {
+	srv := newTestServer()
+	h := srv.instrument("align", func(http.ResponseWriter, *http.Request) {
+		panic("handler exploded")
+	})
 	rec := httptest.NewRecorder()
-	srv.handleAlign(rec, httptest.NewRequest(http.MethodPost, "/align", strings.NewReader("")))
-	if rec.Code != http.StatusBadRequest {
-		t.Errorf("status = %d, want 400", rec.Code)
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/align", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", rec.Code)
+	}
+	if got := srv.metrics.errors.Get("panics"); got != 1 {
+		t.Errorf("panics counter = %d, want 1", got)
+	}
+	if got := srv.metrics.errors.Get("http_5xx"); got != 1 {
+		t.Errorf("http_5xx counter = %d, want 1", got)
+	}
+}
+
+// TestRequestDeadline verifies the per-request context deadline answers 503
+// at the next cooperative checkpoint instead of burning CPU.
+func TestRequestDeadline(t *testing.T) {
+	srv := newServer(briq.New(), serverOptions{workers: 1, requestTimeout: time.Nanosecond})
+	body, _ := json.Marshal(batchRequest{Pages: []batchPage{{ID: "a", HTML: testPage}}})
+	rec := do(t, srv, http.MethodPost, "/align/batch", string(body))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", rec.Code)
 	}
 }
 
 func TestHandleSummarize(t *testing.T) {
 	srv := newTestServer()
-	req := httptest.NewRequest(http.MethodPost, "/summarize", strings.NewReader(testPage))
-	rec := httptest.NewRecorder()
-	srv.handleSummarize(rec, req)
+	rec := do(t, srv, http.MethodPost, "/summarize", testPage)
 
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
@@ -92,5 +276,57 @@ func TestHandleSummarize(t *testing.T) {
 	}
 	if len(resp.Summaries) == 0 || len(resp.Summaries[0].Sentences) == 0 {
 		t.Fatalf("empty summary: %s", rec.Body.String())
+	}
+}
+
+// TestWriteJSONEncodeFailure is the writeJSON regression test: when encoding
+// fails before anything is written, the client gets a clean 500, not a
+// half-committed 200.
+func TestWriteJSONEncodeFailure(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, map[string]any{"bad": math.NaN()})
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", rec.Code)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "encode response") {
+		t.Errorf("body = %q, want encode failure message", body)
+	}
+}
+
+func TestWriteJSONSetsStatusBeforeBody(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusCreated, map[string]any{"ok": true})
+	if rec.Code != http.StatusCreated {
+		t.Errorf("status = %d, want 201", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var v map[string]bool
+	if err := json.NewDecoder(rec.Body).Decode(&v); err != nil || !v["ok"] {
+		t.Errorf("body did not round-trip: %v %v", v, err)
+	}
+}
+
+// TestServeGracefulShutdown exercises the real signal path: serve must return
+// cleanly (not crash, not hang) after SIGTERM.
+func TestServeGracefulShutdown(t *testing.T) {
+	srv := newTestServer()
+	httpSrv := &http.Server{Addr: "127.0.0.1:0", Handler: srv.routes()}
+	done := make(chan error, 1)
+	go func() { done <- serve(httpSrv, 5*time.Second) }()
+	// Let serve register its signal handler before the signal fires; an
+	// unhandled SIGTERM would kill the whole test binary.
+	time.Sleep(300 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v, want clean shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down after SIGTERM")
 	}
 }

@@ -1,0 +1,350 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"runtime/debug"
+	"time"
+	"unicode/utf8"
+
+	"briq"
+	"briq/internal/core"
+	"briq/internal/document"
+	"briq/internal/htmlx"
+	"briq/internal/summarize"
+)
+
+// maxBody caps request bodies at 8 MiB — generous for web pages.
+const maxBody = 8 << 20
+
+// maxBatchPages caps one /align/batch request; larger workloads should shard
+// across requests so a single call cannot monopolize the worker pool.
+const maxBatchPages = 256
+
+// serverOptions configure the HTTP layer around the pipeline.
+type serverOptions struct {
+	workers        int           // AlignAll fan-out width (≤0 = GOMAXPROCS)
+	requestTimeout time.Duration // per-request context deadline (0 = none)
+	enablePprof    bool
+	logger         *log.Logger // nil silences request logging
+}
+
+type server struct {
+	pipeline *briq.Pipeline
+	metrics  *metrics
+	opts     serverOptions
+}
+
+// newServer wires a pipeline into the HTTP layer. The pipeline's Recorder is
+// pointed at the server's metrics before any request runs — after that the
+// pipeline is shared read-only across handler goroutines.
+func newServer(pipeline *briq.Pipeline, opts serverOptions) *server {
+	if opts.logger == nil {
+		opts.logger = log.New(io.Discard, "", 0)
+	}
+	m := newMetrics()
+	pipeline.Recorder = m.stages
+	return &server{pipeline: pipeline, metrics: m, opts: opts}
+}
+
+// routes builds the full handler tree, every endpoint wrapped in the
+// logging/recovery/metrics middleware.
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/align", s.instrument("align", s.handleAlign))
+	mux.Handle("/align/batch", s.instrument("align_batch", s.handleAlignBatch))
+	mux.Handle("/summarize", s.instrument("summarize", s.handleSummarize))
+	mux.Handle("/metrics", s.instrument("metrics", s.handleMetrics))
+	mux.Handle("/healthz", s.instrument("healthz", s.handleHealthz))
+	if s.opts.enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// statusWriter captures the response status for logging and error counting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the production middleware: request
+// counting, per-request context deadline, panic recovery (500 + counter, the
+// process survives), status-class error counters, endpoint latency, and an
+// access log line.
+func (s *server) instrument(name string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.requests.Inc(name)
+		s.metrics.requests.Inc("total")
+
+		ctx := r.Context()
+		if s.opts.requestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.opts.requestTimeout)
+			defer cancel()
+		}
+
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			if v := recover(); v != nil {
+				s.metrics.errors.Inc("panics")
+				if sw.status == 0 {
+					http.Error(sw, "internal server error", http.StatusInternalServerError)
+				}
+				s.opts.logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+			}
+			switch {
+			case sw.status >= 500:
+				s.metrics.errors.Inc("http_5xx")
+			case sw.status >= 400:
+				s.metrics.errors.Inc("http_4xx")
+			}
+			s.metrics.handlers.Observe(name, time.Since(start))
+			s.opts.logger.Printf("%s %s %d %v", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+		}()
+
+		h(sw, r.WithContext(ctx))
+	})
+}
+
+// readPage reads and validates a raw-HTML request body. It reports the
+// failure itself and returns ok=false when the request is unusable.
+func (s *server) readPage(w http.ResponseWriter, r *http.Request) (string, bool) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST an HTML page body", http.StatusMethodNotAllowed)
+		return "", false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("read body: %v", err), http.StatusBadRequest)
+		return "", false
+	}
+	if len(body) == 0 {
+		http.Error(w, "empty body", http.StatusBadRequest)
+		return "", false
+	}
+	if !utf8.Valid(body) {
+		http.Error(w, "body is not valid UTF-8 text", http.StatusBadRequest)
+		return "", false
+	}
+	return string(body), true
+}
+
+func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
+	src, ok := s.readPage(w, r)
+	if !ok {
+		return
+	}
+	if deadlineExceeded(w, r.Context()) {
+		return
+	}
+	alignments, err := briq.AlignHTML(s.pipeline, "request", src)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"alignments": alignments})
+}
+
+// batchRequest is the POST /align/batch body.
+type batchRequest struct {
+	Pages []batchPage `json:"pages"`
+}
+
+type batchPage struct {
+	ID   string `json:"id"` // optional; defaults to page<index>
+	HTML string `json:"html"`
+}
+
+type batchPageResult struct {
+	ID         string           `json:"id"`
+	Documents  int              `json:"documents"`
+	Alignments []briq.Alignment `json:"alignments"`
+}
+
+// handleAlignBatch aligns many pages in one request: each page is segmented,
+// then all documents fan out over the pipeline's AlignAll worker pool —
+// cross-page parallelism rather than page-at-a-time.
+func (s *server) handleAlignBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, `POST JSON {"pages": [{"id": ..., "html": ...}]}`, http.StatusMethodNotAllowed)
+		return
+	}
+	var req batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("decode request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Pages) == 0 {
+		http.Error(w, "no pages in request", http.StatusBadRequest)
+		return
+	}
+	if len(req.Pages) > maxBatchPages {
+		http.Error(w, fmt.Sprintf("too many pages: %d > %d", len(req.Pages), maxBatchPages), http.StatusRequestEntityTooLarge)
+		return
+	}
+
+	seg := s.pipeline.Segmenter
+	if seg == nil {
+		seg = document.NewSegmenter()
+	}
+
+	results := make([]batchPageResult, len(req.Pages))
+	var docs []*document.Document
+	docPage := make(map[string]int) // document ID → page index
+	seenID := make(map[string]int)
+	for i, pg := range req.Pages {
+		if deadlineExceeded(w, r.Context()) {
+			return
+		}
+		id := pg.ID
+		if id == "" {
+			id = fmt.Sprintf("page%d", i)
+		}
+		if prev, dup := seenID[id]; dup {
+			http.Error(w, fmt.Sprintf("duplicate page id %q (pages %d and %d)", id, prev, i), http.StatusBadRequest)
+			return
+		}
+		seenID[id] = i
+		results[i] = batchPageResult{ID: id, Alignments: []briq.Alignment{}}
+		if pg.HTML == "" {
+			http.Error(w, fmt.Sprintf("page %q: empty html", id), http.StatusBadRequest)
+			return
+		}
+		if !utf8.ValidString(pg.HTML) {
+			http.Error(w, fmt.Sprintf("page %q: html is not valid UTF-8", id), http.StatusBadRequest)
+			return
+		}
+
+		segStart := time.Now()
+		pdocs, err := seg.SegmentPage(id, htmlx.ParseString(pg.HTML))
+		s.metrics.stages.Observe(core.StageSegment, time.Since(segStart))
+		if err != nil {
+			http.Error(w, fmt.Sprintf("page %q: %v", id, err), http.StatusUnprocessableEntity)
+			return
+		}
+		results[i].Documents = len(pdocs)
+		for _, doc := range pdocs {
+			docPage[doc.ID] = i
+		}
+		docs = append(docs, pdocs...)
+	}
+	if deadlineExceeded(w, r.Context()) {
+		return
+	}
+
+	aligned := s.pipeline.AlignAll(docs, s.opts.workers)
+	for _, a := range aligned {
+		i, ok := docPage[a.DocID]
+		if !ok {
+			continue
+		}
+		results[i].Alignments = append(results[i].Alignments, a)
+	}
+
+	s.metrics.batch.Add("pages", int64(len(req.Pages)))
+	s.metrics.batch.Add("documents", int64(len(docs)))
+	s.metrics.batch.Add("alignments", int64(len(aligned)))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"pages":      results,
+		"documents":  len(docs),
+		"alignments": len(aligned),
+	})
+}
+
+func (s *server) handleSummarize(w http.ResponseWriter, r *http.Request) {
+	src, ok := s.readPage(w, r)
+	if !ok {
+		return
+	}
+	page := htmlx.ParseString(src)
+	seg := s.pipeline.Segmenter
+	if seg == nil {
+		seg = document.NewSegmenter()
+	}
+	docs, err := seg.SegmentPage("request", page)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	summarizer := summarize.New(s.pipeline)
+	type docSummary struct {
+		DocID     string   `json:"doc_id"`
+		Sentences []string `json:"sentences"`
+	}
+	var out []docSummary
+	for _, doc := range docs {
+		sum := summarizer.Summarize(doc)
+		ds := docSummary{DocID: doc.ID}
+		for _, sent := range sum.Sentences {
+			ds.Sentences = append(ds.Sentences, sent.Text)
+		}
+		out = append(out, ds)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"summaries": out})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.metrics.snapshot())
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+// deadlineExceeded reports (and answers with 503) an expired request context
+// — the cooperative checkpoints between pipeline phases, since alignment
+// itself is CPU-bound and cannot be interrupted mid-document.
+func deadlineExceeded(w http.ResponseWriter, ctx context.Context) bool {
+	if ctx.Err() == nil {
+		return false
+	}
+	http.Error(w, "request deadline exceeded", http.StatusServiceUnavailable)
+	return true
+}
+
+// writeJSON encodes v to a buffer first, so an encoding failure can still
+// produce a clean 500 — once WriteHeader has fired the status is committed
+// and a half-written body is all the client would get.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, fmt.Sprintf("encode response: %v", err), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		// Headers are gone; nothing to do but note the broken pipe.
+		log.Printf("write response: %v", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"briq/internal/document"
 	"briq/internal/feature"
@@ -17,9 +18,26 @@ import (
 	"briq/internal/forest"
 	"briq/internal/graph"
 	"briq/internal/htmlx"
+	"briq/internal/obs"
 	"briq/internal/quantity"
 	"briq/internal/tagger"
 )
+
+// Stage names under which the pipeline reports timings to its Recorder. The
+// first three are the per-document stages of Fig. 2; StageSegment covers
+// page→document extraction and StageAlign the whole per-document run.
+const (
+	StageClassify = "classify" // ScorePairs: mention-pair feature scoring
+	StageFilter   = "filter"   // adaptive candidate filtering
+	StageResolve  = "rwr"      // graph build + random walks with restart
+	StageSegment  = "segment"  // HTML page → documents
+	StageAlign    = "align"    // full per-document Align
+)
+
+// StageNames lists every stage the pipeline reports, in pipeline order.
+func StageNames() []string {
+	return []string{StageSegment, StageClassify, StageFilter, StageResolve, StageAlign}
+}
 
 // Alignment is one resolved text↔table quantity alignment, the system's
 // output unit.
@@ -49,6 +67,12 @@ type Pipeline struct {
 	FilterConfig filter.Config
 	GraphConfig  graph.Config
 	Segmenter    *document.Segmenter
+
+	// Recorder, when non-nil, receives per-stage latencies (StageClassify,
+	// StageFilter, StageResolve, …) for every document aligned. It must be
+	// set before the pipeline is shared across goroutines; after that the
+	// pipeline is read-only and the Recorder itself is concurrency-safe.
+	Recorder *obs.Recorder
 }
 
 // NewPipeline returns a pipeline with default configuration, the rule-based
@@ -101,17 +125,30 @@ func (p *Pipeline) score(full []float64) float64 {
 }
 
 // Align runs the full pipeline on one document and returns its alignments in
-// text-mention order.
+// text-mention order. Stage latencies are reported to the pipeline's Recorder
+// when one is set.
 func (p *Pipeline) Align(doc *document.Document) []Alignment {
+	rec := p.Recorder
+	alignStart := time.Now()
+
+	start := alignStart
 	candidates := p.ScorePairs(doc)
+	rec.Observe(StageClassify, time.Since(start))
+
+	start = time.Now()
 	filtered := filter.Apply(p.FilterConfig, doc, p.Tagger, candidates)
+	rec.Observe(StageFilter, time.Since(start))
+
+	start = time.Now()
 	g := graph.Build(p.GraphConfig, doc, filtered.Kept)
 	resolved := g.Resolve()
+	rec.Observe(StageResolve, time.Since(start))
 
 	out := make([]Alignment, 0, len(resolved))
 	for _, a := range resolved {
 		out = append(out, p.toAlignment(doc, a.Text, a.Table, a.Score))
 	}
+	rec.Observe(StageAlign, time.Since(alignStart))
 	return out
 }
 
@@ -140,7 +177,9 @@ func (p *Pipeline) AlignPage(pageID string, page *htmlx.Page) ([]Alignment, erro
 	if seg == nil {
 		seg = document.NewSegmenter()
 	}
+	start := time.Now()
 	docs, err := seg.SegmentPage(pageID, page)
+	p.Recorder.Observe(StageSegment, time.Since(start))
 	if err != nil {
 		return nil, fmt.Errorf("segment page %s: %w", pageID, err)
 	}
@@ -167,6 +206,7 @@ func (p *Pipeline) AlignAll(docs []*document.Document, workers int) []Alignment 
 		for _, doc := range docs {
 			out = append(out, p.Align(doc)...)
 		}
+		sortAlignments(out)
 		return out
 	}
 
@@ -192,11 +232,18 @@ func (p *Pipeline) AlignAll(docs []*document.Document, workers int) []Alignment 
 	for _, r := range results {
 		out = append(out, r...)
 	}
+	sortAlignments(out)
+	return out
+}
+
+// sortAlignments orders alignments by document ID then text mention — the
+// order AlignAll promises regardless of worker count, so serial and parallel
+// runs are bit-for-bit identical.
+func sortAlignments(out []Alignment) {
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].DocID != out[j].DocID {
 			return out[i].DocID < out[j].DocID
 		}
 		return out[i].TextIndex < out[j].TextIndex
 	})
-	return out
 }

@@ -1,0 +1,114 @@
+package core_test
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"briq/internal/core"
+	"briq/internal/corpus"
+	"briq/internal/htmlx"
+	"briq/internal/obs"
+)
+
+// stressPage builds a small HTML page whose numbers vary by seed, so distinct
+// goroutines align distinct pages.
+func stressPage(n int) string {
+	a, b := 10+n, 20+n
+	return fmt.Sprintf(`<html><body>
+<p>A total of %d wins were recorded, with %d home wins.</p>
+<table><caption>wins by venue</caption>
+<tr><th>team</th><th>home</th><th>away</th><th>total</th></tr>
+<tr><td>Reds</td><td>%d</td><td>%d</td><td>%d</td></tr>
+<tr><td>Blues</td><td>7</td><td>3</td><td>10</td></tr>
+</table></body></html>`, a+b+10, a, a, b-10, a+b-10)
+}
+
+// TestAlignAllMatchesSerial asserts determinism under parallelism: a shared
+// pipeline hammered through the worker pool must produce exactly the serial
+// path's alignments.
+func TestAlignAllMatchesSerial(t *testing.T) {
+	c := corpus.Generate(corpus.TableLConfig(21, 30))
+	p := core.NewPipeline()
+	p.Recorder = obs.NewRecorder() // exercise instrumentation under concurrency
+
+	serial := p.AlignAll(c.Docs, 1)
+	if len(serial) == 0 {
+		t.Fatal("serial alignment produced nothing; corpus too small?")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		parallel := p.AlignAll(c.Docs, workers)
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("workers=%d: parallel alignments differ from serial (%d vs %d)",
+				workers, len(parallel), len(serial))
+		}
+	}
+	if got := p.Recorder.Snapshot()[core.StageAlign].Count; got == 0 {
+		t.Error("recorder saw no align observations")
+	}
+}
+
+// TestPipelineSharedAcrossGoroutines hammers one instrumented *Pipeline from
+// many goroutines mixing AlignAll batches and direct AlignPage calls on
+// distinct pages, asserting per-goroutine results match precomputed serial
+// answers. Run under -race this is the audit that a shared pipeline is
+// read-only after construction.
+func TestPipelineSharedAcrossGoroutines(t *testing.T) {
+	c := corpus.Generate(corpus.TableLConfig(22, 20))
+	shared := core.NewPipeline()
+	shared.Recorder = obs.NewRecorder()
+
+	wantDocs := shared.AlignAll(c.Docs, 1)
+
+	const pages = 8
+	wantPage := make([][]core.Alignment, pages)
+	for i := 0; i < pages; i++ {
+		page := htmlx.ParseString(stressPage(i))
+		got, err := shared.AlignPage(fmt.Sprintf("p%d", i), page)
+		if err != nil {
+			t.Fatalf("serial AlignPage %d: %v", i, err)
+		}
+		if len(got) == 0 {
+			t.Fatalf("page %d aligned nothing; stress page broken", i)
+		}
+		wantPage[i] = got
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, pages*2)
+	for i := 0; i < pages; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			page := htmlx.ParseString(stressPage(i))
+			got, err := shared.AlignPage(fmt.Sprintf("p%d", i), page)
+			if err != nil {
+				errs <- fmt.Errorf("AlignPage %d: %v", i, err)
+				return
+			}
+			if !reflect.DeepEqual(got, wantPage[i]) {
+				errs <- fmt.Errorf("page %d: concurrent result differs from serial", i)
+			}
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			got := shared.AlignAll(c.Docs, 4)
+			if !reflect.DeepEqual(got, wantDocs) {
+				errs <- fmt.Errorf("AlignAll run %d differs from serial", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	snap := shared.Recorder.Snapshot()
+	for _, stage := range []string{core.StageClassify, core.StageFilter, core.StageResolve} {
+		if snap[stage].Count == 0 {
+			t.Errorf("stage %q never reported to the recorder", stage)
+		}
+	}
+}

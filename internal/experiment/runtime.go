@@ -7,6 +7,7 @@ import (
 	"briq/internal/core"
 	"briq/internal/corpus"
 	"briq/internal/document"
+	"briq/internal/obs"
 	"briq/internal/table"
 )
 
@@ -31,6 +32,14 @@ func RunTableVIII(c *corpus.Corpus, pipeline *core.Pipeline, workers int) (*Repo
 		pagesByDomain[pg.Domain]++
 	}
 
+	// Route all timing through the shared obs instrumentation (the same
+	// Recorder the server's /metrics endpoint reads) instead of ad-hoc
+	// timers: per-domain batch wall time lands in a "batch:<domain>"
+	// histogram next to the per-stage histograms core reports.
+	instrumented := *pipeline
+	rec := obs.NewRecorder()
+	instrumented.Recorder = rec
+
 	var rows []ThroughputRow
 	var totalDocs, totalPages, totalMentions int
 	var totalTime time.Duration
@@ -43,9 +52,10 @@ func RunTableVIII(c *corpus.Corpus, pipeline *core.Pipeline, workers int) (*Repo
 		for _, doc := range docs {
 			mentions += len(doc.TextMentions)
 		}
-		start := time.Now()
-		pipeline.AlignAll(docs, workers)
-		elapsed := time.Since(start)
+		stop := rec.Time("batch:" + d.String())
+		instrumented.AlignAll(docs, workers)
+		stop()
+		elapsed := time.Duration(rec.Stage("batch:"+d.String()).Snapshot().SumMillis * float64(time.Millisecond))
 
 		row := ThroughputRow{
 			Domain:     d,
@@ -145,11 +155,44 @@ func RunTableIX(c *corpus.Corpus, opts table.VirtualOptions) (*Report, []StatsRo
 }
 
 // MeasureThroughput times one system over documents and returns docs/min —
-// used for the "30× faster than the RWR baseline" comparison (§VIII-C).
+// used for the "30× faster than the RWR baseline" comparison (§VIII-C). The
+// per-document latencies flow through a shared obs.Histogram so the rate is
+// derived from the same instrumentation the rest of the harness uses.
 func MeasureThroughput(sys System, docs []*document.Document) float64 {
-	start := time.Now()
+	h := obs.NewHistogram()
 	for _, doc := range docs {
+		start := time.Now()
 		sys.Predict(doc)
+		h.Observe(time.Since(start))
 	}
-	return perMinute(len(docs), time.Since(start))
+	return perMinute(len(docs), time.Duration(h.Snapshot().SumMillis*float64(time.Millisecond)))
+}
+
+// RunStageBreakdown aligns the corpus with an instrumented copy of the
+// pipeline and reports where per-document time goes, stage by stage
+// (classify → filter → rwr), from the same obs.Recorder instrumentation the
+// briq-server /metrics endpoint exposes. The companion to Table VIII: the
+// throughput table says how fast, this says why.
+func RunStageBreakdown(c *corpus.Corpus, pipeline *core.Pipeline, workers int) (*Report, map[string]obs.HistogramSnapshot) {
+	instrumented := *pipeline
+	rec := obs.NewRecorder(core.StageNames()...)
+	instrumented.Recorder = rec
+	instrumented.AlignAll(c.Docs, workers)
+
+	snap := rec.Snapshot()
+	r := &Report{
+		Title:  "Stage breakdown: per-document latency by pipeline stage",
+		Header: []string{"stage", "count", "mean ms", "p50 ms", "p90 ms", "p99 ms", "total ms"},
+	}
+	for _, stage := range core.StageNames() {
+		s, ok := snap[stage]
+		if !ok || s.Count == 0 {
+			continue
+		}
+		r.AddRow(stage, fmt.Sprint(s.Count),
+			fmt.Sprintf("%.3f", s.MeanMillis), fmt.Sprintf("%.3f", s.P50Millis),
+			fmt.Sprintf("%.3f", s.P90Millis), fmt.Sprintf("%.3f", s.P99Millis),
+			fmt.Sprintf("%.1f", s.SumMillis))
+	}
+	return r, snap
 }

@@ -93,3 +93,27 @@ func TestMeasureThroughput(t *testing.T) {
 		t.Errorf("rate = %v, want > 0", rate)
 	}
 }
+
+func TestRunStageBreakdown(t *testing.T) {
+	lc := corpus.Generate(corpus.TableLConfig(9, 20))
+	rep, snap := RunStageBreakdown(lc, core.NewPipeline(), 2)
+
+	nDocs := int64(len(lc.Docs))
+	for _, stage := range []string{core.StageClassify, core.StageFilter, core.StageResolve, core.StageAlign} {
+		s, ok := snap[stage]
+		if !ok {
+			t.Fatalf("stage %q missing from snapshot", stage)
+		}
+		if s.Count != nDocs {
+			t.Errorf("stage %q count = %d, want one observation per document (%d)", stage, s.Count, nDocs)
+		}
+		if !strings.Contains(rep.String(), stage) {
+			t.Errorf("report missing stage row %q", stage)
+		}
+	}
+	// Stages partition Align: their summed time cannot exceed the whole.
+	parts := snap[core.StageClassify].SumMillis + snap[core.StageFilter].SumMillis + snap[core.StageResolve].SumMillis
+	if whole := snap[core.StageAlign].SumMillis; parts > whole*1.01 {
+		t.Errorf("stage sums (%.3f ms) exceed whole-align time (%.3f ms)", parts, whole)
+	}
+}

@@ -327,6 +327,14 @@ func (g *Graph) Resolve() []Alignment {
 	for key, sigma := range g.prior {
 		perText[key[0]] = append(perText[key[0]], cand{key[1], sigma})
 	}
+	// Fix each mention's candidate order before anything numeric happens:
+	// g.prior is a map, so insertion order varies between runs, and the
+	// entropy accumulation below is order-sensitive in its last ulps — enough
+	// to flip the queue order of near-tied mentions and change which mention
+	// claims a cell first.
+	for _, cands := range perText {
+		sort.Slice(cands, func(i, j int) bool { return cands[i].table < cands[j].table })
+	}
 
 	type queued struct {
 		x       int
@@ -363,8 +371,7 @@ func (g *Graph) Resolve() []Alignment {
 	for _, q := range queue {
 		pi := g.RWR(q.x)
 
-		cands := perText[q.x]
-		sort.Slice(cands, func(i, j int) bool { return cands[i].table < cands[j].table })
+		cands := perText[q.x] // already in table order
 
 		// Normalize the visiting probabilities over this mention's own
 		// candidates so π and σ contribute on comparable scales: raw π

@@ -1,6 +1,9 @@
 package nlp
 
-import "strings"
+import (
+	"sort"
+	"strings"
+)
 
 // JaroSimilarity returns the Jaro similarity of two strings in [0, 1].
 // It is the base measure for JaroWinkler below.
@@ -101,11 +104,26 @@ func (b WeightedBag) Add(word string, weight float64) {
 	}
 }
 
-// Total returns the sum of all weights in the bag.
+// Total returns the sum of all weights in the bag. The summands are added in
+// sorted order: map iteration order varies between range statements and
+// float64 addition is not associative, so a naive accumulation would make
+// every downstream feature score differ in the last ulps from run to run —
+// breaking the system's bit-for-bit reproducibility.
 func (b WeightedBag) Total() float64 {
-	var total float64
+	vals := make([]float64, 0, len(b))
 	for _, w := range b {
-		total += w
+		vals = append(vals, w)
+	}
+	return sumSorted(vals)
+}
+
+// sumSorted adds vals in ascending order, giving an order-independent (and
+// slightly more accurate) float64 sum. It reorders vals in place.
+func sumSorted(vals []float64) float64 {
+	sort.Float64s(vals)
+	var total float64
+	for _, v := range vals {
+		total += v
 	}
 	return total
 }
@@ -122,13 +140,14 @@ func OverlapCoefficient(a, b WeightedBag) float64 {
 	if len(b) < len(a) {
 		a, b = b, a
 	}
-	var common float64
+	var overlaps []float64
 	for w, wa := range a {
 		if wb, ok := b[w]; ok {
-			common += minFloat(wa, wb)
+			overlaps = append(overlaps, minFloat(wa, wb))
 		}
 	}
-	return common / minFloat(ta, tb)
+	// Deterministic sum: see Total.
+	return sumSorted(overlaps) / minFloat(ta, tb)
 }
 
 // JaccardTokens returns the Jaccard similarity of the two token sets after

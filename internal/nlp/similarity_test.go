@@ -1,6 +1,7 @@
 package nlp
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -142,5 +143,34 @@ func TestJaccardTokens(t *testing.T) {
 	}
 	if got := JaccardTokens([]string{"the", "a"}, b); got != 0 {
 		t.Errorf("stopword-only Jaccard = %v, want 0", got)
+	}
+}
+
+// TestWeightedBagSumsDeterministic guards the sorted-summand accumulation in
+// Total and OverlapCoefficient: map iteration order changes between range
+// statements, and with non-dyadic weights a naive sum differs in the last
+// ulps across calls, which cascades into run-to-run differences in pipeline
+// scores.
+func TestWeightedBagSumsDeterministic(t *testing.T) {
+	a, b := WeightedBag{}, WeightedBag{}
+	for i := 0; i < 60; i++ {
+		w := 1 - float64(i%7)/3*0.31 // deliberately inexact weights
+		if w < 0.05 {
+			w = 0.05
+		}
+		a.Add(fmt.Sprintf("w%02d", i), w)
+		if i%2 == 0 {
+			b.Add(fmt.Sprintf("w%02d", i), w*0.9)
+		}
+	}
+	wantTotal := a.Total()
+	wantOverlap := OverlapCoefficient(a, b)
+	for i := 0; i < 200; i++ {
+		if got := a.Total(); got != wantTotal {
+			t.Fatalf("Total varies across calls: %v vs %v", got, wantTotal)
+		}
+		if got := OverlapCoefficient(a, b); got != wantOverlap {
+			t.Fatalf("OverlapCoefficient varies across calls: %v vs %v", got, wantOverlap)
+		}
 	}
 }

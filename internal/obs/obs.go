@@ -1,0 +1,309 @@
+// Package obs is the stdlib-only observability layer shared by the pipeline,
+// the HTTP server and the experiment harness: lock-free counters, fixed-bucket
+// latency histograms with JSON snapshots, and a Recorder that names histograms
+// by pipeline stage. Everything is safe for concurrent use; a nil *Recorder is
+// a valid no-op sink, so instrumented code never needs nil checks at call
+// sites beyond the method receiver.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n < 0 is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// CounterSet is a fixed set of named counters. Names are registered at
+// construction so snapshots always carry the same keys — dashboards and golden
+// tests rely on a stable schema, not on which code paths have run.
+type CounterSet struct {
+	counters map[string]*Counter
+}
+
+// NewCounterSet registers the given counter names, all starting at zero.
+func NewCounterSet(names ...string) *CounterSet {
+	s := &CounterSet{counters: make(map[string]*Counter, len(names))}
+	for _, n := range names {
+		s.counters[n] = &Counter{}
+	}
+	return s
+}
+
+// Inc increments the named counter. Unregistered names are dropped rather
+// than grown: a typo must not invent a new time series at runtime.
+func (s *CounterSet) Inc(name string) { s.Add(name, 1) }
+
+// Add adds n to the named counter.
+func (s *CounterSet) Add(name string, n int64) {
+	if s == nil {
+		return
+	}
+	if c, ok := s.counters[name]; ok {
+		c.Add(n)
+	}
+}
+
+// Get returns the named counter's value (zero for unregistered names).
+func (s *CounterSet) Get(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	if c, ok := s.counters[name]; ok {
+		return c.Value()
+	}
+	return 0
+}
+
+// Snapshot returns the current value of every registered counter.
+func (s *CounterSet) Snapshot() map[string]int64 {
+	if s == nil {
+		return map[string]int64{}
+	}
+	out := make(map[string]int64, len(s.counters))
+	for name, c := range s.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// bucketBounds are the histogram upper bounds in nanoseconds: exponential
+// 50µs → 5s, matched to pipeline stages that run from tens of microseconds
+// (filtering a small document) to seconds (RWR on a dense page). Observations
+// above the last bound land in an implicit overflow bucket.
+var bucketBounds = [...]int64{
+	50_000, 100_000, 250_000, 500_000, // 50µs … 500µs
+	1_000_000, 2_500_000, 5_000_000, 10_000_000, // 1ms … 10ms
+	25_000_000, 50_000_000, 100_000_000, 250_000_000, // 25ms … 250ms
+	500_000_000, 1_000_000_000, 2_500_000_000, 5_000_000_000, // 500ms … 5s
+}
+
+// Histogram is a fixed-bucket latency histogram. All methods are safe for
+// concurrent use; recording is wait-free (atomic adds plus a CAS loop for
+// min/max).
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	min     atomic.Int64 // nanoseconds; valid only when count > 0
+	max     atomic.Int64
+	buckets [len(bucketBounds) + 1]atomic.Int64 // +1 = overflow
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(int64(1<<63 - 1))
+	return h
+}
+
+// Observe records one duration. Negative durations are clamped to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.min.Load()
+		if ns >= cur || h.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	i := sort.Search(len(bucketBounds), func(i int) bool { return ns <= bucketBounds[i] })
+	h.buckets[i].Add(1)
+}
+
+// Bucket is one cumulative histogram bucket: the number of observations at or
+// below the upper bound. Only finite bounds are emitted; the overflow count is
+// the snapshot's Count minus the last bucket's cumulative Count.
+type Bucket struct {
+	LEMillis float64 `json:"le_ms"`
+	Count    int64   `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time JSON-ready view of a histogram. All
+// durations are milliseconds. Quantiles are estimated by linear interpolation
+// inside the bucket that holds the target rank.
+type HistogramSnapshot struct {
+	Count      int64    `json:"count"`
+	SumMillis  float64  `json:"sum_ms"`
+	MeanMillis float64  `json:"mean_ms"`
+	MinMillis  float64  `json:"min_ms"`
+	MaxMillis  float64  `json:"max_ms"`
+	P50Millis  float64  `json:"p50_ms"`
+	P90Millis  float64  `json:"p90_ms"`
+	P99Millis  float64  `json:"p99_ms"`
+	Buckets    []Bucket `json:"buckets"`
+}
+
+const nsPerMs = 1e6
+
+// Snapshot captures the histogram's current state. Concurrent Observe calls
+// may land between field reads; the snapshot is internally near-consistent,
+// which is all a metrics endpoint needs.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var counts [len(bucketBounds) + 1]int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	s := HistogramSnapshot{
+		Count:     h.count.Load(),
+		SumMillis: float64(h.sum.Load()) / nsPerMs,
+		Buckets:   make([]Bucket, len(bucketBounds)),
+	}
+	cum := int64(0)
+	for i, bound := range bucketBounds {
+		cum += counts[i]
+		s.Buckets[i] = Bucket{LEMillis: float64(bound) / nsPerMs, Count: cum}
+	}
+	if s.Count > 0 {
+		s.MeanMillis = s.SumMillis / float64(s.Count)
+		s.MinMillis = float64(h.min.Load()) / nsPerMs
+		s.MaxMillis = float64(h.max.Load()) / nsPerMs
+		s.P50Millis = quantile(counts[:], s.Count, 0.50)
+		s.P90Millis = quantile(counts[:], s.Count, 0.90)
+		s.P99Millis = quantile(counts[:], s.Count, 0.99)
+	}
+	return s
+}
+
+// quantile estimates the q-quantile in milliseconds from per-bucket counts.
+// Within the holding bucket the observations are assumed uniform; the
+// overflow bucket reports its lower bound (there is no upper edge to
+// interpolate toward).
+func quantile(counts []int64, total int64, q float64) float64 {
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = float64(bucketBounds[i-1])
+		}
+		if i >= len(bucketBounds) { // overflow bucket
+			return float64(bucketBounds[len(bucketBounds)-1]) / nsPerMs
+		}
+		hi := float64(bucketBounds[i])
+		frac := (rank - prev) / float64(c)
+		return (lo + (hi-lo)*frac) / nsPerMs
+	}
+	return float64(bucketBounds[len(bucketBounds)-1]) / nsPerMs
+}
+
+// Recorder names histograms by stage. The zero value is ready to use; a nil
+// *Recorder discards observations, so instrumented code can call it
+// unconditionally.
+type Recorder struct {
+	mu     sync.RWMutex
+	stages map[string]*Histogram
+}
+
+// NewRecorder returns a Recorder with the given stage histograms
+// pre-registered, so snapshots expose them (at zero) before any traffic.
+func NewRecorder(stages ...string) *Recorder {
+	r := &Recorder{}
+	for _, s := range stages {
+		r.Stage(s)
+	}
+	return r
+}
+
+// Stage returns the named histogram, creating it on first use.
+func (r *Recorder) Stage(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.stages[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.stages[name]; h != nil {
+		return h
+	}
+	if r.stages == nil {
+		r.stages = make(map[string]*Histogram)
+	}
+	h = NewHistogram()
+	r.stages[name] = h
+	return h
+}
+
+// Observe records one duration for the named stage. No-op on a nil Recorder.
+func (r *Recorder) Observe(stage string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.Stage(stage).Observe(d)
+}
+
+// Time starts a stage timer; the returned func records the elapsed time when
+// called. Usable as `defer r.Time(stage)()`. On a nil Recorder the returned
+// func is a no-op.
+func (r *Recorder) Time(stage string) func() {
+	if r == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { r.Observe(stage, time.Since(start)) }
+}
+
+// Snapshot captures every registered stage histogram, keyed by stage name.
+func (r *Recorder) Snapshot() map[string]HistogramSnapshot {
+	if r == nil {
+		return map[string]HistogramSnapshot{}
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]HistogramSnapshot, len(r.stages))
+	for name, h := range r.stages {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// StageNames returns the registered stage names in sorted order.
+func (r *Recorder) StageNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.stages))
+	for name := range r.stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

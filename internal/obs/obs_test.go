@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterSetSnapshotSchemaStable(t *testing.T) {
+	s := NewCounterSet("a", "b")
+	s.Inc("a")
+	s.Inc("nope") // unregistered: dropped, not grown
+	snap := s.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot keys = %v, want exactly {a, b}", snap)
+	}
+	if snap["a"] != 1 || snap["b"] != 0 {
+		t.Errorf("snapshot = %v, want a=1 b=0", snap)
+	}
+	if got := s.Get("nope"); got != 0 {
+		t.Errorf("Get(nope) = %d, want 0", got)
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if got := c.Value(); got != 5 {
+		t.Errorf("value = %d, want 5 (negative adds ignored)", got)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	h := NewHistogram()
+	for _, d := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 100 * time.Millisecond} {
+		h.Observe(d)
+	}
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3", s.Count)
+	}
+	if want := 103.0; s.SumMillis != want {
+		t.Errorf("sum = %v ms, want %v", s.SumMillis, want)
+	}
+	if s.MinMillis != 1 || s.MaxMillis != 100 {
+		t.Errorf("min/max = %v/%v, want 1/100", s.MinMillis, s.MaxMillis)
+	}
+	if s.P50Millis <= 0 || s.P50Millis > s.P90Millis || s.P90Millis > s.P99Millis {
+		t.Errorf("quantiles not monotone: p50=%v p90=%v p99=%v", s.P50Millis, s.P90Millis, s.P99Millis)
+	}
+	if s.MaxMillis < s.P99Millis {
+		t.Errorf("p99 %v exceeds max %v", s.P99Millis, s.MaxMillis)
+	}
+	// Buckets are cumulative and end at the total in-range count.
+	last := int64(0)
+	for _, b := range s.Buckets {
+		if b.Count < last {
+			t.Fatalf("bucket counts not cumulative: %v", s.Buckets)
+		}
+		last = b.Count
+	}
+	if last != 3 {
+		t.Errorf("cumulative bucket total = %d, want 3", last)
+	}
+}
+
+func TestHistogramOverflowAndClamp(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-time.Second)     // clamped to 0
+	h.Observe(10 * time.Second) // beyond the last bound: overflow bucket
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("count = %d, want 2", s.Count)
+	}
+	if s.MinMillis != 0 {
+		t.Errorf("min = %v, want 0 (clamped)", s.MinMillis)
+	}
+	if last := s.Buckets[len(s.Buckets)-1].Count; last != 1 {
+		t.Errorf("in-range cumulative = %d, want 1 (one observation overflowed)", last)
+	}
+	// JSON must round-trip: no Inf/NaN anywhere in the snapshot.
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("snapshot not JSON-encodable: %v", err)
+	}
+}
+
+func TestEmptyHistogramSnapshotIsJSONSafe(t *testing.T) {
+	s := NewHistogram().Snapshot()
+	if s.Count != 0 || s.MinMillis != 0 || s.MeanMillis != 0 {
+		t.Errorf("empty snapshot not zeroed: %+v", s)
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("empty snapshot not JSON-encodable: %v", err)
+	}
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Observe("x", time.Second) // must not panic
+	r.Time("x")()
+	if snap := r.Snapshot(); len(snap) != 0 {
+		t.Errorf("nil recorder snapshot = %v, want empty", snap)
+	}
+	if names := r.StageNames(); names != nil {
+		t.Errorf("nil recorder stages = %v, want nil", names)
+	}
+}
+
+func TestRecorderPreRegistersStages(t *testing.T) {
+	r := NewRecorder("classify", "filter")
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot = %v, want classify+filter at zero", snap)
+	}
+	if snap["classify"].Count != 0 {
+		t.Errorf("pre-registered stage should start empty: %+v", snap["classify"])
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	const goroutines, perG = 16, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			stage := []string{"classify", "filter", "rwr"}[g%3]
+			for i := 0; i < perG; i++ {
+				r.Observe(stage, time.Duration(i)*time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := int64(0)
+	for _, s := range r.Snapshot() {
+		total += s.Count
+	}
+	if want := int64(goroutines * perG); total != want {
+		t.Errorf("total observations = %d, want %d", total, want)
+	}
+}
+
+func TestTimeRecordsElapsed(t *testing.T) {
+	r := NewRecorder()
+	done := r.Time("stage")
+	time.Sleep(2 * time.Millisecond)
+	done()
+	s := r.Snapshot()["stage"]
+	if s.Count != 1 || s.SumMillis < 1 {
+		t.Errorf("timer recorded %+v, want one observation ≥ 1ms", s)
+	}
+}
