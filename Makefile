@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench experiments fmt
+.PHONY: all build vet test race bench bench-compare bench-tables experiments fmt
 
 all: test
 
@@ -15,11 +15,24 @@ test: build vet
 	$(GO) test ./...
 
 # Race-enabled suite — the concurrency contract (shared read-only Pipeline,
-# AlignAll fan-out, server handlers) is only trusted if this passes.
+# AlignAll fan-out, the parallel RWR worker pool, server handlers) is only
+# trusted if this passes. Includes the pool stress tests in internal/graph.
 race:
 	$(GO) test -race ./...
 
+# Hot-path benchmark harness: runs the workload in cmd/briq-bench (CSR vs
+# frozen reference, equivalence-gated) and writes BENCH_pipeline.json.
 bench:
+	$(GO) run ./cmd/briq-bench -out BENCH_pipeline.json
+
+# Side-by-side go-test micro-benchmarks of the resolution hot path, with
+# allocation counts — for inspecting individual kernels rather than the
+# aggregate report.
+bench-compare:
+	$(GO) test -bench 'RWR|Resolve' -benchmem -run ^$$ ./internal/graph
+
+# Paper-table benchmarks (Tables I–IX, ablations) from the repo root.
+bench-tables:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .
 
 experiments:

@@ -1,8 +1,3 @@
-// Package core wires the BriQ stages of Fig. 2 into an end-to-end pipeline:
-// table-text extraction (package document) → mention-pair classification
-// (packages feature + forest) → adaptive filtering (packages tagger +
-// filter) → global resolution (package graph). It also provides a concurrent
-// document processor for corpus-scale throughput runs (Table VIII).
 package core
 
 import (

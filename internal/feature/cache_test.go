@@ -1,0 +1,70 @@
+package feature
+
+// Cache-equivalence coverage: the per-document memos (normalized surfaces,
+// table-mention scale/precision, Jaro-Winkler string-pair memo) are pure
+// caches — every cached value must equal the direct computation it replaced,
+// for every pair of a realistic generated document.
+
+import (
+	"testing"
+
+	"briq/internal/corpus"
+	"briq/internal/nlp"
+)
+
+func TestCachedFeaturesMatchDirectComputation(t *testing.T) {
+	c := corpus.Generate(corpus.TableLConfig(42, 6))
+	pairs := 0
+	for _, doc := range c.Docs {
+		e := NewExtractor(DefaultConfig(), doc)
+		for xi := range doc.TextMentions {
+			x := &doc.TextMentions[xi]
+			for ti := range doc.TableMentions {
+				tm := doc.TableMentions[ti]
+				vec := e.Vector(xi, ti)
+				pairs++
+
+				// f1 via the memo must equal the direct string computation.
+				want := nlp.JaroWinkler(normalizeSurface(x.Surface), normalizeSurface(tm.Surface()))
+				if vec[F1SurfaceSim] != want {
+					t.Fatalf("doc %s pair (%d,%d): cached f1 %v, direct %v", doc.ID, xi, ti, vec[F1SurfaceSim], want)
+				}
+
+				// f9/f10 via the precomputed table-side values.
+				if got, want := vec[F9ScaleDiff], absInt(x.Scale-tm.Scale()); got != want {
+					t.Fatalf("doc %s pair (%d,%d): cached f9 %v, direct %v", doc.ID, xi, ti, got, want)
+				}
+				if got, want := vec[F10PrecisionDiff], absInt(x.Precision-tm.Precision()); got != want {
+					t.Fatalf("doc %s pair (%d,%d): cached f10 %v, direct %v", doc.ID, xi, ti, got, want)
+				}
+			}
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("corpus produced no mention pairs")
+	}
+}
+
+// TestVectorDeterministicAcrossExtractors: two extractors over the same
+// document must produce identical vectors — the memos must not leak state
+// between instances or depend on fill order.
+func TestVectorDeterministicAcrossExtractors(t *testing.T) {
+	c := corpus.Generate(corpus.TableLConfig(7, 4))
+	for _, doc := range c.Docs {
+		a := NewExtractor(DefaultConfig(), doc)
+		b := NewExtractor(DefaultConfig(), doc)
+		for xi := range doc.TextMentions {
+			// Fill b's memo in reverse pair order to vary cache hit patterns.
+			for ti := len(doc.TableMentions) - 1; ti >= 0; ti-- {
+				bv := b.Vector(xi, ti)
+				av := a.Vector(xi, ti)
+				for f := range av {
+					if av[f] != bv[f] {
+						t.Fatalf("doc %s pair (%d,%d) feature %s: %v vs %v",
+							doc.ID, xi, ti, Names[f], av[f], bv[f])
+					}
+				}
+			}
+		}
+	}
+}

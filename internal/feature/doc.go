@@ -1,0 +1,28 @@
+// Package feature computes the mention-pair features f1–f12 of §IV-B: one
+// surface-form feature, five context features and six quantity features for
+// each candidate (text mention, table mention) pair. Categorical features
+// are encoded as ordinal levels so threshold splits in the Random Forest
+// remain meaningful.
+//
+// # Per-document caches
+//
+// An Extractor scores every (text, table) pair of its document — |X|·|T|
+// vectors — so per-mention work must not be redone per pair. NewExtractor
+// precomputes, once per document:
+//
+//   - normalized surface strings for both sides (text mentions in textNorm,
+//     table mentions in tableMentionData.normSurface) — virtual table
+//     mentions otherwise rebuild their surface on every Surface() call;
+//   - table-mention scale and precision, consumed by f9/f10;
+//   - column statistics and virtual-cell aggregates behind the remaining
+//     quantity features.
+//
+// Jaro–Winkler similarity (f1) is additionally memoized per string pair
+// (simMemo): distinct mentions frequently share a normalized surface, and
+// the similarity is a pure function of the two strings. All caches are
+// equivalence-tested against the direct computation (cache_test.go) — an
+// Extractor is a performance shape, never a semantic one.
+//
+// An Extractor is single-goroutine; pipelines share documents across workers
+// by giving each worker its own Extractor.
+package feature

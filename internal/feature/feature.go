@@ -1,8 +1,3 @@
-// Package feature computes the mention-pair features f1–f12 of §IV-B: one
-// surface-form feature, five context features and six quantity features for
-// each candidate (text mention, table mention) pair. Categorical features
-// are encoded as ordinal levels so threshold splits in the Random Forest
-// remain meaningful.
 package feature
 
 import (
@@ -167,17 +162,29 @@ type Extractor struct {
 	sentenceOf []string          // sentence text per text mention
 	localNPs   [][]string        // noun phrases of the mention's sentence
 	mentionAgg [][]quantity.Agg  // aggregations cued near each text mention
+	textNorm   []string          // normalizeSurface of each text mention
 
 	tableData []tableMentionData // per table mention
+
+	// simMemo caches Jaro-Winkler scores by normalized surface pair: virtual
+	// cells and repeated values make identical pairs common across the
+	// document's pair space, and the similarity is a pure function of the
+	// two strings.
+	simMemo map[simKey]float64
 }
 
+type simKey struct{ a, b string }
+
 type tableMentionData struct {
-	surface  string
-	localBag nlp.WeightedBag
-	localNPs []string
-	tableBag nlp.WeightedBag
-	tableNPs []string
-	rawValue float64
+	surface     string
+	normSurface string // normalizeSurface(surface), computed once per mention
+	localBag    nlp.WeightedBag
+	localNPs    []string
+	tableBag    nlp.WeightedBag
+	tableNPs    []string
+	rawValue    float64
+	scale       int // tm.Scale(), computed once per mention
+	precision   int // tm.Precision(), computed once per mention
 }
 
 // NewExtractor prepares an extractor for one document.
@@ -185,10 +192,21 @@ func NewExtractor(cfg Config, doc *document.Document) *Extractor {
 	if cfg.Window <= 0 {
 		cfg = DefaultConfig()
 	}
-	e := &Extractor{cfg: cfg, doc: doc}
+	e := &Extractor{cfg: cfg, doc: doc, simMemo: make(map[simKey]float64)}
 	e.prepareText()
 	e.prepareTables()
 	return e
+}
+
+// surfaceSim is the memoized f1 kernel.
+func (e *Extractor) surfaceSim(a, b string) float64 {
+	k := simKey{a, b}
+	if v, ok := e.simMemo[k]; ok {
+		return v
+	}
+	v := nlp.JaroWinkler(a, b)
+	e.simMemo[k] = v
+	return v
 }
 
 func (e *Extractor) prepareText() {
@@ -201,8 +219,10 @@ func (e *Extractor) prepareText() {
 	e.sentenceOf = make([]string, len(e.doc.TextMentions))
 	e.localNPs = make([][]string, len(e.doc.TextMentions))
 	e.mentionAgg = make([][]quantity.Agg, len(e.doc.TextMentions))
+	e.textNorm = make([]string, len(e.doc.TextMentions))
 
 	for i, x := range e.doc.TextMentions {
+		e.textNorm[i] = normalizeSurface(x.Surface)
 		e.localBags[i] = e.localBag(x.TokenPos)
 		si := x.Sentence
 		if si >= 0 && si < len(sentences) {
@@ -303,11 +323,15 @@ func (e *Extractor) prepareTables() {
 
 	for i, tm := range e.doc.TableMentions {
 		tc := tables[tm.Table]
+		surface := tm.Surface()
 		data := tableMentionData{
-			surface:  tm.Surface(),
-			tableBag: tc.bag,
-			tableNPs: tc.nps,
-			rawValue: tm.Value,
+			surface:     surface,
+			normSurface: normalizeSurface(surface),
+			tableBag:    tc.bag,
+			tableNPs:    tc.nps,
+			rawValue:    tm.Value,
+			scale:       tm.Scale(),
+			precision:   tm.Precision(),
 		}
 		if !tm.IsVirtual() {
 			if q := tm.Table.Cell(tm.Cells[0].Row, tm.Cells[0].Col).Quantity; q != nil {
@@ -364,8 +388,9 @@ func (e *Extractor) Vector(xi, ti int) []float64 {
 
 	vec := make([]float64, NumFeatures)
 
-	// f1: surface form similarity on the raw strings.
-	vec[F1SurfaceSim] = nlp.JaroWinkler(normalizeSurface(x.Surface), normalizeSurface(td.surface))
+	// f1: surface form similarity on the normalized strings (both sides
+	// normalized once per mention, the similarity memoized per string pair).
+	vec[F1SurfaceSim] = e.surfaceSim(e.textNorm[xi], td.normSurface)
 
 	// f2/f3: weighted word overlap local and global.
 	vec[F2LocalOverlap] = nlp.OverlapCoefficient(e.localBags[xi], td.localBag)
@@ -382,9 +407,9 @@ func (e *Extractor) Vector(xi, ti int) []float64 {
 	// f8: unit match.
 	vec[F8UnitMatch] = unitMatch(x.Unit, tm.Unit)
 
-	// f9/f10: scale and precision differences.
-	vec[F9ScaleDiff] = absInt(x.Scale - tm.Scale())
-	vec[F10PrecisionDiff] = absInt(x.Precision - tm.Precision())
+	// f9/f10: scale and precision differences (table side precomputed).
+	vec[F9ScaleDiff] = absInt(x.Scale - td.scale)
+	vec[F10PrecisionDiff] = absInt(x.Precision - td.precision)
 
 	// f11: approximation indicator, ordinal.
 	vec[F11Approx] = float64(x.Approx) / 4

@@ -1,17 +1,3 @@
-// Package filter implements BriQ's adaptive filtering stage (§V): reducing
-// the mention-pair candidate space from thousands to the hundreds the global
-// resolution step can afford, without discarding good candidates. It applies,
-// in order:
-//
-//  1. tagger-based pruning — aggregate (virtual-cell) pairs survive only when
-//     their aggregation matches the text-mention tagger's prediction, while
-//     single-cell pairs are never pruned at this step;
-//  2. value-difference and unit-mismatch pruning — pairs whose numeric values
-//     differ by more than a threshold are dropped unless the classifier is
-//     confident, and pairs with contradicting explicit units are dropped;
-//  3. per-mention top-k selection adapted to mention type (exact vs
-//     approximate/truncated surface forms) and to the entropy of the
-//     classifier's score distribution.
 package filter
 
 import (
@@ -110,6 +96,19 @@ func Apply(cfg Config, doc *document.Document, tag tagger.Tagger, candidates []C
 		byText[c.Text] = append(byText[c.Text], c)
 	}
 
+	// Digit strings of table-mention surfaces, memoized per document: the
+	// same table mention is a candidate of many text mentions, and virtual
+	// mentions rebuild their surface string on every Surface() call.
+	tableDigits := make(map[int]string)
+	tableDigitsOf := func(ti int) string {
+		if d, ok := tableDigits[ti]; ok {
+			return d
+		}
+		d := digits(doc.TableMentions[ti].Surface())
+		tableDigits[ti] = d
+		return d
+	}
+
 	total := 0
 	for xi, group := range byText {
 		total += len(group)
@@ -149,7 +148,7 @@ func Apply(cfg Config, doc *document.Document, tag tagger.Tagger, candidates []C
 			return step2[i].Table < step2[j].Table // deterministic tie-break
 		})
 
-		mt := mentionType(doc, xi, step2, cfg.HighConfidence)
+		mt := mentionType(doc, xi, step2, cfg.HighConfidence, tableDigitsOf)
 		res.Types[xi] = mt
 
 		kType := cfg.KApprox
@@ -191,8 +190,9 @@ func Apply(cfg Config, doc *document.Document, tag tagger.Tagger, candidates []C
 
 // mentionType determines whether a text mention is exact, approximate or
 // truncated (§V-B): context modifiers decide first; otherwise the surfaces
-// of high-confidence candidate table mentions vote.
-func mentionType(doc *document.Document, xi int, ranked []Candidate, highConf float64) MentionType {
+// of high-confidence candidate table mentions vote. tableDigitsOf supplies
+// the (memoized) digit string of a table mention's surface.
+func mentionType(doc *document.Document, xi int, ranked []Candidate, highConf float64, tableDigitsOf func(int) string) MentionType {
 	x := &doc.TextMentions[xi]
 	switch x.Approx {
 	case quantity.Approximate, quantity.UpperBound, quantity.LowerBound:
@@ -220,7 +220,7 @@ func mentionType(doc *document.Document, xi int, ranked []Candidate, highConf fl
 			continue
 		}
 		counted++
-		tDigits := digits(doc.TableMentions[c.Table].Surface())
+		tDigits := tableDigitsOf(c.Table)
 		switch {
 		case xDigits == tDigits:
 			votes[Exact]++

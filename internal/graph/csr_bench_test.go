@@ -1,0 +1,102 @@
+package graph
+
+// Document-level RWR benchmarks: the CSR fast path vs the frozen reference
+// implementation on identical inputs. Run with
+//
+//	go test -bench BenchmarkResolve -benchmem ./internal/graph
+//
+// cmd/briq-bench runs the same comparison over a pipeline-generated corpus
+// and records it in BENCH_pipeline.json.
+
+import (
+	"testing"
+
+	"briq/internal/document"
+	"briq/internal/filter"
+)
+
+func benchInputs(b *testing.B) ([]*document.Document, [][]filter.Candidate) {
+	b.Helper()
+	docs := corpusDocs(b, 42, 10)
+	cands := make([][]filter.Candidate, len(docs))
+	for i, doc := range docs {
+		cands[i] = candidatesByValue(doc, 0.5)
+	}
+	return docs, cands
+}
+
+func BenchmarkResolveCSR(b *testing.B) {
+	docs, cands := benchInputs(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(docs)
+		Build(DefaultConfig(), docs[j], cands[j]).Resolve()
+	}
+}
+
+func BenchmarkResolveReference(b *testing.B) {
+	docs, cands := benchInputs(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(docs)
+		Build(DefaultConfig(), docs[j], cands[j]).ReferenceResolve()
+	}
+}
+
+// BenchmarkRWRDoc* is the document-level RWR benchmark: one op = walking
+// every text mention of a document on its frozen graph. The CSR path batches
+// the walks across the worker pool (RWRAll); the reference path is the
+// legacy per-mention map-allocating walker. Graphs are built outside the
+// timer — this measures the walks, not graph construction.
+func BenchmarkRWRDocCSR(b *testing.B) {
+	docs, cands := benchInputs(b)
+	gs := make([]*Graph, len(docs))
+	for i := range docs {
+		gs[i] = Build(DefaultConfig(), docs[i], cands[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gs[i%len(gs)].RWRAll()
+	}
+}
+
+func BenchmarkRWRDocReference(b *testing.B) {
+	docs, cands := benchInputs(b)
+	gs := make([]*Graph, len(docs))
+	for i := range docs {
+		gs[i] = Build(DefaultConfig(), docs[i], cands[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := gs[i%len(gs)]
+		for x := 0; x < g.m; x++ {
+			g.ReferenceRWR(x)
+		}
+	}
+}
+
+// Single-walk comparison: isolates the per-invocation setup the CSR removes
+// (transition-row rebuild and its allocations).
+func BenchmarkRWRCSR(b *testing.B) {
+	docs, cands := benchInputs(b)
+	g := Build(DefaultConfig(), docs[0], cands[0])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.RWR(i % g.m)
+	}
+}
+
+func BenchmarkRWRReference(b *testing.B) {
+	docs, cands := benchInputs(b)
+	g := Build(DefaultConfig(), docs[0], cands[0])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ReferenceRWR(i % g.m)
+	}
+}

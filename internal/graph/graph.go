@@ -1,10 +1,3 @@
-// Package graph implements BriQ's global resolution stage (§VI): an
-// undirected edge-weighted graph over the document's quantity mentions with
-// three edge kinds — text-text (proximity + string similarity), table-table
-// (same row or column of the same table) and text-table (surviving candidate
-// pairs weighted by classifier priors) — random walks with restart to score
-// candidate table mentions per text mention, and the entropy-ordered
-// alignment decision loop of Algorithm 1.
 package graph
 
 import (
@@ -58,6 +51,14 @@ type Config struct {
 	// DisableRewire skips the graph update after each alignment decision.
 	DisableEntropyOrder bool
 	DisableRewire       bool
+
+	// RWRWorkers sizes the worker pool for per-mention RWR invocations when
+	// they are independent (DisableRewire: the graph is frozen, so every
+	// restart vector can be walked concurrently with bit-identical results).
+	// ≤0 means GOMAXPROCS. Ignored when rewiring is on — Algorithm 1's
+	// sequential dependency (each decision reshapes the graph the next walk
+	// sees) makes those walks inherently ordered.
+	RWRWorkers int
 }
 
 // DefaultConfig returns the pre-tuning defaults.
@@ -101,6 +102,11 @@ type Graph struct {
 	adj [][]edge // adjacency lists with raw weights
 
 	prior map[[2]int]float64 // (text, tableIdx) → classifier score σ
+
+	// cs is the frozen CSR transition structure backing the fast RWR path.
+	// Built lazily on the first walk and kept in sync by keepOnly; nil until
+	// then so Build stays cheap for callers that only inspect the graph.
+	cs *csr
 }
 
 type edge struct {
@@ -255,56 +261,24 @@ func (g *Graph) transition(u int) []edge {
 	return out
 }
 
+// ensureCSR freezes the adjacency lists into the CSR transition structure on
+// first use. keepOnly keeps it in sync afterwards.
+func (g *Graph) ensureCSR() *csr {
+	if g.cs == nil {
+		g.cs = newCSR(g.adj)
+	}
+	return g.cs
+}
+
 // RWR runs a random walk with restart from text mention x and returns the
 // stationary visiting probability π(t|x) for every candidate table mention
-// (keyed by document table-mention index).
+// (keyed by document table-mention index). The walk runs on the frozen CSR
+// structure with reused dense score vectors; its output is bit-identical to
+// the legacy map-based walker (ReferenceRWR).
 func (g *Graph) RWR(x int) map[int]float64 {
-	n := len(g.adj)
-	p := make([]float64, n)
-	next := make([]float64, n)
-	p[x] = 1
-
-	// Precompute stochastic rows once per invocation (edges change between
-	// invocations as Algorithm 1 rewires the graph).
-	rows := make([][]edge, n)
-	for u := range rows {
-		rows[u] = g.transition(u)
-	}
-
-	for iter := 0; iter < g.cfg.MaxIters; iter++ {
-		for i := range next {
-			next[i] = 0
-		}
-		next[x] += g.cfg.Restart
-		for u, pu := range p {
-			if pu == 0 {
-				continue
-			}
-			row := rows[u]
-			if row == nil {
-				// Dangling node: restart.
-				next[x] += (1 - g.cfg.Restart) * pu
-				continue
-			}
-			spread := (1 - g.cfg.Restart) * pu
-			for _, e := range row {
-				next[e.to] += spread * e.w
-			}
-		}
-		// L∞ convergence check.
-		delta := 0.0
-		for i := range p {
-			d := math.Abs(next[i] - p[i])
-			if d > delta {
-				delta = d
-			}
-		}
-		p, next = next, p
-		if delta < g.cfg.Eps {
-			break
-		}
-	}
-
+	cs := g.ensureCSR()
+	cs.flush()
+	p := cs.rwr(&g.cfg, x, cs.p, cs.next)
 	out := make(map[int]float64, len(g.nodeTable))
 	for nodeOff, ti := range g.nodeTable {
 		out[ti] = p[g.m+nodeOff]
@@ -312,34 +286,77 @@ func (g *Graph) RWR(x int) map[int]float64 {
 	return out
 }
 
-// Resolve runs Algorithm 1: it normalizes each text mention's priors,
-// processes mentions in increasing entropy order, runs an RWR per mention,
-// combines OverallScore(t|x) = α·π(t|x) + β·σ(t|x), accepts the best
-// candidate when it clears ε, and rewires the graph after every decision so
-// later (harder) mentions benefit from earlier (easier) ones.
-func (g *Graph) Resolve() []Alignment {
-	// Candidates per text mention with normalized priors.
-	type cand struct {
-		table int
-		sigma float64
+// CandidateTables returns the document table-mention index carried by each
+// candidate node, in node order — the column key for RWRAll's rows.
+func (g *Graph) CandidateTables() []int {
+	out := make([]int, len(g.nodeTable))
+	copy(out, g.nodeTable)
+	return out
+}
+
+// RWRAll runs the walk for every text mention of the document on the frozen
+// graph and returns, per mention, the visiting probabilities over the
+// candidate table-mention nodes: row k of the result corresponds to text
+// mention k, and column c to CandidateTables()[c]. (Probabilities on
+// non-candidate table mentions are identically zero, so this is the full
+// walk result without materializing mostly-zero vectors.) The walks are
+// independent — no rewiring happens between them — so they fan out across
+// the RWR worker pool (Config.RWRWorkers); each probability is bit-identical
+// to the one RWR would return for the same mention. This is the
+// document-level batch entry point used by cmd/briq-bench.
+func (g *Graph) RWRAll() [][]float64 {
+	cs := g.ensureCSR()
+	xs := make([]int, g.m)
+	for i := range xs {
+		xs[i] = i
 	}
+	vecs := cs.batchResults(g.m)
+	cs.rwrBatchInto(&g.cfg, xs, g.cfg.RWRWorkers, vecs)
+	out := make([][]float64, g.m)
+	nc := len(g.nodeTable)
+	flat := make([]float64, g.m*nc)
+	for i, v := range vecs {
+		out[i] = flat[i*nc : (i+1)*nc : (i+1)*nc]
+		copy(out[i], v[g.m:])
+	}
+	return out
+}
+
+// cand is one candidate of a text mention: the target table-mention index,
+// its classifier prior σ, and the graph node carrying it.
+type cand struct {
+	table int
+	sigma float64
+	node  int
+}
+
+// queued is one text mention awaiting resolution, keyed by the entropy of
+// its prior distribution (Algorithm 1 processes low-entropy mentions first).
+type queued struct {
+	x       int
+	entropy float64
+}
+
+// candidatesPerText groups the candidate priors by text mention in a fixed
+// order. g.prior is a map, so insertion order varies between runs, and the
+// entropy accumulation in buildQueue is order-sensitive in its last ulps —
+// enough to flip the queue order of near-tied mentions and change which
+// mention claims a cell first; sorting by table index pins it down.
+func (g *Graph) candidatesPerText() map[int][]cand {
 	perText := make(map[int][]cand)
 	for key, sigma := range g.prior {
-		perText[key[0]] = append(perText[key[0]], cand{key[1], sigma})
+		perText[key[0]] = append(perText[key[0]], cand{key[1], sigma, g.tableNode[key[1]]})
 	}
-	// Fix each mention's candidate order before anything numeric happens:
-	// g.prior is a map, so insertion order varies between runs, and the
-	// entropy accumulation below is order-sensitive in its last ulps — enough
-	// to flip the queue order of near-tied mentions and change which mention
-	// claims a cell first.
 	for _, cands := range perText {
 		sort.Slice(cands, func(i, j int) bool { return cands[i].table < cands[j].table })
 	}
+	return perText
+}
 
-	type queued struct {
-		x       int
-		entropy float64
-	}
+// buildQueue orders the text mentions for resolution: by increasing entropy
+// of their normalized prior distribution (ties broken by mention index), or
+// by document order under the DisableEntropyOrder ablation.
+func (g *Graph) buildQueue(perText map[int][]cand) []queued {
 	var queue []queued
 	for x, cands := range perText {
 		// Normalize σ to a distribution for the entropy computation.
@@ -360,6 +377,41 @@ func (g *Graph) Resolve() []Alignment {
 			return queue[i].x < queue[j].x // deterministic tie-break
 		})
 	}
+	return queue
+}
+
+// Resolve runs Algorithm 1: it normalizes each text mention's priors,
+// processes mentions in increasing entropy order, runs an RWR per mention,
+// combines OverallScore(t|x) = α·π(t|x) + β·σ(t|x), accepts the best
+// candidate when it clears ε, and rewires the graph after every decision so
+// later (harder) mentions benefit from earlier (easier) ones.
+//
+// The walks run on the frozen CSR structure. With rewiring on they are
+// sequential — each decision prunes edges before the next walk, and the walk
+// for a mention always runs against the fully-rewired graph of all earlier
+// decisions (never a partially-pruned one; keepOnly completes before the
+// next walk starts). Under DisableRewire the graph is frozen for the whole
+// pass, so the per-mention walks fan out across a worker pool (RWRWorkers)
+// with bit-identical output. Resolve consumes the graph (rewiring prunes
+// edges in place): run it once per Build.
+func (g *Graph) Resolve() []Alignment {
+	perText := g.candidatesPerText()
+	queue := g.buildQueue(perText)
+	if len(queue) == 0 {
+		return nil
+	}
+
+	cs := g.ensureCSR()
+
+	// Independent walks (frozen graph): precompute them all on the pool.
+	var prefetched [][]float64
+	if g.cfg.DisableRewire && len(queue) > 1 {
+		xs := make([]int, len(queue))
+		for i, q := range queue {
+			xs[i] = q.x
+		}
+		prefetched = cs.rwrBatch(&g.cfg, xs, g.cfg.RWRWorkers)
+	}
 
 	penalty := g.cfg.ClaimedCellPenalty
 	if penalty <= 0 || penalty > 1 {
@@ -368,8 +420,14 @@ func (g *Graph) Resolve() []Alignment {
 	claimedBy := make(map[int]int) // table mention index → aligned text mention
 
 	var alignments []Alignment
-	for _, q := range queue {
-		pi := g.RWR(q.x)
+	for qi, q := range queue {
+		var p []float64
+		if prefetched != nil {
+			p = prefetched[qi]
+		} else {
+			cs.flush()
+			p = cs.rwr(&g.cfg, q.x, cs.p, cs.next)
+		}
 
 		cands := perText[q.x] // already in table order
 
@@ -379,14 +437,14 @@ func (g *Graph) Resolve() []Alignment {
 		// drown the joint-inference signal entirely.
 		var piTotal float64
 		for _, c := range cands {
-			piTotal += pi[c.table]
+			piTotal += p[c.node]
 		}
 
 		best, bestScore := -1, math.Inf(-1)
 		for _, c := range cands {
-			piHat := pi[c.table]
+			piHat := p[c.node]
 			if piTotal > 0 {
-				piHat = pi[c.table] / piTotal
+				piHat = p[c.node] / piTotal
 			}
 			if y, claimed := claimedBy[c.table]; claimed {
 				xv := g.doc.TextMentions[q.x].Value
@@ -425,8 +483,24 @@ func relDiff(a, b float64) float64 {
 	return math.Abs(a-b) / den
 }
 
-// keepOnly removes all text-table edges of text node x except the one to
-// keep (keep == -1 removes them all). Text-text edges are preserved.
+// keepOnly is Algorithm 1's rewiring step: it removes all text-table edges
+// of text node x except the one to keep (keep == -1 removes them all),
+// concentrating future walk mass on resolved cells. Text-text edges are
+// preserved; every removal is symmetric (both directions drop together,
+// including parallel duplicates), so the graph is undirected before and
+// after every call.
+//
+// Intended semantics and safety: keepOnly mutates adjacency in place while
+// iterating — it walks g.adj[x] and compacts each peer list g.adj[e.to]
+// into its own backing array mid-iteration. That is safe because the two
+// lists are disjoint: x is a text node (< g.m) and every compacted peer is
+// a table node (≥ g.m), so the iteration never reads a list it is writing.
+// The mutation is NOT atomic with respect to a concurrent reader, however —
+// keepOnly must only run between RWR invocations, never during one. Resolve
+// guarantees that ordering: each walk completes (and, under DisableRewire,
+// the whole prefetched batch completes) before any rewiring happens, so no
+// walk can observe a half-pruned graph. The regression tests in
+// keeponly_test.go pin these postconditions down.
 func (g *Graph) keepOnly(x, keep int) {
 	var kept []edge
 	for _, e := range g.adj[x] {
@@ -443,6 +517,9 @@ func (g *Graph) keepOnly(x, keep int) {
 			}
 		}
 		g.adj[e.to] = out
+		if g.cs != nil {
+			g.cs.dropEdge(x, e.to)
+		}
 	}
 	g.adj[x] = kept
 }

@@ -1,0 +1,119 @@
+package graph
+
+// Stress coverage for the per-mention RWR worker pool. These tests are the
+// ones `make race` is expected to catch regressions with: the pool shares
+// one frozen CSR across workers, and any write to shared state after the
+// fan-out (a late renormalization, a shared scratch vector) is a data race
+// the race detector will flag here.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"briq/internal/corpus"
+	"briq/internal/document"
+)
+
+// corpusDocs returns generated documents that have at least two text
+// mentions, with uniform value-match candidates (no trained models needed
+// inside the graph package).
+func corpusDocs(t testing.TB, seed int64, pages int) []*document.Document {
+	t.Helper()
+	c := corpus.Generate(corpus.TableLConfig(seed, pages))
+	var docs []*document.Document
+	for _, doc := range c.Docs {
+		if len(doc.TextMentions) >= 2 {
+			docs = append(docs, doc)
+		}
+	}
+	if len(docs) == 0 {
+		t.Fatal("corpus produced no usable documents")
+	}
+	return docs
+}
+
+func noRewireConfig(workers int) Config {
+	cfg := DefaultConfig()
+	cfg.DisableRewire = true
+	cfg.RWRWorkers = workers
+	return cfg
+}
+
+// TestParallelRWRPoolDeterministic: the pooled no-rewire Resolve must be
+// bit-identical to the single-worker run for every document, whatever the
+// pool size.
+func TestParallelRWRPoolDeterministic(t *testing.T) {
+	docs := corpusDocs(t, 99, 8)
+	for _, workers := range []int{2, 4, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			for _, doc := range docs {
+				cands := candidatesByValue(doc, 0.5)
+				if len(cands) == 0 {
+					continue
+				}
+				serial := Build(noRewireConfig(1), doc, cands).Resolve()
+				pooled := Build(noRewireConfig(workers), doc, cands).Resolve()
+				if len(serial) != len(pooled) {
+					t.Fatalf("doc %s: %d vs %d alignments", doc.ID, len(serial), len(pooled))
+				}
+				for i := range serial {
+					if serial[i] != pooled[i] {
+						t.Fatalf("doc %s alignment %d: serial %+v vs pooled %+v",
+							doc.ID, i, serial[i], pooled[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelRWRPoolStress hammers the pool from many goroutines at once —
+// each on its own graph, as the document-level AlignAll fan-out does — so
+// the race detector sees nested parallelism (document workers × RWR
+// workers). Run via `make race`.
+func TestParallelRWRPoolStress(t *testing.T) {
+	docs := corpusDocs(t, 7, 6)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, doc := range docs {
+				cands := candidatesByValue(doc, 0.5)
+				if len(cands) == 0 {
+					continue
+				}
+				g := Build(noRewireConfig(4), doc, cands)
+				g.Resolve()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestRWRBatchMatchesSequential exercises rwrBatch directly against repeated
+// sequential walks on the same frozen CSR.
+func TestRWRBatchMatchesSequential(t *testing.T) {
+	doc := fig3Doc(t)
+	g := Build(DefaultConfig(), doc, candidatesByValue(doc, 0.5))
+	cs := g.ensureCSR()
+
+	xs := make([]int, g.m)
+	for i := range xs {
+		xs[i] = i
+	}
+	pooled := cs.rwrBatch(&g.cfg, xs, 4)
+
+	for i, x := range xs {
+		cs.flush()
+		want := cs.rwr(&g.cfg, x, cs.p, cs.next)
+		for n := range want {
+			if pooled[i][n] != want[n] {
+				t.Fatalf("x=%d node %d: pooled %v vs sequential %v", x, n, pooled[i][n], want[n])
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"math"
+	"sort"
+)
+
+// This file is the frozen pre-CSR implementation of the §VI hot path: the
+// map-allocating random walker and the Resolve loop exactly as they stood
+// before the CSR rework. It is retained verbatim — not refactored to share
+// code with the fast path — as the executable specification the golden
+// equivalence tests (equivalence_test.go) and the benchmark harness
+// (cmd/briq-bench) compare against. Resolve must stay byte-identical to
+// ReferenceResolve on every input; any change to the fast path that breaks
+// that equality is a bug in the fast path, not a reason to touch this file.
+
+// ReferenceRWR is the legacy random walk with restart from text mention x:
+// it rebuilds every node's row-stochastic transition list on each invocation
+// and returns the visiting probabilities π(t|x) as a map keyed by document
+// table-mention index. Use RWR; this exists for equivalence testing and as
+// the benchmark baseline.
+func (g *Graph) ReferenceRWR(x int) map[int]float64 {
+	n := len(g.adj)
+	p := make([]float64, n)
+	next := make([]float64, n)
+	p[x] = 1
+
+	// Precompute stochastic rows once per invocation (edges change between
+	// invocations as Algorithm 1 rewires the graph).
+	rows := make([][]edge, n)
+	for u := range rows {
+		rows[u] = g.transition(u)
+	}
+
+	for iter := 0; iter < g.cfg.MaxIters; iter++ {
+		for i := range next {
+			next[i] = 0
+		}
+		next[x] += g.cfg.Restart
+		for u, pu := range p {
+			if pu == 0 {
+				continue
+			}
+			row := rows[u]
+			if row == nil {
+				// Dangling node: restart.
+				next[x] += (1 - g.cfg.Restart) * pu
+				continue
+			}
+			spread := (1 - g.cfg.Restart) * pu
+			for _, e := range row {
+				next[e.to] += spread * e.w
+			}
+		}
+		// L∞ convergence check.
+		delta := 0.0
+		for i := range p {
+			d := math.Abs(next[i] - p[i])
+			if d > delta {
+				delta = d
+			}
+		}
+		p, next = next, p
+		if delta < g.cfg.Eps {
+			break
+		}
+	}
+
+	out := make(map[int]float64, len(g.nodeTable))
+	for nodeOff, ti := range g.nodeTable {
+		out[ti] = p[g.m+nodeOff]
+	}
+	return out
+}
+
+// ReferenceResolve is the legacy Algorithm 1 loop driving ReferenceRWR. Like
+// Resolve it consumes the graph (rewiring prunes edges), so run it on a
+// freshly Built instance.
+func (g *Graph) ReferenceResolve() []Alignment {
+	// Candidates per text mention with normalized priors.
+	perText := g.candidatesPerText()
+	queue := g.buildQueue(perText)
+
+	penalty := g.cfg.ClaimedCellPenalty
+	if penalty <= 0 || penalty > 1 {
+		penalty = 1
+	}
+	claimedBy := make(map[int]int) // table mention index → aligned text mention
+
+	var alignments []Alignment
+	for _, q := range queue {
+		pi := g.ReferenceRWR(q.x)
+
+		cands := perText[q.x] // already in table order
+
+		// Normalize the visiting probabilities over this mention's own
+		// candidates so π and σ contribute on comparable scales: raw π
+		// values shrink with graph size, which would let a sharp classifier
+		// drown the joint-inference signal entirely.
+		var piTotal float64
+		for _, c := range cands {
+			piTotal += pi[c.table]
+		}
+
+		best, bestScore := -1, math.Inf(-1)
+		for _, c := range cands {
+			piHat := pi[c.table]
+			if piTotal > 0 {
+				piHat = pi[c.table] / piTotal
+			}
+			if y, claimed := claimedBy[c.table]; claimed {
+				xv := g.doc.TextMentions[q.x].Value
+				yv := g.doc.TextMentions[y].Value
+				if relDiff(xv, yv) > 0.05 {
+					piHat *= penalty
+				}
+			}
+			score := g.cfg.Alpha*piHat + g.cfg.Beta*c.sigma
+			if score > bestScore {
+				best, bestScore = c.table, score
+			}
+		}
+
+		if best >= 0 && bestScore > g.cfg.Epsilon {
+			alignments = append(alignments, Alignment{Text: q.x, Table: best, Score: bestScore})
+			claimedBy[best] = q.x
+			if !g.cfg.DisableRewire {
+				g.keepOnly(q.x, g.tableNode[best])
+			}
+		} else if !g.cfg.DisableRewire {
+			g.keepOnly(q.x, -1)
+		}
+	}
+
+	sort.Slice(alignments, func(i, j int) bool { return alignments[i].Text < alignments[j].Text })
+	return alignments
+}

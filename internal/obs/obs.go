@@ -1,9 +1,3 @@
-// Package obs is the stdlib-only observability layer shared by the pipeline,
-// the HTTP server and the experiment harness: lock-free counters, fixed-bucket
-// latency histograms with JSON snapshots, and a Recorder that names histograms
-// by pipeline stage. Everything is safe for concurrent use; a nil *Recorder is
-// a valid no-op sink, so instrumented code never needs nil checks at call
-// sites beyond the method receiver.
 package obs
 
 import (
