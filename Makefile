@@ -1,8 +1,13 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-compare bench-tables experiments fmt
+.PHONY: all check build vet test race bench bench-compare bench-tables experiments fmt
 
-all: test
+all: check
+
+# Default verify entry point: vet, build, then the full suite under the race
+# detector. The runtime pool, server handlers and AlignAll fan-out are
+# concurrency-bearing, so a non-race test run is not a complete check.
+check: vet build race
 
 build:
 	$(GO) build ./...
@@ -15,10 +20,14 @@ test: build vet
 	$(GO) test ./...
 
 # Race-enabled suite — the concurrency contract (shared read-only Pipeline,
-# AlignAll fan-out, the parallel RWR worker pool, server handlers) is only
-# trusted if this passes. Includes the pool stress tests in internal/graph.
+# the internal/runtime clone pool, AlignAll fan-out, the parallel RWR worker
+# pool, server handlers) is only trusted if this passes. Includes the pool
+# stress tests in internal/graph and internal/runtime.
+# The tuning sweeps in internal/experiment run ~6x slower under the race
+# detector; on small machines they overrun go test's default 10m per-binary
+# timeout, so the race target sets its own.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Hot-path benchmark harness: runs the workload in cmd/briq-bench (CSR vs
 # frozen reference, equivalence-gated) and writes BENCH_pipeline.json.

@@ -13,24 +13,36 @@
 //	tagger     the text-mention aggregation tagger
 //	filter     adaptive candidate filtering
 //	graph      candidate graph + random walks with restart (Algorithm 1)
+//	runtime    corpus-scale concurrent alignment (worker pool of clones)
 //	corpus     the synthetic Common-Crawl-style corpus with ground truth
 //	experiment the harness reproducing the paper's Tables I–IX
 //
 // Quick start:
 //
 //	p := briq.New()
-//	alignments, err := briq.AlignHTML(p, "page0", htmlSource)
+//	alignments, err := briq.AlignHTMLContext(ctx, p, "page0", htmlSource)
 //
-// For higher quality, train models on the synthetic corpus first:
+// The pipeline is configured with functional options — trained models, a
+// corpus fan-out width, a latency recorder:
 //
-//	p, err := briq.NewTrained(42)
+//	p := briq.New(briq.WithTrainedSeed(42), briq.WithWorkers(8), briq.WithRecorder(r))
+//	alignments, err := briq.AlignCorpus(ctx, p, docs)
+//
+// Failures carry a typed taxonomy testable with errors.Is: ErrNoTables,
+// ErrNoMentions, ErrUntrained.
 package briq
 
 import (
+	"context"
+	"errors"
+
 	"briq/internal/core"
 	"briq/internal/corpus"
+	"briq/internal/document"
 	"briq/internal/experiment"
 	"briq/internal/htmlx"
+	"briq/internal/obs"
+	"briq/internal/runtime"
 )
 
 // Pipeline is a configured BriQ instance; see core.Pipeline for the stage
@@ -40,16 +52,96 @@ type Pipeline = core.Pipeline
 // Alignment is one resolved text↔table quantity alignment.
 type Alignment = core.Alignment
 
-// New returns a pipeline with default configuration: rule-based tagger and
-// heuristic (untrained) pair scoring. Useful for experimentation and demos;
-// use NewTrained for the full system.
-func New() *Pipeline { return core.NewPipeline() }
+// Document is one unit of alignment: a paragraph with its related tables and
+// the quantity mentions of both (produced by the segmenter, by the synthetic
+// corpus generator, or by corpus loaders).
+type Document = document.Document
 
-// NewTrained generates a deterministic synthetic training corpus (standing
-// in for the paper's annotated tableS data), trains the mention-pair
-// classifier and the text-mention tagger on it, and returns the full BriQ
-// pipeline. Training takes a few seconds.
-func NewTrained(seed int64) (*Pipeline, error) {
+// Recorder collects per-stage latency histograms; construct one with
+// NewRecorder and attach it via WithRecorder, then read Recorder.Snapshot.
+type Recorder = obs.Recorder
+
+// NewRecorder returns a Recorder with every pipeline stage pre-registered,
+// so snapshots expose the full schema before any traffic.
+func NewRecorder() *Recorder { return obs.NewRecorder(core.StageNames()...) }
+
+// The alignment error taxonomy. Errors returned by the facade wrap these
+// sentinels (with page or document context), so callers branch with
+// errors.Is instead of matching strings.
+var (
+	// ErrNoTables reports a page with no table containing numeric cells —
+	// nothing to align against.
+	ErrNoTables = core.ErrNoTables
+	// ErrNoMentions reports a page whose tables are fine but whose text has
+	// no alignable quantity mentions.
+	ErrNoMentions = core.ErrNoMentions
+	// ErrUntrained reports an operation that needs trained models on a
+	// heuristic-only pipeline (for example persisting models that were
+	// never trained, or loading a model bundle without a classifier).
+	ErrUntrained = core.ErrUntrained
+)
+
+// Option configures the pipeline returned by New.
+type Option func(*config)
+
+type config struct {
+	trainSeed *int64
+	workers   int
+	recorder  *obs.Recorder
+}
+
+// WithTrainedSeed trains the mention-pair classifier and the text-mention
+// tagger on the deterministic synthetic corpus generated from seed (standing
+// in for the paper's annotated tableS data) before returning the pipeline.
+// Training takes a few seconds and turns the heuristic pipeline into full
+// BriQ.
+func WithTrainedSeed(seed int64) Option {
+	return func(c *config) { c.trainSeed = &seed }
+}
+
+// WithWorkers sets the default fan-out width for corpus-scale alignment
+// (AlignCorpus and the batch paths built on the internal runtime pool).
+// n ≤ 0 means GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithRecorder attaches a latency Recorder: every aligned document reports
+// its per-stage timings (classify, filter, rwr, …) to it. Corpus runs record
+// into per-worker recorders and merge into r when the run completes.
+func WithRecorder(r *Recorder) Option {
+	return func(c *config) { c.recorder = r }
+}
+
+// New returns a pipeline configured by the given options; with none it is
+// the default configuration: rule-based tagger and heuristic (untrained)
+// pair scoring, useful for experimentation and demos.
+//
+// New panics if WithTrainedSeed training fails — impossible for the built-in
+// corpus generator short of a programming error. Callers that must observe
+// training errors can use the deprecated NewTrained.
+func New(opts ...Option) *Pipeline {
+	var cfg config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	p := core.NewPipeline()
+	if cfg.trainSeed != nil {
+		trained, err := newTrained(*cfg.trainSeed)
+		if err != nil {
+			panic("briq: training failed: " + err.Error())
+		}
+		p = trained
+	}
+	p.Workers = cfg.workers
+	p.Recorder = cfg.recorder
+	return p
+}
+
+// newTrained generates a deterministic synthetic training corpus, trains the
+// mention-pair classifier and the text-mention tagger on it, and returns the
+// full BriQ pipeline.
+func newTrained(seed int64) (*Pipeline, error) {
 	cfg := corpus.TableSConfig(seed)
 	cfg.Pages = 150 // enough gold pairs for stable models
 	c := corpus.Generate(cfg)
@@ -61,9 +153,55 @@ func NewTrained(seed int64) (*Pipeline, error) {
 	return experiment.NewBriQ(trained).P, nil
 }
 
+// NewTrained returns a pipeline with models trained on the synthetic corpus
+// generated from seed.
+//
+// Deprecated: use New(WithTrainedSeed(seed)).
+func NewTrained(seed int64) (*Pipeline, error) {
+	return newTrained(seed)
+}
+
+// AlignHTMLContext parses an HTML page and aligns every quantity mention of
+// its paragraphs to the related tables, honoring ctx between pipeline
+// phases. A page with nothing to align fails with ErrNoTables or
+// ErrNoMentions (wrapped; test with errors.Is).
+func AlignHTMLContext(ctx context.Context, p *Pipeline, pageID, html string) ([]Alignment, error) {
+	page := htmlx.ParseString(html)
+	return p.AlignPageContext(ctx, pageID, page)
+}
+
 // AlignHTML parses an HTML page and aligns every quantity mention of its
 // paragraphs to the related tables.
+//
+// Deprecated: use AlignHTMLContext. AlignHTML cannot be cancelled and, for
+// compatibility with pre-taxonomy callers, maps ErrNoTables/ErrNoMentions to
+// an empty result instead of an error.
 func AlignHTML(p *Pipeline, pageID, html string) ([]Alignment, error) {
-	page := htmlx.ParseString(html)
-	return p.AlignPage(pageID, page)
+	als, err := AlignHTMLContext(context.Background(), p, pageID, html)
+	if IsUnalignable(err) {
+		return nil, nil
+	}
+	return als, err
+}
+
+// IsUnalignable reports whether err only says the input had nothing to align
+// (ErrNoTables or ErrNoMentions) — the "empty, not broken" class of the
+// taxonomy, which batch ingestion over noisy pages typically skips.
+func IsUnalignable(err error) bool {
+	return errors.Is(err, ErrNoTables) || errors.Is(err, ErrNoMentions)
+}
+
+// AlignCorpus aligns a document corpus concurrently on the internal runtime
+// pool — per-worker pipeline clones fed through bounded channels — using the
+// pipeline's Workers as the fan-out width. The result order is deterministic
+// (document ID, then text mention) and byte-for-byte identical to a serial
+// run. On cancellation it returns ctx.Err(); stage latencies merge into the
+// pipeline's Recorder when one is attached.
+func AlignCorpus(ctx context.Context, p *Pipeline, docs []*Document) ([]Alignment, error) {
+	pool := runtime.NewPool(p, runtime.Options{})
+	out, err := pool.AlignCorpus(ctx, docs)
+	if p.Recorder != nil {
+		pool.MergeInto(p.Recorder)
+	}
+	return out, err
 }

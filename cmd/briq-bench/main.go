@@ -11,6 +11,12 @@
 //     CSR Resolve vs ReferenceResolve.
 //   - pipeline — end-to-end Align over the workload, with per-stage latency
 //     histograms (classify/filter/rwr/align) from internal/obs.
+//   - runtime — corpus throughput (docs/sec) of the internal/runtime worker
+//     pool at 1, 2, 4 and 8 workers against the serial AlignAll baseline,
+//     gated on the pool output being byte-identical to the serial output.
+//     Speedups are bounded by GOMAXPROCS: on a single-core machine every
+//     worker count measures the same core plus scheduling overhead, and the
+//     report records that honestly rather than extrapolating.
 //
 // Usage:
 //
@@ -22,6 +28,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,6 +44,7 @@ import (
 	"briq/internal/filter"
 	"briq/internal/graph"
 	"briq/internal/obs"
+	brt "briq/internal/runtime"
 )
 
 // resolveInput is one document's resolution-stage input: the exact
@@ -103,6 +112,32 @@ type report struct {
 	// Stages holds the per-stage latency histograms recorded while running
 	// the pipeline benchmark, keyed by core stage name (see core.StageNames).
 	Stages map[string]obs.HistogramSnapshot `json:"stages"`
+
+	// Runtime is the corpus-throughput scaling of the internal/runtime worker
+	// pool over the same workload, gated on pool output == serial output.
+	Runtime runtimeReport `json:"runtime"`
+}
+
+// runtimeScaling is one worker-count measurement of the corpus runtime pool.
+type runtimeScaling struct {
+	Workers         int     `json:"workers"`
+	NsPerCorpus     float64 `json:"ns_per_corpus"`
+	DocsPerSec      float64 `json:"docs_per_sec"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// runtimeReport compares the concurrent corpus engine against the serial
+// AlignAll baseline. EquivalentToSerial records the determinism gate: the
+// pool's AlignCorpus output must be byte-identical to serial AlignAll before
+// any throughput number is reported.
+type runtimeReport struct {
+	SerialNsPerCorpus  float64          `json:"serial_ns_per_corpus"`
+	SerialDocsPerSec   float64          `json:"serial_docs_per_sec"`
+	EquivalentToSerial bool             `json:"equivalent_to_serial"`
+	Scaling            []runtimeScaling `json:"scaling"`
+	// Note flags hardware limits that cap the observable speedup, e.g. a
+	// single-core machine where all worker counts share one core.
+	Note string `json:"note,omitempty"`
 }
 
 func main() {
@@ -242,6 +277,15 @@ func run(seed int64, pages, rounds, workers int, out string) error {
 	fmt.Printf("pipeline_align: %.0f ns/op  %d allocs/op\n",
 		rep.PipelineAlign.NsPerOp, rep.PipelineAlign.AllocsPerOp)
 
+	// Corpus throughput on the concurrent runtime pool. Recording is
+	// detached so both sides measure pure alignment work.
+	p.Recorder = nil
+	rt, err := measureRuntime(rounds, p, docs)
+	if err != nil {
+		return err
+	}
+	rep.Runtime = rt
+
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err
@@ -252,6 +296,81 @@ func run(seed int64, pages, rounds, workers int, out string) error {
 	}
 	fmt.Printf("wrote %s\n", out)
 	return nil
+}
+
+// measureRuntime benchmarks corpus throughput: the serial AlignAll baseline,
+// then the internal/runtime pool at 1, 2, 4 and 8 workers. The pools reuse
+// warm clones across benchmark iterations — the steady-state shape of the
+// server's batch path and the experiment harness.
+func measureRuntime(rounds int, p *core.Pipeline, docs []*document.Document) (runtimeReport, error) {
+	var out runtimeReport
+
+	// Determinism gate first: pooled output must match serial byte for byte.
+	serialJSON, err := json.Marshal(p.AlignAll(docs, 1))
+	if err != nil {
+		return out, err
+	}
+	ctx := context.Background()
+	for _, workers := range []int{1, 4} {
+		got, err := brt.NewPool(p, brt.Options{Workers: workers}).AlignCorpus(ctx, docs)
+		if err != nil {
+			return out, fmt.Errorf("runtime gate (workers=%d): %w", workers, err)
+		}
+		gotJSON, err := json.Marshal(got)
+		if err != nil {
+			return out, err
+		}
+		if !bytes.Equal(gotJSON, serialJSON) {
+			return out, fmt.Errorf("runtime gate (workers=%d): pool output differs from serial AlignAll", workers)
+		}
+	}
+	out.EquivalentToSerial = true
+	fmt.Printf("runtime gate: pool output identical to serial AlignAll on %d documents\n", len(docs))
+
+	serial := best(rounds, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.AlignAll(docs, 1)
+		}
+	})
+	out.SerialNsPerCorpus = serial.NsPerOp
+	out.SerialDocsPerSec = docsPerSec(len(docs), serial.NsPerOp)
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		pool := brt.NewPool(p, brt.Options{Workers: workers})
+		s := best(rounds, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pool.AlignCorpus(ctx, docs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		row := runtimeScaling{
+			Workers:     workers,
+			NsPerCorpus: s.NsPerOp,
+			DocsPerSec:  docsPerSec(len(docs), s.NsPerOp),
+		}
+		if s.NsPerOp > 0 {
+			row.SpeedupVsSerial = out.SerialNsPerCorpus / s.NsPerOp
+		}
+		out.Scaling = append(out.Scaling, row)
+		fmt.Printf("runtime: workers=%d  %.0f docs/sec  %.2fx vs serial\n",
+			workers, row.DocsPerSec, row.SpeedupVsSerial)
+	}
+
+	if procs := runtime.GOMAXPROCS(0); procs < 2 {
+		out.Note = fmt.Sprintf("GOMAXPROCS=%d: all worker counts share one core; "+
+			"speedup vs serial measures scheduling overhead, not parallelism", procs)
+		fmt.Println("runtime note:", out.Note)
+	}
+	return out, nil
+}
+
+// docsPerSec converts a per-corpus latency into document throughput.
+func docsPerSec(docs int, nsPerCorpus float64) float64 {
+	if nsPerCorpus <= 0 {
+		return 0
+	}
+	return float64(docs) / (nsPerCorpus / 1e9)
 }
 
 // compare benchmarks the CSR and reference sides of one comparison and

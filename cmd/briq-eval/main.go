@@ -43,13 +43,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	pipeline := briq.New()
+	var pipelineOpts []briq.Option
 	if *trained {
-		pipeline, err = briq.NewTrained(*seed)
-		if err != nil {
-			log.Fatalf("training: %v", err)
-		}
+		pipelineOpts = append(pipelineOpts, briq.WithTrainedSeed(*seed))
 	}
+	pipeline := briq.New(pipelineOpts...)
 
 	pages, err := filepath.Glob(filepath.Join(dir, "*.html"))
 	if err != nil {

@@ -49,14 +49,16 @@ func main() {
 	quiet := flag.Bool("quiet", false, "disable per-request access logging")
 	flag.Parse()
 
-	pipeline := briq.New()
+	var pipelineOpts []briq.Option
+	if *workers > 0 {
+		pipelineOpts = append(pipelineOpts, briq.WithWorkers(*workers))
+	}
 	if *trained {
-		start := time.Now()
-		var err error
-		pipeline, err = briq.NewTrained(*seed)
-		if err != nil {
-			log.Fatalf("training: %v", err)
-		}
+		pipelineOpts = append(pipelineOpts, briq.WithTrainedSeed(*seed))
+	}
+	start := time.Now()
+	pipeline := briq.New(pipelineOpts...)
+	if *trained {
 		log.Printf("trained models in %v", time.Since(start).Round(time.Millisecond))
 	}
 

@@ -16,6 +16,7 @@ import (
 	"briq/internal/core"
 	"briq/internal/document"
 	"briq/internal/htmlx"
+	rt "briq/internal/runtime"
 	"briq/internal/summarize"
 )
 
@@ -162,8 +163,16 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	if deadlineExceeded(w, r.Context()) {
 		return
 	}
-	alignments, err := briq.AlignHTML(s.pipeline, "request", src)
-	if err != nil {
+	alignments, err := briq.AlignHTMLContext(r.Context(), s.pipeline, "request", src)
+	switch {
+	case briq.IsUnalignable(err):
+		// A page with nothing to align is a client-data problem, not a
+		// server fault: report which it was (no tables / no mentions).
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	case err != nil && deadlineExceeded(w, r.Context()):
+		return
+	case err != nil:
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
@@ -187,8 +196,10 @@ type batchPageResult struct {
 }
 
 // handleAlignBatch aligns many pages in one request: each page is segmented,
-// then all documents fan out over the pipeline's AlignAll worker pool —
-// cross-page parallelism rather than page-at-a-time.
+// then all documents fan out over a per-request runtime pool of pipeline
+// clones — cross-page parallelism rather than page-at-a-time. The request
+// context cancels the pool mid-corpus, and the pool's per-worker stage
+// observations merge into the server metrics when the run ends.
 func (s *server) handleAlignBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, `POST JSON {"pages": [{"id": ..., "html": ...}]}`, http.StatusMethodNotAllowed)
@@ -258,7 +269,16 @@ func (s *server) handleAlignBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	aligned := s.pipeline.AlignAll(docs, s.opts.workers)
+	pool := rt.NewPool(s.pipeline, rt.Options{Workers: s.opts.workers})
+	aligned, err := pool.AlignCorpus(r.Context(), docs)
+	pool.MergeInto(s.metrics.stages) // once per pool; partial work still counts
+	if err != nil {
+		if deadlineExceeded(w, r.Context()) {
+			return
+		}
+		http.Error(w, fmt.Sprintf("align batch: %v", err), http.StatusServiceUnavailable)
+		return
+	}
 	for _, a := range aligned {
 		i, ok := docPage[a.DocID]
 		if !ok {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -63,13 +64,14 @@ func main() {
 		}
 		pipeline = experiment.NewBriQ(tr).P
 	case *trained:
-		pipeline, err = briq.NewTrained(*seed)
-		if err != nil {
-			log.Fatalf("training: %v", err)
-		}
+		pipeline = briq.New(briq.WithTrainedSeed(*seed))
 	}
 
-	alignments, err := briq.AlignHTML(pipeline, pageID, string(src))
+	alignments, err := briq.AlignHTMLContext(context.Background(), pipeline, pageID, string(src))
+	if briq.IsUnalignable(err) {
+		// Nothing to align is a legitimate outcome for the CLI, not a crash.
+		alignments, err = nil, nil
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

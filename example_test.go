@@ -1,6 +1,7 @@
 package briq_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,7 @@ func Example() {
 <tr><td>Eye Disorders</td><td>2</td><td>3</td><td>5</td></tr>
 </table></body></html>`
 
-	alignments, err := briq.AlignHTML(briq.New(), "example", page)
+	alignments, err := briq.AlignHTMLContext(context.Background(), briq.New(), "example", page)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,7 @@ side affect is depression, reported by 38 patients.</p>
 
 func main() {
 	pipeline := briq.New()
-	alignments, err := briq.AlignHTML(pipeline, "quickstart", page)
+	alignments, err := briq.AlignHTMLContext(context.Background(), pipeline, "quickstart", page)
 	if err != nil {
 		log.Fatal(err)
 	}

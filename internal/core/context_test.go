@@ -1,0 +1,133 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"briq/internal/corpus"
+	"briq/internal/htmlx"
+	"briq/internal/table"
+)
+
+func healthDocPage() *htmlx.Page {
+	return &htmlx.Page{Blocks: []htmlx.Block{
+		&htmlx.Paragraph{Text: "A total of 123 patients reported side effects, with 69 female patients."},
+		&htmlx.TableBlock{Caption: "side effects reported by patients", Grid: [][]string{
+			{"side effects", "male", "female", "total"},
+			{"Rash", "15", "20", "35"},
+			{"Depression", "13", "25", "38"},
+			{"Hypertension", "19", "15", "34"},
+			{"Nausea", "5", "6", "11"},
+			{"Eye Disorders", "2", "3", "5"},
+		}},
+	}}
+}
+
+// TestAlignContextCancelled locks in the cooperative checkpoint: a dead
+// context stops the pipeline before the next phase runs.
+func TestAlignContextCancelled(t *testing.T) {
+	tbl, err := table.New("t0", "counts", [][]string{
+		{"name", "count"},
+		{"a", "10"},
+		{"b", "20"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := segmentOne(t, "The count reached 30 in total.", tbl)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	als, err := NewPipeline().AlignContext(ctx, doc)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if als != nil {
+		t.Errorf("cancelled align returned alignments: %v", als)
+	}
+}
+
+func TestAlignContextBackgroundMatchesAlign(t *testing.T) {
+	c := corpus.Generate(corpus.TableSConfig(3))
+	p := NewPipeline()
+	for _, doc := range c.Docs[:5] {
+		want := p.Align(doc)
+		got, err := p.AlignContext(context.Background(), doc)
+		if err != nil {
+			t.Fatalf("doc %s: %v", doc.ID, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("doc %s: AlignContext diverged from Align", doc.ID)
+		}
+	}
+}
+
+func TestAlignPageContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := NewPipeline().AlignPageContext(ctx, "p0", healthDocPage())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestAlignPageTypedErrors pins the error taxonomy: a page with no numeric
+// tables reports ErrNoTables; a page whose tables have no quantity-bearing
+// paragraph nearby reports ErrNoMentions; both survive %w wrapping.
+func TestAlignPageTypedErrors(t *testing.T) {
+	p := NewPipeline()
+
+	noTables := &htmlx.Page{Blocks: []htmlx.Block{
+		&htmlx.Paragraph{Text: "Numbers like 42 with no tables."},
+	}}
+	if _, err := p.AlignPageContext(context.Background(), "p0", noTables); !errors.Is(err, ErrNoTables) {
+		t.Errorf("tableless page: err = %v, want ErrNoTables", err)
+	}
+
+	noMentions := &htmlx.Page{Blocks: []htmlx.Block{
+		&htmlx.Paragraph{Text: "This paragraph discusses methodology without any figures."},
+		&htmlx.TableBlock{Grid: [][]string{{"a", "b"}, {"1", "2"}}},
+	}}
+	if _, err := p.AlignPageContext(context.Background(), "p1", noMentions); !errors.Is(err, ErrNoMentions) {
+		t.Errorf("mentionless page: err = %v, want ErrNoMentions", err)
+	}
+
+	if _, err := p.AlignPageContext(context.Background(), "p2", healthDocPage()); err != nil {
+		t.Errorf("alignable page: err = %v, want nil", err)
+	}
+}
+
+func TestEnsureTrained(t *testing.T) {
+	p := NewPipeline()
+	if err := p.EnsureTrained(); !errors.Is(err, ErrUntrained) {
+		t.Errorf("heuristic pipeline: err = %v, want ErrUntrained", err)
+	}
+}
+
+// TestCloneMatchesOriginal proves clone semantics: a clone shares models and
+// configuration, reuses its scratch across documents, and still produces
+// byte-identical output to the original pipeline.
+func TestCloneMatchesOriginal(t *testing.T) {
+	c := corpus.Generate(corpus.TableSConfig(11))
+	p := NewPipeline()
+	clone := p.Clone()
+	if clone.local == nil {
+		t.Fatal("clone has no local scratch")
+	}
+	if p.local != nil {
+		t.Fatal("Clone mutated the original pipeline")
+	}
+	docs := c.Docs
+	if len(docs) > 8 {
+		docs = docs[:8]
+	}
+	for _, doc := range docs {
+		want := p.Align(doc)
+		got := clone.Align(doc) // reuses the clone's candidate buffer every round
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("doc %s: clone output diverged from original", doc.ID)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -33,6 +35,21 @@ const (
 func StageNames() []string {
 	return []string{StageSegment, StageClassify, StageFilter, StageResolve, StageAlign}
 }
+
+// The pipeline's error taxonomy. Callers branch on these with errors.Is; the
+// root briq package re-exports them under the same identities. Errors
+// returned by the pipeline wrap a sentinel with page/document context via %w.
+var (
+	// ErrNoTables: the page carries no table with numeric cells, so there is
+	// nothing to align against.
+	ErrNoTables = errors.New("page has no tables with numeric cells")
+	// ErrNoMentions: the page has usable tables, but no paragraph carries
+	// enough quantity mentions to form an alignable document.
+	ErrNoMentions = errors.New("page text has no alignable quantity mentions")
+	// ErrUntrained: the operation needs trained models (classifier + tagger)
+	// but the pipeline only has the heuristic configuration.
+	ErrUntrained = errors.New("pipeline has no trained models")
+)
 
 // Alignment is one resolved text↔table quantity alignment, the system's
 // output unit.
@@ -68,6 +85,38 @@ type Pipeline struct {
 	// set before the pipeline is shared across goroutines; after that the
 	// pipeline is read-only and the Recorder itself is concurrency-safe.
 	Recorder *obs.Recorder
+
+	// Workers is the default fan-out width for corpus-scale alignment
+	// (AlignAll with workers ≤ 0, the runtime pool, briq.AlignCorpus).
+	// Zero or negative means GOMAXPROCS.
+	Workers int
+
+	// local is per-clone scratch (see Clone). It is nil on pipelines built
+	// by NewPipeline, which therefore stay safe for concurrent Align calls;
+	// a clone owns its scratch and must serve one goroutine at a time.
+	local *localScratch
+}
+
+// localScratch holds buffers a single-goroutine pipeline clone reuses across
+// documents, so corpus runs stop paying the per-document allocation for the
+// |X|·|T| candidate slice.
+type localScratch struct {
+	candidates []filter.Candidate
+}
+
+// Clone returns a shallow copy of the pipeline for a dedicated worker
+// goroutine. Models and configuration are shared read-only with the
+// original; the clone gets its own scratch buffers (kept warm across the
+// documents it aligns) and its own Recorder slot, so a worker records stage
+// latencies without cross-worker contention.
+//
+// Unlike a NewPipeline instance, a clone must NOT be used for concurrent
+// Align calls: its scratch is single-owner by design. The runtime pool gives
+// each worker exactly one clone.
+func (p *Pipeline) Clone() *Pipeline {
+	c := *p
+	c.local = &localScratch{}
+	return &c
 }
 
 // NewPipeline returns a pipeline with default configuration, the rule-based
@@ -87,7 +136,20 @@ func NewPipeline() *Pipeline {
 // pair of the document — the local resolution of §IV.
 func (p *Pipeline) ScorePairs(doc *document.Document) []filter.Candidate {
 	ext := feature.NewExtractor(p.Features, doc)
-	out := make([]filter.Candidate, 0, len(doc.TextMentions)*len(doc.TableMentions))
+	n := len(doc.TextMentions) * len(doc.TableMentions)
+	var out []filter.Candidate
+	if p.local != nil {
+		// Clone-owned buffer: safe to reuse across documents because the
+		// filter stage regroups candidates into fresh slices and nothing
+		// downstream retains this one past the Align call.
+		if cap(p.local.candidates) < n {
+			p.local.candidates = make([]filter.Candidate, 0, n)
+		}
+		out = p.local.candidates[:0]
+		defer func() { p.local.candidates = out[:0] }()
+	} else {
+		out = make([]filter.Candidate, 0, n)
+	}
 	for xi := range doc.TextMentions {
 		for ti := range doc.TableMentions {
 			out = append(out, filter.Candidate{Text: xi, Table: ti, Score: p.score(ext.Vector(xi, ti))})
@@ -123,17 +185,36 @@ func (p *Pipeline) score(full []float64) float64 {
 // text-mention order. Stage latencies are reported to the pipeline's Recorder
 // when one is set.
 func (p *Pipeline) Align(doc *document.Document) []Alignment {
+	out, _ := p.AlignContext(context.Background(), doc) // background ctx: cannot fail
+	return out
+}
+
+// AlignContext is Align with cooperative cancellation: the context is checked
+// before each pipeline phase (classify → filter → rwr), so a canceled corpus
+// run stops within one phase of the current document instead of finishing it.
+// On cancellation it returns ctx.Err(); the phases themselves are CPU-bound
+// and run to completion once started.
+func (p *Pipeline) AlignContext(ctx context.Context, doc *document.Document) ([]Alignment, error) {
 	rec := p.Recorder
 	alignStart := time.Now()
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start := alignStart
 	candidates := p.ScorePairs(doc)
 	rec.Observe(StageClassify, time.Since(start))
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start = time.Now()
 	filtered := filter.Apply(p.FilterConfig, doc, p.Tagger, candidates)
 	rec.Observe(StageFilter, time.Since(start))
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start = time.Now()
 	g := graph.Build(p.GraphConfig, doc, filtered.Kept)
 	resolved := g.Resolve()
@@ -144,7 +225,7 @@ func (p *Pipeline) Align(doc *document.Document) []Alignment {
 		out = append(out, p.toAlignment(doc, a.Text, a.Table, a.Score))
 	}
 	rec.Observe(StageAlign, time.Since(alignStart))
-	return out
+	return out, nil
 }
 
 func (p *Pipeline) toAlignment(doc *document.Document, xi, ti int, score float64) Alignment {
@@ -168,21 +249,50 @@ func (p *Pipeline) toAlignment(doc *document.Document, xi, ti int, score float64
 // AlignPage segments an HTML page into documents and aligns each; the
 // returned alignments are grouped by document in page order.
 func (p *Pipeline) AlignPage(pageID string, page *htmlx.Page) ([]Alignment, error) {
+	return p.AlignPageContext(context.Background(), pageID, page)
+}
+
+// AlignPageContext segments an HTML page into documents and aligns each,
+// honoring ctx between pipeline phases. A page that yields no alignable
+// document reports why: ErrNoTables when no table has numeric cells,
+// ErrNoMentions when tables exist but no paragraph carries quantity
+// mentions; both wrapped with the page ID and testable via errors.Is.
+func (p *Pipeline) AlignPageContext(ctx context.Context, pageID string, page *htmlx.Page) ([]Alignment, error) {
 	seg := p.Segmenter
 	if seg == nil {
 		seg = document.NewSegmenter()
 	}
 	start := time.Now()
-	docs, err := seg.SegmentPage(pageID, page)
+	res, err := seg.SegmentPageInfo(pageID, page)
 	p.Recorder.Observe(StageSegment, time.Since(start))
 	if err != nil {
 		return nil, fmt.Errorf("segment page %s: %w", pageID, err)
 	}
+	if len(res.Docs) == 0 {
+		if res.NumericTables == 0 {
+			return nil, fmt.Errorf("page %s: %w", pageID, ErrNoTables)
+		}
+		return nil, fmt.Errorf("page %s: %w", pageID, ErrNoMentions)
+	}
 	var out []Alignment
-	for _, doc := range docs {
-		out = append(out, p.Align(doc)...)
+	for _, doc := range res.Docs {
+		als, err := p.AlignContext(ctx, doc)
+		if err != nil {
+			return nil, fmt.Errorf("align %s: %w", doc.ID, err)
+		}
+		out = append(out, als...)
 	}
 	return out, nil
+}
+
+// EnsureTrained returns ErrUntrained unless the pipeline carries a trained
+// mention-pair classifier — the guard for operations (model persistence,
+// trained-only serving) that are meaningless on the heuristic configuration.
+func (p *Pipeline) EnsureTrained() error {
+	if p.Classifier == nil {
+		return ErrUntrained
+	}
+	return nil
 }
 
 // AlignAll aligns many documents concurrently with the given number of
@@ -201,7 +311,7 @@ func (p *Pipeline) AlignAll(docs []*document.Document, workers int) []Alignment 
 		for _, doc := range docs {
 			out = append(out, p.Align(doc)...)
 		}
-		sortAlignments(out)
+		SortAlignments(out)
 		return out
 	}
 
@@ -227,14 +337,14 @@ func (p *Pipeline) AlignAll(docs []*document.Document, workers int) []Alignment 
 	for _, r := range results {
 		out = append(out, r...)
 	}
-	sortAlignments(out)
+	SortAlignments(out)
 	return out
 }
 
-// sortAlignments orders alignments by document ID then text mention — the
-// order AlignAll promises regardless of worker count, so serial and parallel
-// runs are bit-for-bit identical.
-func sortAlignments(out []Alignment) {
+// SortAlignments orders alignments by document ID then text mention — the
+// order AlignAll and the runtime's ordered-batch collector promise regardless
+// of worker count, so serial and parallel runs are bit-for-bit identical.
+func SortAlignments(out []Alignment) {
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].DocID != out[j].DocID {
 			return out[i].DocID < out[j].DocID

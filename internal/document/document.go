@@ -62,6 +62,22 @@ func NewSegmenter() *Segmenter {
 
 // SegmentPage parses the blocks of an HTML page into documents.
 func (s *Segmenter) SegmentPage(pageID string, page *htmlx.Page) ([]*Document, error) {
+	res, err := s.SegmentPageInfo(pageID, page)
+	return res.Docs, err
+}
+
+// Segmentation is the outcome of segmenting one page: the documents plus the
+// raw material counts, so callers can tell an unusable page (no numeric
+// tables) from an unalignable one (tables, but no quantity-bearing text).
+type Segmentation struct {
+	Docs          []*Document
+	NumericTables int // tables with at least one numeric cell
+	Paragraphs    int // non-heading paragraphs considered
+}
+
+// SegmentPageInfo parses the blocks of an HTML page into documents and
+// reports what the page offered to work with.
+func (s *Segmenter) SegmentPageInfo(pageID string, page *htmlx.Page) (Segmentation, error) {
 	var paras []string
 	var paraBlock []int // block index per paragraph
 	var tables []*table.Table
@@ -88,7 +104,11 @@ func (s *Segmenter) SegmentPage(pageID string, page *htmlx.Page) ([]*Document, e
 			tableBlock = append(tableBlock, i)
 		}
 	}
-	return s.segment(pageID, paras, paraBlock, tables, tableBlock), nil
+	return Segmentation{
+		Docs:          s.segment(pageID, paras, paraBlock, tables, tableBlock),
+		NumericTables: len(tables),
+		Paragraphs:    len(paras),
+	}, nil
 }
 
 // Segment builds documents from pre-extracted paragraphs and tables, with

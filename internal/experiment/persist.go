@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"briq/internal/core"
 	"briq/internal/feature"
 	"briq/internal/forest"
 	"briq/internal/tagger"
@@ -26,7 +27,11 @@ const bundleVersion = 1
 
 // SaveModels writes the trained classifier and tagger with their feature
 // configuration, so a pipeline can be reconstructed without retraining.
+// Persisting a model set that was never trained fails with core.ErrUntrained.
 func SaveModels(w io.Writer, tr *Trained) error {
+	if tr == nil || tr.Classifier == nil || tr.Tagger == nil {
+		return fmt.Errorf("save models: %w", core.ErrUntrained)
+	}
 	clsJSON, err := forestJSON(tr.Classifier)
 	if err != nil {
 		return fmt.Errorf("save models: classifier: %w", err)
@@ -61,6 +66,11 @@ func LoadModels(r io.Reader) (*Trained, error) {
 	if len(bundle.Mask) != feature.NumFeatures {
 		return nil, fmt.Errorf("load models: mask has %d features, want %d",
 			len(bundle.Mask), feature.NumFeatures)
+	}
+	if len(bundle.Classifier) == 0 || len(bundle.Tagger) == 0 {
+		// A structurally valid bundle with no model payload: the writer's
+		// pipeline was never trained.
+		return nil, fmt.Errorf("load models: bundle has no trained models: %w", core.ErrUntrained)
 	}
 	cls, err := forestFromJSON(bundle.Classifier)
 	if err != nil {

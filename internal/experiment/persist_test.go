@@ -2,8 +2,12 @@ package experiment
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"strings"
 	"testing"
+
+	"briq/internal/core"
 )
 
 func TestSaveLoadModels(t *testing.T) {
@@ -50,5 +54,23 @@ func TestLoadModelsRejectsMalformed(t *testing.T) {
 		if _, err := LoadModels(strings.NewReader(src)); err == nil {
 			t.Errorf("LoadModels(%.30q) should fail", src)
 		}
+	}
+}
+
+// TestPersistUntrained pins the typed ErrUntrained taxonomy on both sides of
+// persistence: saving a never-trained model set and loading a bundle with no
+// model payload both report core.ErrUntrained through errors.Is.
+func TestPersistUntrained(t *testing.T) {
+	if err := SaveModels(io.Discard, nil); !errors.Is(err, core.ErrUntrained) {
+		t.Errorf("SaveModels(nil) err = %v, want core.ErrUntrained", err)
+	}
+	if err := SaveModels(io.Discard, &Trained{}); !errors.Is(err, core.ErrUntrained) {
+		t.Errorf("SaveModels(empty) err = %v, want core.ErrUntrained", err)
+	}
+
+	mask := strings.Repeat(`true,`, 11) + `true`
+	empty := `{"version":1,"mask":[` + mask + `]}`
+	if _, err := LoadModels(strings.NewReader(empty)); !errors.Is(err, core.ErrUntrained) {
+		t.Errorf("LoadModels(no models) err = %v, want core.ErrUntrained", err)
 	}
 }

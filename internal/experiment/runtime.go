@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"briq/internal/corpus"
 	"briq/internal/document"
 	"briq/internal/obs"
+	"briq/internal/runtime"
 	"briq/internal/table"
 )
 
@@ -35,10 +37,12 @@ func RunTableVIII(c *corpus.Corpus, pipeline *core.Pipeline, workers int) (*Repo
 	// Route all timing through the shared obs instrumentation (the same
 	// Recorder the server's /metrics endpoint reads) instead of ad-hoc
 	// timers: per-domain batch wall time lands in a "batch:<domain>"
-	// histogram next to the per-stage histograms core reports.
-	instrumented := *pipeline
+	// histogram next to the per-stage histograms core reports. The corpus
+	// itself runs on the concurrent runtime pool — the same engine behind
+	// briq.AlignCorpus and the server's batch endpoint — with one set of
+	// warm worker clones reused across every domain batch.
 	rec := obs.NewRecorder()
-	instrumented.Recorder = rec
+	pool := runtime.NewPool(pipeline, runtime.Options{Workers: workers})
 
 	var rows []ThroughputRow
 	var totalDocs, totalPages, totalMentions int
@@ -53,7 +57,11 @@ func RunTableVIII(c *corpus.Corpus, pipeline *core.Pipeline, workers int) (*Repo
 			mentions += len(doc.TextMentions)
 		}
 		stop := rec.Time("batch:" + d.String())
-		instrumented.AlignAll(docs, workers)
+		if _, err := pool.AlignCorpus(context.Background(), docs); err != nil {
+			// Only context cancellation can fail a corpus, and this run
+			// uses the background context.
+			panic("experiment: corpus alignment failed: " + err.Error())
+		}
 		stop()
 		elapsed := time.Duration(rec.Stage("batch:"+d.String()).Snapshot().SumMillis * float64(time.Millisecond))
 
@@ -168,18 +176,18 @@ func MeasureThroughput(sys System, docs []*document.Document) float64 {
 	return perMinute(len(docs), time.Duration(h.Snapshot().SumMillis*float64(time.Millisecond)))
 }
 
-// RunStageBreakdown aligns the corpus with an instrumented copy of the
-// pipeline and reports where per-document time goes, stage by stage
-// (classify → filter → rwr), from the same obs.Recorder instrumentation the
-// briq-server /metrics endpoint exposes. The companion to Table VIII: the
-// throughput table says how fast, this says why.
+// RunStageBreakdown aligns the corpus on an instrumented runtime pool and
+// reports where per-document time goes, stage by stage (classify → filter →
+// rwr), from the merged per-worker obs.Recorder instrumentation — the same
+// numbers the briq-server /metrics endpoint exposes. The companion to Table
+// VIII: the throughput table says how fast, this says why.
 func RunStageBreakdown(c *corpus.Corpus, pipeline *core.Pipeline, workers int) (*Report, map[string]obs.HistogramSnapshot) {
-	instrumented := *pipeline
-	rec := obs.NewRecorder(core.StageNames()...)
-	instrumented.Recorder = rec
-	instrumented.AlignAll(c.Docs, workers)
+	pool := runtime.NewPool(pipeline, runtime.Options{Workers: workers})
+	if _, err := pool.AlignCorpus(context.Background(), c.Docs); err != nil {
+		panic("experiment: corpus alignment failed: " + err.Error())
+	}
 
-	snap := rec.Snapshot()
+	snap := pool.Snapshot()
 	r := &Report{
 		Title:  "Stage breakdown: per-document latency by pipeline stage",
 		Header: []string{"stage", "count", "mean ms", "p50 ms", "p90 ms", "p99 ms", "total ms"},

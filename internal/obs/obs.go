@@ -131,6 +131,43 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[i].Add(1)
 }
 
+// Merge folds every observation recorded in src into h. Both histograms may
+// keep receiving concurrent Observe calls; like Snapshot, the merged state is
+// near-consistent rather than a single atomic cut. Merging a histogram into
+// itself is not supported. A nil src is a no-op.
+//
+// This is how the runtime pool combines per-worker recorders into one
+// pool-level view: workers record contention-free into private histograms,
+// and the pool merges them on demand.
+func (h *Histogram) Merge(src *Histogram) {
+	if src == nil {
+		return
+	}
+	n := src.count.Load()
+	if n == 0 {
+		return
+	}
+	h.count.Add(n)
+	h.sum.Add(src.sum.Load())
+	for v := src.min.Load(); ; {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for v := src.max.Load(); ; {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for i := range src.buckets {
+		if c := src.buckets[i].Load(); c > 0 {
+			h.buckets[i].Add(c)
+		}
+	}
+}
+
 // Bucket is one cumulative histogram bucket: the number of observations at or
 // below the upper bound. Only finite bounds are emitted; the overflow count is
 // the snapshot's Count minus the last bucket's cumulative Count.
@@ -271,6 +308,26 @@ func (r *Recorder) Time(stage string) func() {
 	}
 	start := time.Now()
 	return func() { r.Observe(stage, time.Since(start)) }
+}
+
+// Merge folds every stage histogram of src into r, creating stages r has not
+// seen. No-op when r or src is nil. Merging the same src into the same dst
+// twice double-counts; callers own that discipline (the runtime pool merges
+// each per-worker recorder exactly once per run, or merges into a fresh
+// Recorder for read-only snapshots).
+func (r *Recorder) Merge(src *Recorder) {
+	if r == nil || src == nil {
+		return
+	}
+	src.mu.RLock()
+	stages := make(map[string]*Histogram, len(src.stages))
+	for name, h := range src.stages {
+		stages[name] = h
+	}
+	src.mu.RUnlock()
+	for name, h := range stages {
+		r.Stage(name).Merge(h)
+	}
 }
 
 // Snapshot captures every registered stage histogram, keyed by stage name.
