@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: all check build vet test race bench bench-compare bench-tables experiments fmt
+.PHONY: all check build vet test race bench bench-compare bench-tables experiments fmt fmt-check
 
 all: check
 
-# Default verify entry point: vet, build, then the full suite under the race
-# detector. The runtime pool, server handlers and AlignAll fan-out are
-# concurrency-bearing, so a non-race test run is not a complete check.
-check: vet build race
+# Default verify entry point: formatting, vet, build, then the full suite
+# under the race detector. The runtime pool, serving layer, server handlers
+# and AlignAll fan-out are concurrency-bearing, so a non-race test run is not
+# a complete check.
+check: fmt-check vet build race
 
 build:
 	$(GO) build ./...
@@ -49,3 +50,10 @@ experiments:
 
 fmt:
 	gofmt -l -w .
+
+# Formatting gate: fails listing the offending files if anything is not
+# gofmt-clean. `gofmt -l` exits 0 even when files need formatting, so the
+# gate greps its output instead of trusting the exit code.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi

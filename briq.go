@@ -14,6 +14,7 @@
 //	filter     adaptive candidate filtering
 //	graph      candidate graph + random walks with restart (Algorithm 1)
 //	runtime    corpus-scale concurrent alignment (worker pool of clones)
+//	serve      the traffic layer: result cache, single-flight, admission
 //	corpus     the synthetic Common-Crawl-style corpus with ground truth
 //	experiment the harness reproducing the paper's Tables I–IX
 //
@@ -23,18 +24,27 @@
 //	alignments, err := briq.AlignHTMLContext(ctx, p, "page0", htmlSource)
 //
 // The pipeline is configured with functional options — trained models, a
-// corpus fan-out width, a latency recorder:
+// corpus fan-out width, a latency recorder, and the serving layer:
 //
-//	p := briq.New(briq.WithTrainedSeed(42), briq.WithWorkers(8), briq.WithRecorder(r))
+//	p := briq.New(briq.WithTrainedSeed(42), briq.WithWorkers(8),
+//		briq.WithCache(64<<20), briq.WithMaxInFlight(32))
 //	alignments, err := briq.AlignCorpus(ctx, p, docs)
 //
+// With WithCache, byte-identical requests are served from a sharded
+// content-addressed result cache (hits are byte-identical to fresh runs) and
+// concurrent identical requests coalesce into one pipeline run. With
+// WithMaxInFlight, excess load is shed with ErrOverloaded/ErrDeadlineBudget
+// instead of queuing unboundedly.
+//
 // Failures carry a typed taxonomy testable with errors.Is: ErrNoTables,
-// ErrNoMentions, ErrUntrained.
+// ErrNoMentions, ErrUntrained, ErrOverloaded, ErrDeadlineBudget.
 package briq
 
 import (
 	"context"
 	"errors"
+	"fmt"
+	"io"
 
 	"briq/internal/core"
 	"briq/internal/corpus"
@@ -43,6 +53,7 @@ import (
 	"briq/internal/htmlx"
 	"briq/internal/obs"
 	"briq/internal/runtime"
+	"briq/internal/serve"
 )
 
 // Pipeline is a configured BriQ instance; see core.Pipeline for the stage
@@ -79,15 +90,29 @@ var (
 	// heuristic-only pipeline (for example persisting models that were
 	// never trained, or loading a model bundle without a classifier).
 	ErrUntrained = core.ErrUntrained
+	// ErrOverloaded reports a request shed by admission control
+	// (WithMaxInFlight): every in-flight slot was taken and the wait queue
+	// was at its watermark. No pipeline work was done; retry after backoff.
+	ErrOverloaded = serve.ErrOverloaded
+	// ErrDeadlineBudget reports a request whose context expired while it
+	// waited for admission — its deadline budget was spent queuing.
+	ErrDeadlineBudget = serve.ErrDeadlineBudget
 )
 
 // Option configures the pipeline returned by New.
 type Option func(*config)
 
 type config struct {
-	trainSeed *int64
-	workers   int
-	recorder  *obs.Recorder
+	trainSeed   *int64
+	workers     int
+	recorder    *obs.Recorder
+	cacheBytes  int64
+	maxInFlight int
+	warnings    []string
+}
+
+func (c *config) warnf(format string, args ...any) {
+	c.warnings = append(c.warnings, fmt.Sprintf(format, args...))
 }
 
 // WithTrainedSeed trains the mention-pair classifier and the text-mention
@@ -101,9 +126,17 @@ func WithTrainedSeed(seed int64) Option {
 
 // WithWorkers sets the default fan-out width for corpus-scale alignment
 // (AlignCorpus and the batch paths built on the internal runtime pool).
-// n ≤ 0 means GOMAXPROCS.
+// A width below 1 is invalid: it is clamped to the GOMAXPROCS default and
+// recorded in the pipeline's ConfigWarnings.
 func WithWorkers(n int) Option {
-	return func(c *config) { c.workers = n }
+	return func(c *config) {
+		if n < 1 {
+			c.warnf("WithWorkers(%d): fan-out width must be ≥ 1; using GOMAXPROCS", n)
+			c.workers = 0
+			return
+		}
+		c.workers = n
+	}
 }
 
 // WithRecorder attaches a latency Recorder: every aligned document reports
@@ -113,9 +146,47 @@ func WithRecorder(r *Recorder) Option {
 	return func(c *config) { c.recorder = r }
 }
 
+// WithCache bounds a content-addressed result cache at bytes and routes
+// AlignHTMLContext and AlignCorpus through it: requests whose model
+// fingerprint and input are byte-identical to a previous one are served from
+// memory, and concurrent identical requests coalesce into a single pipeline
+// run. Cached results are byte-identical to fresh runs; callers must treat
+// returned alignments as read-only. bytes ≤ 0 disables the cache; a negative
+// value is clamped to 0 and recorded in ConfigWarnings.
+func WithCache(bytes int64) Option {
+	return func(c *config) {
+		if bytes < 0 {
+			c.warnf("WithCache(%d): negative byte budget; caching disabled", bytes)
+			c.cacheBytes = 0
+			return
+		}
+		c.cacheBytes = bytes
+	}
+}
+
+// WithMaxInFlight bounds the number of concurrently admitted pipeline
+// computations across AlignHTMLContext and AlignCorpus. Up to 2n further
+// requests wait for a slot; beyond that watermark requests fail fast with
+// ErrOverloaded, and a request whose context dies while queued fails with
+// ErrDeadlineBudget. n ≤ 0 disables admission control; a negative value is
+// clamped to 0 and recorded in ConfigWarnings.
+func WithMaxInFlight(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			c.warnf("WithMaxInFlight(%d): negative bound; admission control disabled", n)
+			c.maxInFlight = 0
+			return
+		}
+		c.maxInFlight = n
+	}
+}
+
 // New returns a pipeline configured by the given options; with none it is
 // the default configuration: rule-based tagger and heuristic (untrained)
 // pair scoring, useful for experimentation and demos.
+//
+// Out-of-range option values are clamped to their safe default and recorded
+// in the pipeline's ConfigWarnings rather than silently misbehaving.
 //
 // New panics if WithTrainedSeed training fails — impossible for the built-in
 // corpus generator short of a programming error. Callers that must observe
@@ -135,6 +206,15 @@ func New(opts ...Option) *Pipeline {
 	}
 	p.Workers = cfg.workers
 	p.Recorder = cfg.recorder
+	p.ConfigWarnings = cfg.warnings
+	if cfg.cacheBytes > 0 || cfg.maxInFlight > 0 {
+		p.Gate = serve.NewEngine(serve.Config{
+			Fingerprint: p.Fingerprint(),
+			CacheBytes:  cfg.cacheBytes,
+			MaxInFlight: cfg.maxInFlight,
+			MaxQueue:    serve.DefaultMaxQueue,
+		})
+	}
 	return p
 }
 
@@ -165,9 +245,31 @@ func NewTrained(seed int64) (*Pipeline, error) {
 // its paragraphs to the related tables, honoring ctx between pipeline
 // phases. A page with nothing to align fails with ErrNoTables or
 // ErrNoMentions (wrapped; test with errors.Is).
+//
+// On a pipeline with a serving layer (WithCache / WithMaxInFlight) the
+// request is content-addressed: a repeat of a previously aligned
+// (pageID, html) pair is a cache hit — byte-identical to a fresh run —
+// concurrent identical requests trigger exactly one pipeline run, and under
+// saturation the request may fail with ErrOverloaded or ErrDeadlineBudget.
+// Returned alignments must then be treated as read-only.
 func AlignHTMLContext(ctx context.Context, p *Pipeline, pageID, html string) ([]Alignment, error) {
-	page := htmlx.ParseString(html)
-	return p.AlignPageContext(ctx, pageID, page)
+	if p.Gate == nil {
+		page := htmlx.ParseString(html)
+		return p.AlignPageContext(ctx, pageID, page)
+	}
+	key := p.Gate.PageKey(pageID, html)
+	v, _, err := p.Gate.Do(ctx, key, func(ctx context.Context) (any, int64, error) {
+		page := htmlx.ParseString(html)
+		als, err := p.AlignPageContext(ctx, pageID, page)
+		if err != nil {
+			return nil, 0, err
+		}
+		return als, alignmentsSize(als), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return copyAlignments(v.([]Alignment)), nil
 }
 
 // AlignHTML parses an HTML page and aligns every quantity mention of its
@@ -197,11 +299,108 @@ func IsUnalignable(err error) bool {
 // (document ID, then text mention) and byte-for-byte identical to a serial
 // run. On cancellation it returns ctx.Err(); stage latencies merge into the
 // pipeline's Recorder when one is attached.
+//
+// On a pipeline with a serving layer, each document is content-addressed
+// individually: documents already aligned under the same models are served
+// from the cache and only the misses fan out over the pool, and the whole
+// corpus run occupies one admission slot (failing fast with ErrOverloaded /
+// ErrDeadlineBudget under saturation).
 func AlignCorpus(ctx context.Context, p *Pipeline, docs []*Document) ([]Alignment, error) {
-	pool := runtime.NewPool(p, runtime.Options{})
-	out, err := pool.AlignCorpus(ctx, docs)
-	if p.Recorder != nil {
-		pool.MergeInto(p.Recorder)
+	if p.Gate == nil {
+		pool := runtime.NewPool(p, runtime.Options{})
+		out, err := pool.AlignCorpus(ctx, docs)
+		if p.Recorder != nil {
+			pool.MergeInto(p.Recorder)
+		}
+		return out, err
 	}
-	return out, err
+
+	release, err := p.Gate.Acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	keys := make([]serve.Key, len(docs))
+	perDoc := make([][]Alignment, len(docs))
+	var missDocs []*Document
+	var missIdx []int
+	for i, doc := range docs {
+		doc := doc
+		keys[i] = p.Gate.KeyFrom(func(w io.Writer) { hashDocument(w, doc) })
+		if v, ok := p.Gate.Lookup(keys[i]); ok {
+			perDoc[i] = v.([]Alignment)
+			continue
+		}
+		missDocs = append(missDocs, doc)
+		missIdx = append(missIdx, i)
+	}
+
+	if len(missDocs) > 0 {
+		pool := runtime.NewPool(p, runtime.Options{})
+		fresh, err := pool.AlignPerDoc(ctx, missDocs)
+		if p.Recorder != nil {
+			pool.MergeInto(p.Recorder)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for j, als := range fresh {
+			i := missIdx[j]
+			perDoc[i] = als
+			p.Gate.Store(keys[i], als, alignmentsSize(als))
+		}
+	}
+
+	var out []Alignment
+	for _, als := range perDoc {
+		out = append(out, als...)
+	}
+	core.SortAlignments(out)
+	return out, nil
+}
+
+// hashDocument writes a document's full alignment-relevant content — text,
+// table grids, headers, captions, and both mention lists — so two documents
+// share a cache key iff the pipeline would see identical input.
+func hashDocument(w io.Writer, d *Document) {
+	fmt.Fprintf(w, "doc|%s|%s|%s|", d.ID, d.PageID, d.Text)
+	for _, t := range d.Tables {
+		fmt.Fprintf(w, "table|%s|%s|%q|%q|%q|%d×%d|",
+			t.ID, t.Caption, t.ColHeaders, t.RowHeaders, t.Footers, t.Rows(), t.Cols())
+		for r := 0; r < t.Rows(); r++ {
+			for c := 0; c < t.Cols(); c++ {
+				fmt.Fprintf(w, "%s\x00", t.Cell(r, c).Text)
+			}
+		}
+	}
+	for _, m := range d.TextMentions {
+		fmt.Fprintf(w, "xm|%+v|", m)
+	}
+	for _, m := range d.TableMentions {
+		fmt.Fprintf(w, "tm|%s|%g|%s|%v|%d|", m.Key(), m.Value, m.Unit, m.Orient, m.Index)
+	}
+}
+
+// alignmentsSize estimates the resident bytes of a result slice for the
+// cache's byte accounting: struct footprint plus string payloads.
+func alignmentsSize(als []Alignment) int64 {
+	n := int64(len(als))*112 + 48
+	for i := range als {
+		a := &als[i]
+		n += int64(len(a.DocID) + len(a.TextSurface) + len(a.TableKey) + len(a.AggName))
+	}
+	return n
+}
+
+// copyAlignments returns a private copy of a cached result, preserving
+// nil-ness and emptiness (so cached and fresh responses marshal
+// identically), without sharing the backing array the cache retains.
+func copyAlignments(als []Alignment) []Alignment {
+	if als == nil {
+		return nil
+	}
+	out := make([]Alignment, len(als))
+	copy(out, als)
+	return out
 }

@@ -17,6 +17,11 @@
 //     Speedups are bounded by GOMAXPROCS: on a single-core machine every
 //     worker count measures the same core plus scheduling overhead, and the
 //     report records that honestly rather than extrapolating.
+//   - serving — the content-addressed result cache's hit path: corpus
+//     throughput of a cache-warm briq.AlignCorpus against the cold
+//     (uncached) path, gated on the warm output being byte-identical to the
+//     cold output. This is the serving layer's headline number: a hit skips
+//     the entire pipeline, so the speedup is typically orders of magnitude.
 //
 // Usage:
 //
@@ -38,6 +43,7 @@ import (
 	"testing"
 	"time"
 
+	"briq"
 	"briq/internal/core"
 	"briq/internal/corpus"
 	"briq/internal/document"
@@ -116,6 +122,25 @@ type report struct {
 	// Runtime is the corpus-throughput scaling of the internal/runtime worker
 	// pool over the same workload, gated on pool output == serial output.
 	Runtime runtimeReport `json:"runtime"`
+
+	// Serving compares the result cache's hit path against the cold pipeline
+	// over the same corpus, gated on warm output == cold output.
+	Serving servingReport `json:"serving"`
+}
+
+// servingReport is the cache-hit-path section: the cold side aligns the
+// corpus through an uncached pipeline; the hit side re-aligns it through a
+// pipeline whose cache was warmed by one prior run, so every document is
+// served from memory. EquivalentToCold records the byte-identity gate.
+type servingReport struct {
+	ColdNsPerCorpus  float64 `json:"cold_ns_per_corpus"`
+	ColdDocsPerSec   float64 `json:"cold_docs_per_sec"`
+	HitNsPerCorpus   float64 `json:"hit_ns_per_corpus"`
+	HitDocsPerSec    float64 `json:"hit_docs_per_sec"`
+	Speedup          float64 `json:"speedup"`
+	EquivalentToCold bool    `json:"equivalent_to_cold"`
+	CacheEntries     int64   `json:"cache_entries"`
+	CacheBytes       int64   `json:"cache_bytes"`
 }
 
 // runtimeScaling is one worker-count measurement of the corpus runtime pool.
@@ -286,6 +311,12 @@ func run(seed int64, pages, rounds, workers int, out string) error {
 	}
 	rep.Runtime = rt
 
+	sv, err := measureServing(rounds, docs)
+	if err != nil {
+		return err
+	}
+	rep.Serving = sv
+
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err
@@ -362,6 +393,70 @@ func measureRuntime(rounds int, p *core.Pipeline, docs []*document.Document) (ru
 			"speedup vs serial measures scheduling overhead, not parallelism", procs)
 		fmt.Println("runtime note:", out.Note)
 	}
+	return out, nil
+}
+
+// measureServing benchmarks the serving layer's cache-hit path: cold corpus
+// alignment through an uncached facade pipeline against warm re-alignment
+// through a pipeline whose per-document result cache holds the whole corpus.
+func measureServing(rounds int, docs []*document.Document) (servingReport, error) {
+	var out servingReport
+	ctx := context.Background()
+	coldP := briq.New()
+	warmP := briq.New(briq.WithCache(256 << 20))
+
+	// Byte-identity gate: the cold path, the run that warms the cache, and a
+	// fully warm run must all agree before any number is reported.
+	coldOut, err := briq.AlignCorpus(ctx, coldP, docs)
+	if err != nil {
+		return out, err
+	}
+	coldJSON, err := json.Marshal(coldOut)
+	if err != nil {
+		return out, err
+	}
+	for pass, label := range []string{"warming", "warm"} {
+		got, err := briq.AlignCorpus(ctx, warmP, docs)
+		if err != nil {
+			return out, fmt.Errorf("serving gate (%s pass): %w", label, err)
+		}
+		gotJSON, err := json.Marshal(got)
+		if err != nil {
+			return out, err
+		}
+		if !bytes.Equal(gotJSON, coldJSON) {
+			return out, fmt.Errorf("serving gate (%s pass %d): cached output differs from cold pipeline", label, pass)
+		}
+	}
+	out.EquivalentToCold = true
+	fmt.Printf("serving gate: cache-hit output identical to cold pipeline on %d documents\n", len(docs))
+
+	cold := best(rounds, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := briq.AlignCorpus(ctx, coldP, docs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	hit := best(rounds, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := briq.AlignCorpus(ctx, warmP, docs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	out.ColdNsPerCorpus = cold.NsPerOp
+	out.ColdDocsPerSec = docsPerSec(len(docs), cold.NsPerOp)
+	out.HitNsPerCorpus = hit.NsPerOp
+	out.HitDocsPerSec = docsPerSec(len(docs), hit.NsPerOp)
+	if hit.NsPerOp > 0 {
+		out.Speedup = cold.NsPerOp / hit.NsPerOp
+	}
+	counters := warmP.Gate.Counters()
+	out.CacheEntries = counters["entries"]
+	out.CacheBytes = counters["bytes"]
+	fmt.Printf("serving: cold %.0f docs/sec | hit %.0f docs/sec | speedup %.1fx (%d entries, %d bytes cached)\n",
+		out.ColdDocsPerSec, out.HitDocsPerSec, out.Speedup, out.CacheEntries, out.CacheBytes)
 	return out, nil
 }
 

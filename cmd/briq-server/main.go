@@ -2,6 +2,7 @@
 // service.
 //
 //	briq-server [-addr :8080] [-trained] [-seed N] [-workers N]
+//	            [-cache-bytes N] [-max-inflight N]
 //	            [-request-timeout 30s] [-shutdown-timeout 15s] [-pprof] [-quiet]
 //
 // Endpoints:
@@ -11,9 +12,22 @@
 //	                    fanned out over the pipeline worker pool
 //	POST /summarize     HTML page body → JSON table-aware summary
 //	GET  /metrics       JSON snapshot: request/error counters, per-stage and
-//	                    per-endpoint latency histograms, batch volume
+//	                    per-endpoint latency histograms, batch volume, and the
+//	                    serving layer (cache hits/misses/evictions, sheds)
 //	GET  /healthz       liveness probe
 //	GET  /debug/pprof/  runtime profiles (only with -pprof)
+//
+// The alignment endpoints answer with a uniform JSON envelope
+// {"result": …, "error": null} / {"result": null, "error": {"code", "message"}}
+// with a stable error-code table (422 no_tables/no_mentions, 429 overloaded
+// with Retry-After, 504 deadline, …).
+//
+// -cache-bytes bounds a content-addressed result cache: re-POSTing a page (or
+// a batch document) already aligned under the same models is served from
+// memory, byte-identical to a fresh run, and identical concurrent requests
+// coalesce into one pipeline run. -max-inflight bounds concurrently admitted
+// alignment computations; excess load beyond a small wait queue is shed with
+// 429 instead of piling up.
 //
 // The server runs with read/write/idle timeouts and a per-request context
 // deadline. On SIGINT or SIGTERM it stops accepting connections, drains
@@ -43,6 +57,8 @@ func main() {
 	trained := flag.Bool("trained", false, "train models on a synthetic corpus at startup")
 	seed := flag.Int64("seed", 42, "training seed (with -trained)")
 	workers := flag.Int("workers", 0, "batch alignment workers (0 = all cores)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "content-addressed result cache budget in bytes (0 disables)")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrently admitted alignment computations (0 = unbounded)")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 disables)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 15*time.Second, "drain window on SIGINT/SIGTERM")
 	enablePprof := flag.Bool("pprof", false, "serve /debug/pprof/ profiles")
@@ -52,6 +68,12 @@ func main() {
 	var pipelineOpts []briq.Option
 	if *workers > 0 {
 		pipelineOpts = append(pipelineOpts, briq.WithWorkers(*workers))
+	}
+	if *cacheBytes > 0 {
+		pipelineOpts = append(pipelineOpts, briq.WithCache(*cacheBytes))
+	}
+	if *maxInFlight > 0 {
+		pipelineOpts = append(pipelineOpts, briq.WithMaxInFlight(*maxInFlight))
 	}
 	if *trained {
 		pipelineOpts = append(pipelineOpts, briq.WithTrainedSeed(*seed))
@@ -81,8 +103,8 @@ func main() {
 		IdleTimeout:       120 * time.Second,
 	}
 
-	log.Printf("listening on %s (workers=%d, request-timeout=%v, pprof=%v)",
-		*addr, *workers, *requestTimeout, *enablePprof)
+	log.Printf("listening on %s (workers=%d, request-timeout=%v, cache-bytes=%d, max-inflight=%d, pprof=%v)",
+		*addr, *workers, *requestTimeout, *cacheBytes, *maxInFlight, *enablePprof)
 	if err := serve(httpSrv, *shutdownTimeout); err != nil {
 		log.Fatal(err)
 	}

@@ -56,22 +56,28 @@ func TestHandleAlign(t *testing.T) {
 		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
 	}
 	var resp struct {
-		Alignments []briq.Alignment `json:"alignments"`
+		Result struct {
+			Alignments []briq.Alignment `json:"alignments"`
+		} `json:"result"`
+		Error *apiError `json:"error"`
 	}
 	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
 		t.Fatal(err)
 	}
-	if len(resp.Alignments) == 0 {
+	if resp.Error != nil {
+		t.Fatalf("success response carries error: %+v", resp.Error)
+	}
+	if len(resp.Result.Alignments) == 0 {
 		t.Fatal("no alignments in response")
 	}
 	foundSum := false
-	for _, a := range resp.Alignments {
+	for _, a := range resp.Result.Alignments {
 		if a.AggName == "sum" && a.Value == 123 {
 			foundSum = true
 		}
 	}
 	if !foundSum {
-		t.Errorf("column sum 123 not in response: %+v", resp.Alignments)
+		t.Errorf("column sum 123 not in response: %+v", resp.Result.Alignments)
 	}
 }
 
@@ -138,14 +144,17 @@ func TestHandleAlignBatch(t *testing.T) {
 		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
 	}
 
-	var resp struct {
-		Pages      []batchPageResult `json:"pages"`
-		Documents  int               `json:"documents"`
-		Alignments int               `json:"alignments"`
+	var env struct {
+		Result struct {
+			Pages      []batchPageResult `json:"pages"`
+			Documents  int               `json:"documents"`
+			Alignments int               `json:"alignments"`
+		} `json:"result"`
 	}
-	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+	if err := json.NewDecoder(rec.Body).Decode(&env); err != nil {
 		t.Fatal(err)
 	}
+	resp := env.Result
 	if len(resp.Pages) != 3 {
 		t.Fatalf("pages in response = %d, want 3", len(resp.Pages))
 	}
@@ -247,14 +256,21 @@ func TestInstrumentRecoversPanics(t *testing.T) {
 	}
 }
 
-// TestRequestDeadline verifies the per-request context deadline answers 503
-// at the next cooperative checkpoint instead of burning CPU.
+// TestRequestDeadline verifies the per-request context deadline answers 504
+// deadline at the next cooperative checkpoint instead of burning CPU.
 func TestRequestDeadline(t *testing.T) {
 	srv := newServer(briq.New(), serverOptions{workers: 1, requestTimeout: time.Nanosecond})
 	body, _ := json.Marshal(batchRequest{Pages: []batchPage{{ID: "a", HTML: testPage}}})
 	rec := do(t, srv, http.MethodPost, "/align/batch", string(body))
-	if rec.Code != http.StatusServiceUnavailable {
-		t.Errorf("status = %d, want 503", rec.Code)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Errorf("status = %d, want 504", rec.Code)
+	}
+	var env envelope
+	if err := json.NewDecoder(rec.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error == nil || env.Error.Code != codeDeadline {
+		t.Errorf("error = %+v, want code %q", env.Error, codeDeadline)
 	}
 }
 
@@ -266,15 +282,17 @@ func TestHandleSummarize(t *testing.T) {
 		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
 	}
 	var resp struct {
-		Summaries []struct {
-			DocID     string   `json:"doc_id"`
-			Sentences []string `json:"sentences"`
-		} `json:"summaries"`
+		Result struct {
+			Summaries []struct {
+				DocID     string   `json:"doc_id"`
+				Sentences []string `json:"sentences"`
+			} `json:"summaries"`
+		} `json:"result"`
 	}
 	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
 		t.Fatal(err)
 	}
-	if len(resp.Summaries) == 0 || len(resp.Summaries[0].Sentences) == 0 {
+	if len(resp.Result.Summaries) == 0 || len(resp.Result.Summaries[0].Sentences) == 0 {
 		t.Fatalf("empty summary: %s", rec.Body.String())
 	}
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -16,7 +17,6 @@ import (
 	"briq/internal/core"
 	"briq/internal/document"
 	"briq/internal/htmlx"
-	rt "briq/internal/runtime"
 	"briq/internal/summarize"
 )
 
@@ -26,6 +26,50 @@ const maxBody = 8 << 20
 // maxBatchPages caps one /align/batch request; larger workloads should shard
 // across requests so a single call cannot monopolize the worker pool.
 const maxBatchPages = 256
+
+// The stable error-code table. Every error leaving /align, /align/batch or
+// /summarize carries one of these codes in the envelope's error.code field;
+// the HTTP status is derived from the code, never chosen ad hoc, so clients
+// can branch on either. Codes are append-only: changing a name or a status
+// breaks clients and the table-driven test in envelope_test.go.
+const (
+	codeBadRequest       = "bad_request"        // malformed body, bad encoding, bad JSON
+	codeMethodNotAllowed = "method_not_allowed" // wrong HTTP verb
+	codePayloadTooLarge  = "payload_too_large"  // body or page count over the cap
+	codeNoTables         = "no_tables"          // page has no table with numeric cells
+	codeNoMentions       = "no_mentions"        // page text has no alignable quantities
+	codeUnprocessable    = "unprocessable"      // page parsed but could not be aligned
+	codeOverloaded       = "overloaded"         // shed by admission control; retry later
+	codeInternal         = "internal"           // bug: handler panic or encode failure
+	codeUnavailable      = "unavailable"        // transient server-side failure
+	codeDeadline         = "deadline"           // request deadline exhausted mid-flight
+)
+
+var errorStatus = map[string]int{
+	codeBadRequest:       http.StatusBadRequest,            // 400
+	codeMethodNotAllowed: http.StatusMethodNotAllowed,      // 405
+	codePayloadTooLarge:  http.StatusRequestEntityTooLarge, // 413
+	codeNoTables:         http.StatusUnprocessableEntity,   // 422
+	codeNoMentions:       http.StatusUnprocessableEntity,   // 422
+	codeUnprocessable:    http.StatusUnprocessableEntity,   // 422
+	codeOverloaded:       http.StatusTooManyRequests,       // 429
+	codeInternal:         http.StatusInternalServerError,   // 500
+	codeUnavailable:      http.StatusServiceUnavailable,    // 503
+	codeDeadline:         http.StatusGatewayTimeout,        // 504
+}
+
+// envelope is the uniform response shape of the alignment endpoints: exactly
+// one of result and error is non-null. Both keys are always present, so the
+// response schema does not change between success and failure.
+type envelope struct {
+	Result any       `json:"result"`
+	Error  *apiError `json:"error"`
+}
+
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
 
 // serverOptions configure the HTTP layer around the pipeline.
 type serverOptions struct {
@@ -42,14 +86,21 @@ type server struct {
 }
 
 // newServer wires a pipeline into the HTTP layer. The pipeline's Recorder is
-// pointed at the server's metrics before any request runs — after that the
-// pipeline is shared read-only across handler goroutines.
+// pointed at the server's metrics and its Workers at the configured fan-out
+// before any request runs — after that the pipeline is shared read-only
+// across handler goroutines.
 func newServer(pipeline *briq.Pipeline, opts serverOptions) *server {
 	if opts.logger == nil {
 		opts.logger = log.New(io.Discard, "", 0)
 	}
 	m := newMetrics()
 	pipeline.Recorder = m.stages
+	if opts.workers > 0 {
+		pipeline.Workers = opts.workers
+	}
+	for _, warn := range pipeline.ConfigWarnings {
+		opts.logger.Printf("config: %s", warn)
+	}
 	return &server{pipeline: pipeline, metrics: m, opts: opts}
 }
 
@@ -114,7 +165,7 @@ func (s *server) instrument(name string, h http.HandlerFunc) http.Handler {
 			if v := recover(); v != nil {
 				s.metrics.errors.Inc("panics")
 				if sw.status == 0 {
-					http.Error(sw, "internal server error", http.StatusInternalServerError)
+					writeError(sw, codeInternal, "internal server error")
 				}
 				s.opts.logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
 			}
@@ -136,20 +187,20 @@ func (s *server) instrument(name string, h http.HandlerFunc) http.Handler {
 // failure itself and returns ok=false when the request is unusable.
 func (s *server) readPage(w http.ResponseWriter, r *http.Request) (string, bool) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST an HTML page body", http.StatusMethodNotAllowed)
+		writeError(w, codeMethodNotAllowed, "POST an HTML page body")
 		return "", false
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
 	if err != nil {
-		http.Error(w, fmt.Sprintf("read body: %v", err), http.StatusBadRequest)
+		writeError(w, codeBadRequest, fmt.Sprintf("read body: %v", err))
 		return "", false
 	}
 	if len(body) == 0 {
-		http.Error(w, "empty body", http.StatusBadRequest)
+		writeError(w, codeBadRequest, "empty body")
 		return "", false
 	}
 	if !utf8.Valid(body) {
-		http.Error(w, "body is not valid UTF-8 text", http.StatusBadRequest)
+		writeError(w, codeBadRequest, "body is not valid UTF-8 text")
 		return "", false
 	}
 	return string(body), true
@@ -164,19 +215,13 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	alignments, err := briq.AlignHTMLContext(r.Context(), s.pipeline, "request", src)
-	switch {
-	case briq.IsUnalignable(err):
-		// A page with nothing to align is a client-data problem, not a
-		// server fault: report which it was (no tables / no mentions).
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
-		return
-	case err != nil && deadlineExceeded(w, r.Context()):
-		return
-	case err != nil:
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+	if err != nil {
+		if !deadlineExceeded(w, r.Context()) {
+			writeAlignError(w, err)
+		}
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"alignments": alignments})
+	writeResult(w, map[string]any{"alignments": alignments})
 }
 
 // batchRequest is the POST /align/batch body.
@@ -196,27 +241,28 @@ type batchPageResult struct {
 }
 
 // handleAlignBatch aligns many pages in one request: each page is segmented,
-// then all documents fan out over a per-request runtime pool of pipeline
-// clones — cross-page parallelism rather than page-at-a-time. The request
-// context cancels the pool mid-corpus, and the pool's per-worker stage
+// then all documents go through the facade's corpus path — fanning out over a
+// pool of pipeline clones, consulting the serving layer's per-document result
+// cache when one is configured, and occupying one admission slot for the
+// whole corpus. The request context cancels the run mid-corpus, and stage
 // observations merge into the server metrics when the run ends.
 func (s *server) handleAlignBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, `POST JSON {"pages": [{"id": ..., "html": ...}]}`, http.StatusMethodNotAllowed)
+		writeError(w, codeMethodNotAllowed, `POST JSON {"pages": [{"id": ..., "html": ...}]}`)
 		return
 	}
 	var req batchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
 	if err := dec.Decode(&req); err != nil {
-		http.Error(w, fmt.Sprintf("decode request: %v", err), http.StatusBadRequest)
+		writeError(w, codeBadRequest, fmt.Sprintf("decode request: %v", err))
 		return
 	}
 	if len(req.Pages) == 0 {
-		http.Error(w, "no pages in request", http.StatusBadRequest)
+		writeError(w, codeBadRequest, "no pages in request")
 		return
 	}
 	if len(req.Pages) > maxBatchPages {
-		http.Error(w, fmt.Sprintf("too many pages: %d > %d", len(req.Pages), maxBatchPages), http.StatusRequestEntityTooLarge)
+		writeError(w, codePayloadTooLarge, fmt.Sprintf("too many pages: %d > %d", len(req.Pages), maxBatchPages))
 		return
 	}
 
@@ -238,17 +284,17 @@ func (s *server) handleAlignBatch(w http.ResponseWriter, r *http.Request) {
 			id = fmt.Sprintf("page%d", i)
 		}
 		if prev, dup := seenID[id]; dup {
-			http.Error(w, fmt.Sprintf("duplicate page id %q (pages %d and %d)", id, prev, i), http.StatusBadRequest)
+			writeError(w, codeBadRequest, fmt.Sprintf("duplicate page id %q (pages %d and %d)", id, prev, i))
 			return
 		}
 		seenID[id] = i
 		results[i] = batchPageResult{ID: id, Alignments: []briq.Alignment{}}
 		if pg.HTML == "" {
-			http.Error(w, fmt.Sprintf("page %q: empty html", id), http.StatusBadRequest)
+			writeError(w, codeBadRequest, fmt.Sprintf("page %q: empty html", id))
 			return
 		}
 		if !utf8.ValidString(pg.HTML) {
-			http.Error(w, fmt.Sprintf("page %q: html is not valid UTF-8", id), http.StatusBadRequest)
+			writeError(w, codeBadRequest, fmt.Sprintf("page %q: html is not valid UTF-8", id))
 			return
 		}
 
@@ -256,7 +302,7 @@ func (s *server) handleAlignBatch(w http.ResponseWriter, r *http.Request) {
 		pdocs, err := seg.SegmentPage(id, htmlx.ParseString(pg.HTML))
 		s.metrics.stages.Observe(core.StageSegment, time.Since(segStart))
 		if err != nil {
-			http.Error(w, fmt.Sprintf("page %q: %v", id, err), http.StatusUnprocessableEntity)
+			writeError(w, codeUnprocessable, fmt.Sprintf("page %q: %v", id, err))
 			return
 		}
 		results[i].Documents = len(pdocs)
@@ -269,14 +315,11 @@ func (s *server) handleAlignBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	pool := rt.NewPool(s.pipeline, rt.Options{Workers: s.opts.workers})
-	aligned, err := pool.AlignCorpus(r.Context(), docs)
-	pool.MergeInto(s.metrics.stages) // once per pool; partial work still counts
+	aligned, err := briq.AlignCorpus(r.Context(), s.pipeline, docs)
 	if err != nil {
-		if deadlineExceeded(w, r.Context()) {
-			return
+		if !deadlineExceeded(w, r.Context()) {
+			writeAlignError(w, err)
 		}
-		http.Error(w, fmt.Sprintf("align batch: %v", err), http.StatusServiceUnavailable)
 		return
 	}
 	for _, a := range aligned {
@@ -290,7 +333,7 @@ func (s *server) handleAlignBatch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.batch.Add("pages", int64(len(req.Pages)))
 	s.metrics.batch.Add("documents", int64(len(docs)))
 	s.metrics.batch.Add("alignments", int64(len(aligned)))
-	writeJSON(w, http.StatusOK, map[string]any{
+	writeResult(w, map[string]any{
 		"pages":      results,
 		"documents":  len(docs),
 		"alignments": len(aligned),
@@ -309,7 +352,7 @@ func (s *server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 	}
 	docs, err := seg.SegmentPage("request", page)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		writeError(w, codeUnprocessable, err.Error())
 		return
 	}
 	summarizer := summarize.New(s.pipeline)
@@ -326,29 +369,74 @@ func (s *server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, ds)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"summaries": out})
+	writeResult(w, map[string]any{"summaries": out})
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		writeError(w, codeMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.metrics.snapshot())
+	snap := s.metrics.snapshot()
+	snap["serving"] = s.pipeline.Gate.Counters() // nil-safe: full zeroed schema without a gate
+	writeJSON(w, http.StatusOK, snap)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// deadlineExceeded reports (and answers with 503) an expired request context
-// — the cooperative checkpoints between pipeline phases, since alignment
-// itself is CPU-bound and cannot be interrupted mid-document.
+// writeResult answers 200 with the success half of the envelope.
+func writeResult(w http.ResponseWriter, v any) {
+	writeJSON(w, http.StatusOK, envelope{Result: v})
+}
+
+// writeError answers with the error half of the envelope; the HTTP status
+// comes from the error-code table. An overloaded response carries a
+// Retry-After hint, the contract clients' backoff loops key on.
+func writeError(w http.ResponseWriter, code, message string) {
+	status, ok := errorStatus[code]
+	if !ok {
+		status, code = http.StatusInternalServerError, codeInternal
+	}
+	if code == codeOverloaded {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, envelope{Error: &apiError{Code: code, Message: message}})
+}
+
+// writeAlignError maps the facade's typed error taxonomy onto the stable
+// error-code table: errors.Is against each sentinel, with a generic 422 for
+// anything untyped (the page parsed but could not be aligned).
+func writeAlignError(w http.ResponseWriter, err error) {
+	writeError(w, alignErrorCode(err), err.Error())
+}
+
+func alignErrorCode(err error) string {
+	switch {
+	case errors.Is(err, briq.ErrNoTables):
+		return codeNoTables
+	case errors.Is(err, briq.ErrNoMentions):
+		return codeNoMentions
+	case errors.Is(err, briq.ErrOverloaded):
+		return codeOverloaded
+	case errors.Is(err, briq.ErrDeadlineBudget),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return codeDeadline
+	default:
+		return codeUnprocessable
+	}
+}
+
+// deadlineExceeded reports (and answers 504 deadline) an expired request
+// context — the cooperative checkpoints between pipeline phases, since
+// alignment itself is CPU-bound and cannot be interrupted mid-document.
 func deadlineExceeded(w http.ResponseWriter, ctx context.Context) bool {
 	if ctx.Err() == nil {
 		return false
 	}
-	http.Error(w, "request deadline exceeded", http.StatusServiceUnavailable)
+	writeError(w, codeDeadline, "request deadline exceeded")
 	return true
 }
 

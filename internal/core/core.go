@@ -2,6 +2,8 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"runtime"
@@ -17,6 +19,7 @@ import (
 	"briq/internal/htmlx"
 	"briq/internal/obs"
 	"briq/internal/quantity"
+	"briq/internal/serve"
 	"briq/internal/tagger"
 )
 
@@ -90,6 +93,23 @@ type Pipeline struct {
 	// (AlignAll with workers ≤ 0, the runtime pool, briq.AlignCorpus).
 	// Zero or negative means GOMAXPROCS.
 	Workers int
+
+	// Gate, when non-nil, is the serving layer the page- and corpus-level
+	// facade paths route through: a content-addressed result cache,
+	// single-flight dedup of concurrent identical requests, and admission
+	// control that sheds excess load with serve.ErrOverloaded /
+	// serve.ErrDeadlineBudget. It must be set before the pipeline is shared
+	// across goroutines; clones share the same gate. The pipeline's models
+	// must not be mutated while a gate holds results computed from them —
+	// the cache key includes the model fingerprint taken at configuration
+	// time.
+	Gate *serve.Engine
+
+	// ConfigWarnings records non-fatal configuration problems found at
+	// construction (out-of-range option values that were clamped). Callers
+	// that care — the server logs them at startup — read it once after New;
+	// it is never mutated afterward.
+	ConfigWarnings []string
 
 	// local is per-clone scratch (see Clone). It is nil on pipelines built
 	// by NewPipeline, which therefore stay safe for concurrent Align calls;
@@ -283,6 +303,37 @@ func (p *Pipeline) AlignPageContext(ctx context.Context, pageID string, page *ht
 		out = append(out, als...)
 	}
 	return out, nil
+}
+
+// Fingerprint returns a stable content hash of everything that determines
+// the pipeline's output for a given input: stage configurations, the feature
+// mask, the segmenter, and the full serialized models (classifier and
+// learned tagger). It scopes serving-layer cache keys, so two pipelines
+// share cached results iff they would compute identical alignments.
+//
+// The hash covers trained models byte-for-byte (via their Save encoding), so
+// computing it on a trained pipeline costs a few milliseconds; callers cache
+// it (the serve.Engine takes it once at construction).
+func (p *Pipeline) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "briq-pipeline|features=%+v|mask=%v|filter=%+v|graph=%+v",
+		p.Features, p.Mask, p.FilterConfig, p.GraphConfig)
+	if p.Segmenter != nil {
+		fmt.Fprintf(h, "|segmenter=%+v", *p.Segmenter)
+	}
+	// Taggers and classifiers are hashed through their serialized form —
+	// struct formatting would print pointer addresses, not model content.
+	fmt.Fprintf(h, "|tagger=%T", p.Tagger)
+	if lt, ok := p.Tagger.(*tagger.Learned); ok && lt != nil {
+		_ = lt.Forest().Save(h) // writing into a hash cannot fail
+	}
+	if p.Classifier != nil {
+		fmt.Fprintf(h, "|classifier=")
+		_ = p.Classifier.Save(h)
+	} else {
+		fmt.Fprintf(h, "|classifier=none")
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // EnsureTrained returns ErrUntrained unless the pipeline carries a trained

@@ -114,8 +114,13 @@ func BuildTaggerExamples(c *corpus.Corpus, docs []*document.Document) []tagger.E
 				byText[g.TextIndex] = g.Agg
 			}
 		}
-		for xi, agg := range byText {
-			out = append(out, tagger.Example{Features: tagger.Features(doc, xi), Label: agg})
+		// Emit in text-mention order, not map order: the example sequence
+		// feeds the forest's bootstrap sampler, so iteration order must be
+		// deterministic for identical seeds to train identical models.
+		for xi := range doc.TextMentions {
+			if agg, ok := byText[xi]; ok {
+				out = append(out, tagger.Example{Features: tagger.Features(doc, xi), Label: agg})
+			}
 		}
 	}
 	return out

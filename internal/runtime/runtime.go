@@ -212,12 +212,12 @@ func (p *Pool) Stream(ctx context.Context, docs []*document.Document) *Stream {
 	return s
 }
 
-// AlignCorpus aligns the whole corpus and returns all alignments in the
-// deterministic order core.Pipeline.AlignAll promises (document ID, then
-// text mention): the parallel result is byte-for-byte identical to a serial
-// run regardless of worker count. On cancellation it returns ctx.Err with
-// partial work discarded.
-func (p *Pool) AlignCorpus(ctx context.Context, docs []*document.Document) ([]core.Alignment, error) {
+// AlignPerDoc aligns the corpus and returns each document's alignments at
+// that document's submitted index — the grouping the serving layer's
+// per-document result cache stores. Per-document slices keep Align's
+// text-mention order. On cancellation it returns ctx.Err with partial work
+// discarded.
+func (p *Pool) AlignPerDoc(ctx context.Context, docs []*document.Document) ([][]core.Alignment, error) {
 	perDoc := make([][]core.Alignment, len(docs))
 	s := p.Stream(ctx, docs)
 	for r, ok := s.Next(); ok; r, ok = s.Next() {
@@ -227,6 +227,19 @@ func (p *Pool) AlignCorpus(ctx context.Context, docs []*document.Document) ([]co
 		perDoc[r.Index] = r.Alignments
 	}
 	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	return perDoc, nil
+}
+
+// AlignCorpus aligns the whole corpus and returns all alignments in the
+// deterministic order core.Pipeline.AlignAll promises (document ID, then
+// text mention): the parallel result is byte-for-byte identical to a serial
+// run regardless of worker count. On cancellation it returns ctx.Err with
+// partial work discarded.
+func (p *Pool) AlignCorpus(ctx context.Context, docs []*document.Document) ([]core.Alignment, error) {
+	perDoc, err := p.AlignPerDoc(ctx, docs)
+	if err != nil {
 		return nil, err
 	}
 	var out []core.Alignment

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// The load-shedding error taxonomy. Both are returned instead of queuing
+// unboundedly; callers branch with errors.Is (the HTTP layer maps them to
+// 429 + Retry-After and 504 respectively).
+var (
+	// ErrOverloaded reports a request shed at admission: every in-flight
+	// slot is taken and the wait queue is already at its watermark. The
+	// request did no pipeline work; retrying after a backoff is safe.
+	ErrOverloaded = errors.New("server overloaded: admission queue full")
+	// ErrDeadlineBudget reports a request whose context expired before it
+	// was admitted — its deadline budget was spent waiting, so running the
+	// pipeline could only produce an answer nobody is waiting for.
+	ErrDeadlineBudget = errors.New("deadline budget exhausted before admission")
+)
+
+// admission is a bounded in-flight gate: at most cap(slots) computations run
+// at once, at most maxQueue more may wait for a slot, and everything beyond
+// that is shed immediately. A nil *admission admits everything.
+type admission struct {
+	slots    chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+	inflight atomic.Int64
+}
+
+// newAdmission builds a gate for maxInFlight concurrent computations with a
+// wait-queue watermark of maxQueue. maxInFlight ≤ 0 disables admission.
+func newAdmission(maxInFlight, maxQueue int) *admission {
+	if maxInFlight <= 0 {
+		return nil
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{slots: make(chan struct{}, maxInFlight), maxQueue: int64(maxQueue)}
+}
+
+// acquire claims an in-flight slot, waiting in the bounded queue if all are
+// taken. It fails fast with ErrOverloaded when the queue is at its
+// watermark, and with ErrDeadlineBudget when ctx dies (or is already dead)
+// before a slot frees up. On success the caller must release exactly once.
+func (a *admission) acquire(ctx context.Context) error {
+	if a == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w (%v)", ErrDeadlineBudget, err)
+	}
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return fmt.Errorf("%w (%d in flight, %d queued)", ErrOverloaded, cap(a.slots), a.maxQueue)
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("%w (%v)", ErrDeadlineBudget, ctx.Err())
+	}
+}
+
+// release frees the slot claimed by a successful acquire.
+func (a *admission) release() {
+	if a == nil {
+		return
+	}
+	a.inflight.Add(-1)
+	<-a.slots
+}
+
+// inFlight returns the number of admitted computations currently running.
+func (a *admission) inFlight() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.inflight.Load()
+}
+
+// queueDepth returns the number of requests waiting for a slot.
+func (a *admission) queueDepth() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.queued.Load()
+}

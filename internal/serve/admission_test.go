@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionShedsAtWatermark(t *testing.T) {
+	a := newAdmission(1, 1)
+	ctx := context.Background()
+
+	if err := a.acquire(ctx); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if got := a.inFlight(); got != 1 {
+		t.Fatalf("inFlight = %d, want 1", got)
+	}
+
+	// One waiter is tolerated (watermark 1)...
+	waitErr := make(chan error, 1)
+	go func() {
+		err := a.acquire(ctx)
+		if err == nil {
+			defer a.release()
+		}
+		waitErr <- err
+	}()
+	// Give the waiter time to enter the queue, then overflow it.
+	for i := 0; i < 100 && a.queueDepth() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if a.queueDepth() != 1 {
+		t.Fatalf("queueDepth = %d, want 1", a.queueDepth())
+	}
+
+	// ...the next request is beyond the watermark and sheds immediately.
+	if err := a.acquire(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow acquire = %v, want ErrOverloaded", err)
+	}
+
+	// Releasing the slot admits the queued waiter.
+	a.release()
+	if err := <-waitErr; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+}
+
+func TestAdmissionDeadlineBudget(t *testing.T) {
+	a := newAdmission(1, 4)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer a.release()
+
+	// Queued request whose context dies while waiting.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := a.acquire(ctx); !errors.Is(err, ErrDeadlineBudget) {
+		t.Fatalf("expired waiter = %v, want ErrDeadlineBudget", err)
+	}
+
+	// Context already dead on arrival: no budget to even queue.
+	dead, kill := context.WithCancel(context.Background())
+	kill()
+	if err := a.acquire(dead); !errors.Is(err, ErrDeadlineBudget) {
+		t.Fatalf("dead-on-arrival = %v, want ErrDeadlineBudget", err)
+	}
+}
+
+func TestAdmissionDisabled(t *testing.T) {
+	var a *admission
+	if a = newAdmission(0, 10); a != nil {
+		t.Fatal("newAdmission(0) should be nil (disabled)")
+	}
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatalf("nil admission rejected: %v", err)
+	}
+	a.release()
+	if a.inFlight() != 0 || a.queueDepth() != 0 {
+		t.Error("nil admission gauges not zero")
+	}
+}
+
+// TestAdmissionConcurrent runs many goroutines through a small gate and
+// asserts the in-flight bound is never violated. Meaningful under -race.
+func TestAdmissionConcurrent(t *testing.T) {
+	const maxInFlight = 4
+	a := newAdmission(maxInFlight, 64)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var admitted, shed sync.Map
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if err := a.acquire(ctx); err != nil {
+				shed.Store(g, err)
+				return
+			}
+			defer a.release()
+			admitted.Store(g, true)
+			if n := a.inFlight(); n > maxInFlight {
+				t.Errorf("inFlight = %d > %d", n, maxInFlight)
+			}
+			time.Sleep(time.Millisecond)
+		}(g)
+	}
+	wg.Wait()
+	if a.inFlight() != 0 {
+		t.Errorf("inFlight after drain = %d", a.inFlight())
+	}
+}

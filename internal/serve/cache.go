@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// shardCount is the fixed number of cache shards. A power of two so the
+// shard index is one mask of the key's first byte; 16 keeps per-shard mutex
+// hold times negligible at server concurrency without oversizing the struct.
+const shardCount = 16
+
+// entryOverhead approximates the bookkeeping bytes per cache entry (map
+// bucket share, list element, entry struct) charged on top of the caller's
+// value size, so the byte bound reflects real memory, not just payloads.
+const entryOverhead = 128
+
+// Cache is a sharded, content-addressed LRU bounded by total bytes. Each
+// shard owns an independent mutex, map and recency list; a key's shard is
+// fixed by its first byte, so the per-shard budget is capacity/shardCount.
+// Values are opaque — callers report their size and promise not to mutate
+// stored values afterward.
+type Cache struct {
+	capacity int64 // total byte budget across shards
+	perShard int64
+	shards   [shardCount]cacheShard
+
+	bytes     atomic.Int64
+	entries   atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	ll    list.List
+	items map[Key]*list.Element
+	bytes int64 // charged bytes resident in this shard (guarded by mu)
+}
+
+type cacheEntry struct {
+	key  Key
+	val  any
+	size int64 // charged size: caller size + entryOverhead
+}
+
+// NewCache returns a cache bounded by capacity bytes, or nil (the disabled
+// cache, on which all methods are no-ops) when capacity ≤ 0.
+func NewCache(capacity int64) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	c := &Cache{capacity: capacity, perShard: capacity / shardCount}
+	if c.perShard < 1 {
+		c.perShard = 1
+	}
+	for i := range c.shards {
+		c.shards[i].items = make(map[Key]*list.Element)
+		c.shards[i].ll.Init()
+	}
+	return c
+}
+
+func (c *Cache) shardFor(k Key) *cacheShard { return &c.shards[int(k[0])&(shardCount-1)] }
+
+// Get returns the value stored under k and marks it most recently used.
+func (c *Cache) Get(k Key) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[k]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Add stores v under k, evicting least-recently-used entries of the same
+// shard until the shard fits its budget again. size is the caller's estimate
+// of v's memory footprint. Values larger than a whole shard budget are not
+// stored (stored=false) rather than wiping the shard for one giant entry.
+// evicted reports how many entries were displaced.
+func (c *Cache) Add(k Key, v any, size int64) (stored bool, evicted int) {
+	if c == nil {
+		return false, 0
+	}
+	if size < 0 {
+		size = 0
+	}
+	charged := size + entryOverhead
+	if charged > c.perShard {
+		return false, 0
+	}
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if el, ok := s.items[k]; ok {
+		e := el.Value.(*cacheEntry)
+		s.bytes += charged - e.size
+		c.bytes.Add(charged - e.size)
+		e.val, e.size = v, charged
+		s.ll.MoveToFront(el)
+	} else {
+		s.items[k] = s.ll.PushFront(&cacheEntry{key: k, val: v, size: charged})
+		s.bytes += charged
+		c.bytes.Add(charged)
+		c.entries.Add(1)
+	}
+
+	for s.bytes > c.perShard {
+		back := s.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		s.ll.Remove(back)
+		delete(s.items, e.key)
+		s.bytes -= e.size
+		c.bytes.Add(-e.size)
+		c.entries.Add(-1)
+		c.evictions.Add(1)
+		evicted++
+	}
+	return true, evicted
+}
+
+// Bytes returns the charged bytes currently held across all shards.
+func (c *Cache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.bytes.Load()
+}
+
+// Len returns the number of entries across all shards.
+func (c *Cache) Len() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.entries.Load()
+}
+
+// Capacity returns the configured total byte budget.
+func (c *Cache) Capacity() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.capacity
+}
+
+// Evictions returns the cumulative number of evicted entries.
+func (c *Cache) Evictions() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.evictions.Load()
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func testKey(s string) Key {
+	w := newKeyWriter("test")
+	w.str(s)
+	return w.sum()
+}
+
+func TestCacheGetAdd(t *testing.T) {
+	c := NewCache(1 << 20)
+	k := testKey("a")
+	if _, ok := c.Get(k); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	if stored, evicted := c.Add(k, "value-a", 10); !stored || evicted != 0 {
+		t.Fatalf("Add = (%v, %d), want (true, 0)", stored, evicted)
+	}
+	v, ok := c.Get(k)
+	if !ok || v.(string) != "value-a" {
+		t.Fatalf("Get = (%v, %v), want value-a", v, ok)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	if c.Bytes() != 10+entryOverhead {
+		t.Errorf("Bytes = %d, want %d", c.Bytes(), 10+entryOverhead)
+	}
+
+	// Updating a key replaces value and size without growing the entry count.
+	if stored, _ := c.Add(k, "value-b", 30); !stored {
+		t.Fatal("update not stored")
+	}
+	if v, _ := c.Get(k); v.(string) != "value-b" {
+		t.Errorf("after update Get = %v", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len after update = %d, want 1", c.Len())
+	}
+	if c.Bytes() != 30+entryOverhead {
+		t.Errorf("Bytes after update = %d, want %d", c.Bytes(), 30+entryOverhead)
+	}
+}
+
+// TestCacheEvictsLRU fills one shard past its budget and checks that the
+// least-recently-used entries leave first and the eviction counter moves.
+func TestCacheEvictsLRU(t *testing.T) {
+	// Per-shard budget: capacity/shardCount. Make room for ~3 entries/shard.
+	entry := int64(entryOverhead + 100)
+	c := NewCache(3 * entry * shardCount)
+
+	// Keys colliding into one shard: brute-force the first byte.
+	var keys []Key
+	for i := 0; len(keys) < 5; i++ {
+		k := testKey(fmt.Sprintf("k%d", i))
+		if int(k[0])&(shardCount-1) == 0 {
+			keys = append(keys, k)
+		}
+	}
+	for _, k := range keys[:3] {
+		c.Add(k, "v", 100)
+	}
+	if c.Evictions() != 0 {
+		t.Fatalf("evictions before overflow = %d", c.Evictions())
+	}
+	// Touch keys[0] so keys[1] is now the LRU.
+	c.Get(keys[0])
+	c.Add(keys[3], "v", 100)
+	if c.Evictions() != 1 {
+		t.Fatalf("evictions after overflow = %d, want 1", c.Evictions())
+	}
+	if _, ok := c.Get(keys[1]); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	for _, k := range []Key{keys[0], keys[2], keys[3]} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("entry %s evicted out of LRU order", k)
+		}
+	}
+}
+
+// TestCacheRejectsOversizeValue: a value bigger than a whole shard budget is
+// refused instead of wiping the shard.
+func TestCacheRejectsOversizeValue(t *testing.T) {
+	c := NewCache(shardCount * 256)
+	c.Add(testKey("small"), "v", 10)
+	if stored, _ := c.Add(testKey("huge"), "v", 1<<20); stored {
+		t.Fatal("oversize value was stored")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (oversize Add must not evict)", c.Len())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	var c *Cache
+	if c = NewCache(0); c != nil {
+		t.Fatal("NewCache(0) should be nil (disabled)")
+	}
+	if stored, _ := c.Add(testKey("a"), "v", 1); stored {
+		t.Error("nil cache stored a value")
+	}
+	if _, ok := c.Get(testKey("a")); ok {
+		t.Error("nil cache reported a hit")
+	}
+	if c.Bytes() != 0 || c.Len() != 0 || c.Capacity() != 0 || c.Evictions() != 0 {
+		t.Error("nil cache gauges not all zero")
+	}
+}
+
+// TestCacheConcurrent hammers one cache from many goroutines; run under
+// -race this is the shard-mutex correctness test.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(64 << 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := testKey(fmt.Sprintf("g%d-i%d", g, i%50))
+				c.Add(k, i, 64)
+				c.Get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Bytes() > c.Capacity() {
+		t.Errorf("resident bytes %d exceed capacity %d", c.Bytes(), c.Capacity())
+	}
+}
+
+func TestKeyDomainSeparation(t *testing.T) {
+	// Length-prefixing: ("ab","c") and ("a","bc") must differ.
+	w1 := newKeyWriter("fp")
+	w1.str("ab")
+	w1.str("c")
+	w2 := newKeyWriter("fp")
+	w2.str("a")
+	w2.str("bc")
+	if w1.sum() == w2.sum() {
+		t.Error("length-prefixed writer collided on shifted field boundaries")
+	}
+	// Fingerprint scoping: same content, different models → different keys.
+	e1 := NewEngine(Config{Fingerprint: "model-a"})
+	e2 := NewEngine(Config{Fingerprint: "model-b"})
+	if e1.PageKey("p", "<html>") == e2.PageKey("p", "<html>") {
+		t.Error("keys ignore the model fingerprint")
+	}
+	if e1.PageKey("p", "<html>") != e1.PageKey("p", "<html>") {
+		t.Error("PageKey is not deterministic")
+	}
+}

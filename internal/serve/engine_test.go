@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestEngineSingleFlight: K concurrent Do calls for the same key run the
+// compute exactly once; everyone gets the same value. The compute blocks
+// until all K callers have arrived, so the flight window provably overlaps.
+func TestEngineSingleFlight(t *testing.T) {
+	const K = 16
+	e := NewEngine(Config{Fingerprint: "fp", CacheBytes: 1 << 20})
+	key := e.PageKey("p0", "<html>page</html>")
+
+	var computes atomic.Int64
+	arrived := make(chan struct{}, K)
+	proceed := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]any, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			arrived <- struct{}{}
+			v, _, err := e.Do(context.Background(), key, func(context.Context) (any, int64, error) {
+				computes.Add(1)
+				<-proceed
+				return "result", 6, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results[i] = v
+		}(i)
+	}
+	for i := 0; i < K; i++ {
+		<-arrived
+	}
+	// All K are in Do (one computing, the rest coalescing or about to); let
+	// the leader finish.
+	close(proceed)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want exactly 1", n)
+	}
+	for i, v := range results {
+		if v.(string) != "result" {
+			t.Errorf("caller %d got %v", i, v)
+		}
+	}
+	c := e.Counters()
+	if c["misses"] != 1 {
+		t.Errorf("misses = %d, want 1", c["misses"])
+	}
+	if c["hits"]+c["coalesced"] != K-1 {
+		t.Errorf("hits+coalesced = %d, want %d", c["hits"]+c["coalesced"], K-1)
+	}
+
+	// The stored result now serves hits without recomputing.
+	v, hit, err := e.Do(context.Background(), key, func(context.Context) (any, int64, error) {
+		t.Error("compute ran on a warm cache")
+		return nil, 0, nil
+	})
+	if err != nil || !hit || v.(string) != "result" {
+		t.Fatalf("warm Do = (%v, %v, %v), want (result, true, nil)", v, hit, err)
+	}
+}
+
+// TestEngineErrorsNotCached: a failed compute is shared with in-flight
+// waiters but never stored, so the next request retries.
+func TestEngineErrorsNotCached(t *testing.T) {
+	e := NewEngine(Config{Fingerprint: "fp", CacheBytes: 1 << 20})
+	key := e.PageKey("p0", "boom")
+	boom := errors.New("boom")
+
+	if _, _, err := e.Do(context.Background(), key, func(context.Context) (any, int64, error) {
+		return nil, 0, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	var recomputed bool
+	v, hit, err := e.Do(context.Background(), key, func(context.Context) (any, int64, error) {
+		recomputed = true
+		return "ok", 2, nil
+	})
+	if !recomputed {
+		t.Fatal("error was cached: compute did not rerun")
+	}
+	if err != nil || hit || v.(string) != "ok" {
+		t.Fatalf("retry Do = (%v, %v, %v)", v, hit, err)
+	}
+}
+
+// TestEngineLeaderPanicIsolated: a panicking compute propagates on the
+// leader but leaves waiters with a typed error and the key unlocked.
+func TestEngineLeaderPanicIsolated(t *testing.T) {
+	e := NewEngine(Config{Fingerprint: "fp", CacheBytes: 1 << 20})
+	key := e.PageKey("p0", "panic")
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate to the leader")
+			}
+		}()
+		e.Do(context.Background(), key, func(context.Context) (any, int64, error) {
+			panic("compute exploded")
+		})
+	}()
+
+	// The key must not be stuck: a fresh request computes normally.
+	v, _, err := e.Do(context.Background(), key, func(context.Context) (any, int64, error) {
+		return "recovered", 9, nil
+	})
+	if err != nil || v.(string) != "recovered" {
+		t.Fatalf("post-panic Do = (%v, %v)", v, err)
+	}
+}
+
+func TestFlightWaiterSeesLeaderAbort(t *testing.T) {
+	var g flightGroup
+	key := testKey("k")
+	started := make(chan struct{})
+	go func() {
+		defer func() { recover() }()
+		g.do(key, func() (any, error) {
+			close(started)
+			time.Sleep(20 * time.Millisecond)
+			panic("leader dies")
+		})
+	}()
+	<-started
+	_, shared, err := g.do(key, func() (any, error) { return "fresh", nil })
+	if shared {
+		// Waiter joined the doomed flight: must get the typed abort error.
+		if !errors.Is(err, errLeaderAborted) {
+			t.Fatalf("waiter err = %v, want errLeaderAborted", err)
+		}
+	}
+	// If not shared, the leader had already crashed and cleanup ran — the
+	// fresh computation succeeding is equally correct.
+}
+
+// TestEngineShedsUnderSaturation: with MaxInFlight=1 and MaxQueue=0, a
+// second concurrent distinct request is shed with ErrOverloaded while the
+// first completes.
+func TestEngineShedsUnderSaturation(t *testing.T) {
+	e := NewEngine(Config{Fingerprint: "fp", CacheBytes: 1 << 20, MaxInFlight: 1, MaxQueue: 0})
+	k1 := e.PageKey("p1", "one")
+	k2 := e.PageKey("p2", "two")
+
+	inside := make(chan struct{})
+	proceed := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := e.Do(context.Background(), k1, func(context.Context) (any, int64, error) {
+			close(inside)
+			<-proceed
+			return "one", 3, nil
+		})
+		done <- err
+	}()
+	<-inside
+
+	if _, _, err := e.Do(context.Background(), k2, func(context.Context) (any, int64, error) {
+		return "two", 3, nil
+	}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("saturated Do = %v, want ErrOverloaded", err)
+	}
+	if c := e.Counters(); c["shed_overloaded"] != 1 {
+		t.Errorf("shed_overloaded = %d, want 1", c["shed_overloaded"])
+	}
+
+	close(proceed)
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight request failed: %v", err)
+	}
+	// Capacity is free again.
+	if _, _, err := e.Do(context.Background(), k2, func(context.Context) (any, int64, error) {
+		return "two", 3, nil
+	}); err != nil {
+		t.Fatalf("post-drain Do: %v", err)
+	}
+}
+
+func TestEngineNil(t *testing.T) {
+	var e *Engine
+	v, hit, err := e.Do(context.Background(), Key{}, func(context.Context) (any, int64, error) {
+		return "direct", 6, nil
+	})
+	if err != nil || hit || v.(string) != "direct" {
+		t.Fatalf("nil engine Do = (%v, %v, %v)", v, hit, err)
+	}
+	release, err := e.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("nil engine Acquire: %v", err)
+	}
+	release()
+	if _, ok := e.Lookup(Key{}); ok {
+		t.Error("nil engine Lookup hit")
+	}
+	e.Store(Key{}, "v", 1)
+	c := e.Counters()
+	for _, name := range CounterNames() {
+		if v, ok := c[name]; !ok || v != 0 {
+			t.Errorf("nil engine counter %q = %d, %v; want 0, present", name, v, ok)
+		}
+	}
+	if len(c) != len(CounterNames()) {
+		t.Errorf("Counters has %d keys, schema has %d", len(c), len(CounterNames()))
+	}
+}
+
+// TestEngineCountersSchema: enabled and disabled engines expose the same keys.
+func TestEngineCountersSchema(t *testing.T) {
+	e := NewEngine(Config{Fingerprint: "fp", CacheBytes: 4096, MaxInFlight: 2, MaxQueue: DefaultMaxQueue})
+	e.Do(context.Background(), e.PageKey("p", "x"), func(context.Context) (any, int64, error) {
+		return "v", 1, nil
+	})
+	got := e.Counters()
+	want := CounterNames()
+	if len(got) != len(want) {
+		t.Fatalf("Counters has %d keys, want %d", len(got), len(want))
+	}
+	for _, name := range want {
+		if _, ok := got[name]; !ok {
+			t.Errorf("counter %q missing", name)
+		}
+	}
+	if got["max_in_flight"] != 2 || got["capacity_bytes"] != 4096 {
+		t.Errorf("gauges = %v", got)
+	}
+}
+
+// TestEngineConcurrentMixed is the race-detector workout: concurrent Do,
+// Lookup/Store and Counters across many keys.
+func TestEngineConcurrentMixed(t *testing.T) {
+	e := NewEngine(Config{Fingerprint: "fp", CacheBytes: 32 << 10, MaxInFlight: 4, MaxQueue: 64})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := e.PageKey(fmt.Sprintf("p%d", i%7), "content")
+				switch g % 3 {
+				case 0:
+					e.Do(ctx, key, func(context.Context) (any, int64, error) { return i, 32, nil })
+				case 1:
+					if _, ok := e.Lookup(key); !ok {
+						e.Store(key, i, 32)
+					}
+				default:
+					e.Counters()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"io"
+)
+
+// Key is a content address: the SHA-256 of the model fingerprint plus the
+// request content. Two requests share a key iff the same models would see
+// byte-identical input.
+type Key [sha256.Size]byte
+
+// String returns the key in hex, for logs and tests.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// keyWriter incrementally builds a Key. Every field is length-prefixed so
+// ("ab","c") and ("a","bc") cannot collide.
+type keyWriter struct {
+	h hash.Hash
+}
+
+func newKeyWriter(fingerprint string) *keyWriter {
+	w := &keyWriter{h: sha256.New()}
+	w.str(fingerprint)
+	return w
+}
+
+func (w *keyWriter) str(s string) {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+	w.h.Write(n[:])
+	io.WriteString(w.h, s)
+}
+
+func (w *keyWriter) sum() Key {
+	var k Key
+	w.h.Sum(k[:0])
+	return k
+}
