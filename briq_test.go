@@ -66,6 +66,14 @@ func TestOptionsConfigure(t *testing.T) {
 		t.Fatal("recorder snapshot empty after aligning a page")
 	}
 	for stage, h := range snap {
+		if strings.HasPrefix(stage, "resolve/") && stage != "resolve/"+p.ResolverName() {
+			// Every strategy's stage is pre-registered for schema stability,
+			// but only the selected strategy observes.
+			if h.Count != 0 {
+				t.Errorf("unselected resolver stage %s recorded %d observations", stage, h.Count)
+			}
+			continue
+		}
 		if h.Count == 0 {
 			t.Errorf("stage %s recorded no observations", stage)
 		}
@@ -185,6 +193,17 @@ func TestDeprecatedShimsDelegate(t *testing.T) {
 	gotJSON, _ := json.Marshal(got)
 	if !bytes.Equal(gotJSON, wantJSON) {
 		t.Error("AlignHTML output diverged from AlignHTMLContext")
+	}
+
+	// The resolver refactor must not perturb the shim path either: the shim on
+	// an explicitly rwr-selected pipeline is byte-identical to the default.
+	rwrGot, err := briq.AlignHTML(briq.New(briq.WithResolver("rwr")), "p0", quickstartPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rwrJSON, _ := json.Marshal(rwrGot)
+	if !bytes.Equal(rwrJSON, wantJSON) {
+		t.Error("AlignHTML with explicit rwr resolver diverged from the default pipeline")
 	}
 
 	// The shim's one behavioral difference: unalignable pages are an empty

@@ -10,7 +10,7 @@
 //   - resolve — full iterative resolution (graph build + walks + rewiring),
 //     CSR Resolve vs ReferenceResolve.
 //   - pipeline — end-to-end Align over the workload, with per-stage latency
-//     histograms (classify/filter/rwr/align) from internal/obs.
+//     histograms (classify/filter/resolve-strategy/align) from internal/obs.
 //   - runtime — corpus throughput (docs/sec) of the internal/runtime worker
 //     pool at 1, 2, 4 and 8 workers against the serial AlignAll baseline,
 //     gated on the pool output being byte-identical to the serial output.
@@ -22,6 +22,11 @@
 //     (uncached) path, gated on the warm output being byte-identical to the
 //     cold output. This is the serving layer's headline number: a hit skips
 //     the entire pipeline, so the speedup is typically orders of magnitude.
+//   - resolvers — the pluggable global-resolution strategies (rwr, ilp,
+//     greedy) behind identical classify/filter stages: gold-standard
+//     accuracy on the synthetic corpus and docs/sec per strategy, gated on
+//     the explicit rwr strategy being byte-identical to the default
+//     pipeline.
 //
 // Usage:
 //
@@ -47,9 +52,11 @@ import (
 	"briq/internal/core"
 	"briq/internal/corpus"
 	"briq/internal/document"
+	"briq/internal/experiment"
 	"briq/internal/filter"
 	"briq/internal/graph"
 	"briq/internal/obs"
+	"briq/internal/resolve"
 	brt "briq/internal/runtime"
 )
 
@@ -126,6 +133,21 @@ type report struct {
 	// Serving compares the result cache's hit path against the cold pipeline
 	// over the same corpus, gated on warm output == cold output.
 	Serving servingReport `json:"serving"`
+
+	// Resolvers compares the pluggable global-resolution strategies behind
+	// identical classify/filter stages: gold-standard accuracy on the
+	// synthetic corpus and corpus alignment throughput per strategy, gated on
+	// the explicit rwr strategy being byte-identical to the default pipeline.
+	Resolvers resolverSection `json:"resolvers"`
+}
+
+// resolverSection is the strategy-comparison block of the report.
+type resolverSection struct {
+	// DefaultEquivalent records the gate: a pipeline with the rwr strategy
+	// selected explicitly must produce byte-identical output to the default
+	// pipeline before any per-strategy number is reported.
+	DefaultEquivalent bool                            `json:"default_equivalent"`
+	Strategies        []experiment.ResolverComparison `json:"strategies"`
 }
 
 // servingReport is the cache-hit-path section: the cold side aligns the
@@ -317,6 +339,12 @@ func run(seed int64, pages, rounds, workers int, out string) error {
 	}
 	rep.Serving = sv
 
+	rs, err := measureResolvers(rounds, p, c, docs)
+	if err != nil {
+		return err
+	}
+	rep.Resolvers = rs
+
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err
@@ -457,6 +485,60 @@ func measureServing(rounds int, docs []*document.Document) (servingReport, error
 	out.CacheBytes = counters["bytes"]
 	fmt.Printf("serving: cold %.0f docs/sec | hit %.0f docs/sec | speedup %.1fx (%d entries, %d bytes cached)\n",
 		out.ColdDocsPerSec, out.HitDocsPerSec, out.Speedup, out.CacheEntries, out.CacheBytes)
+	return out, nil
+}
+
+// measureResolvers compares the pluggable resolution strategies over the
+// bench workload behind the same classify/filter stages: gold-standard
+// accuracy (precision/recall/F1 against the synthetic corpus's ground truth)
+// and serial corpus throughput per strategy. Before any number is reported,
+// the rwr strategy selected explicitly through the resolver interface must be
+// byte-identical to the default pipeline — the refactor's equivalence gate at
+// the bench layer.
+func measureResolvers(rounds int, base *core.Pipeline, c *corpus.Corpus, docs []*document.Document) (resolverSection, error) {
+	var out resolverSection
+
+	defaultJSON, err := json.Marshal(base.AlignAll(docs, 1))
+	if err != nil {
+		return out, err
+	}
+	explicit := *base
+	explicit.Resolver = resolve.NewRWR(base.GraphConfig)
+	explicitJSON, err := json.Marshal(explicit.AlignAll(docs, 1))
+	if err != nil {
+		return out, err
+	}
+	if !bytes.Equal(explicitJSON, defaultJSON) {
+		return out, fmt.Errorf("resolver gate: explicit rwr strategy differs from default pipeline")
+	}
+	out.DefaultEquivalent = true
+	fmt.Printf("resolver gate: explicit rwr identical to default pipeline on %d documents\n", len(docs))
+
+	strategies := []resolve.Resolver{
+		nil, // pipeline default: rwr
+		resolve.NewILP(base.GraphConfig, 0),
+		resolve.NewGreedy(resolve.DefaultGreedyMinScore),
+	}
+	for _, r := range strategies {
+		p := *base
+		p.Resolver = r
+		eval := experiment.Evaluate(&experiment.BriQ{P: &p}, c, docs)
+		s := best(rounds, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.AlignAll(docs, 1)
+			}
+		})
+		row := experiment.ResolverComparison{
+			Resolver:   p.ResolverName(),
+			Precision:  eval.Overall.Precision,
+			Recall:     eval.Overall.Recall,
+			F1:         eval.Overall.F1,
+			DocsPerSec: docsPerSec(len(docs), s.NsPerOp),
+		}
+		out.Strategies = append(out.Strategies, row)
+		fmt.Printf("resolver %-6s  P=%.2f R=%.2f F1=%.2f  %.0f docs/sec\n",
+			row.Resolver, row.Precision, row.Recall, row.F1, row.DocsPerSec)
+	}
 	return out, nil
 }
 

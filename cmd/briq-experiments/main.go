@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	briq-experiments [-table all|1|2|3|4|5|6|7|8|9] [-pages N] [-seed N] [-workers N]
+//	briq-experiments [-table all|1|2|3|4|5|6|7|8|9|resolvers] [-pages N] [-seed N] [-workers N]
 //
 // Tables I–VII run on a tableS-style annotated corpus (default 495 pages,
 // as in the paper); Tables VIII–IX run on a tableL-style corpus whose size
-// is controlled by -lpages.
+// is controlled by -lpages. The "resolvers" table compares the pluggable
+// global-resolution strategies (rwr, ilp, greedy) behind identical
+// classify/filter stages: accuracy on the test split and docs/sec.
 package main
 
 import (
@@ -26,7 +28,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("briq-experiments: ")
 
-	which := flag.String("table", "all", "table to regenerate: all, or 1..9 (comma separated)")
+	which := flag.String("table", "all", "table to regenerate: all, 1..9, or resolvers (comma separated)")
 	pages := flag.Int("pages", 495, "tableS corpus pages (Tables I-VII)")
 	lpages := flag.Int("lpages", 600, "tableL corpus pages (Tables VIII-IX)")
 	seed := flag.Int64("seed", 42, "corpus and training seed")
@@ -45,7 +47,7 @@ func main() {
 		trained *experiment.Trained
 	)
 	needModels := wanted("1") || wanted("2") || wanted("3") || wanted("4") ||
-		wanted("5") || wanted("6") || wanted("7")
+		wanted("5") || wanted("6") || wanted("7") || wanted("resolvers")
 	if needModels {
 		start := time.Now()
 		cfg := corpus.TableSConfig(*seed)
@@ -102,6 +104,11 @@ func main() {
 		if err != nil {
 			log.Fatalf("table VII: %v", err)
 		}
+		fmt.Println(rep)
+	}
+
+	if wanted("resolvers") {
+		rep, _ := experiment.RunTableResolvers(c, trained, split.Test, 0)
 		fmt.Println(rep)
 	}
 

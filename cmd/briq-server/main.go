@@ -2,6 +2,7 @@
 // service.
 //
 //	briq-server [-addr :8080] [-trained] [-seed N] [-workers N]
+//	            [-resolver rwr|ilp|greedy] [-ilp-budget 200ms]
 //	            [-cache-bytes N] [-max-inflight N]
 //	            [-request-timeout 30s] [-shutdown-timeout 15s] [-pprof] [-quiet]
 //
@@ -57,6 +58,10 @@ func main() {
 	trained := flag.Bool("trained", false, "train models on a synthetic corpus at startup")
 	seed := flag.Int64("seed", 42, "training seed (with -trained)")
 	workers := flag.Int("workers", 0, "batch alignment workers (0 = all cores)")
+	resolver := flag.String("resolver", "rwr",
+		fmt.Sprintf("global-resolution strategy %v", briq.ResolverNames()))
+	ilpBudget := flag.Duration("ilp-budget", 0,
+		"per-document solve budget for -resolver ilp (0 = built-in default; exhaustion falls back to rwr)")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "content-addressed result cache budget in bytes (0 disables)")
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrently admitted alignment computations (0 = unbounded)")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 disables)")
@@ -65,10 +70,21 @@ func main() {
 	quiet := flag.Bool("quiet", false, "disable per-request access logging")
 	flag.Parse()
 
+	// An unknown resolver is a deployment mistake, not something to limp past
+	// with a silent fallback: refuse to start.
+	if !briq.KnownResolver(*resolver) {
+		log.Fatalf("unknown -resolver %q (known: %v)", *resolver, briq.ResolverNames())
+	}
+
 	var pipelineOpts []briq.Option
 	if *workers > 0 {
 		pipelineOpts = append(pipelineOpts, briq.WithWorkers(*workers))
 	}
+	var resolverOpts []briq.ResolverOption
+	if *ilpBudget > 0 {
+		resolverOpts = append(resolverOpts, briq.WithILPBudget(*ilpBudget))
+	}
+	pipelineOpts = append(pipelineOpts, briq.WithResolver(*resolver, resolverOpts...))
 	if *cacheBytes > 0 {
 		pipelineOpts = append(pipelineOpts, briq.WithCache(*cacheBytes))
 	}
@@ -103,8 +119,8 @@ func main() {
 		IdleTimeout:       120 * time.Second,
 	}
 
-	log.Printf("listening on %s (workers=%d, request-timeout=%v, cache-bytes=%d, max-inflight=%d, pprof=%v)",
-		*addr, *workers, *requestTimeout, *cacheBytes, *maxInFlight, *enablePprof)
+	log.Printf("listening on %s (workers=%d, resolver=%s, request-timeout=%v, cache-bytes=%d, max-inflight=%d, pprof=%v)",
+		*addr, *workers, *resolver, *requestTimeout, *cacheBytes, *maxInFlight, *enablePprof)
 	if err := serve(httpSrv, *shutdownTimeout); err != nil {
 		log.Fatal(err)
 	}

@@ -19,6 +19,7 @@ import (
 	"briq/internal/htmlx"
 	"briq/internal/obs"
 	"briq/internal/quantity"
+	"briq/internal/resolve"
 	"briq/internal/serve"
 	"briq/internal/tagger"
 )
@@ -26,17 +27,32 @@ import (
 // Stage names under which the pipeline reports timings to its Recorder. The
 // first three are the per-document stages of Fig. 2; StageSegment covers
 // page→document extraction and StageAlign the whole per-document run.
+// Resolution reports under a per-strategy name (StageResolveFor), so a server
+// running a non-default resolver shows its latency under resolve/ilp or
+// resolve/greedy instead of blending strategies into one histogram.
 const (
-	StageClassify = "classify" // ScorePairs: mention-pair feature scoring
-	StageFilter   = "filter"   // adaptive candidate filtering
-	StageResolve  = "rwr"      // graph build + random walks with restart
-	StageSegment  = "segment"  // HTML page → documents
-	StageAlign    = "align"    // full per-document Align
+	StageClassify = "classify"    // ScorePairs: mention-pair feature scoring
+	StageFilter   = "filter"      // adaptive candidate filtering
+	StageResolve  = "resolve/rwr" // default resolution: graph build + random walks
+	StageSegment  = "segment"     // HTML page → documents
+	StageAlign    = "align"       // full per-document Align
 )
 
-// StageNames lists every stage the pipeline reports, in pipeline order.
+// StageResolveFor returns the stage name the pipeline reports resolution
+// latency under for the named strategy: "resolve/rwr", "resolve/ilp",
+// "resolve/greedy", …
+func StageResolveFor(resolver string) string { return "resolve/" + resolver }
+
+// StageNames lists every stage the pipeline can report, in pipeline order.
+// All built-in resolver stages are included so recorders pre-register the
+// full schema — /metrics exposes an identical shape whichever strategy the
+// pipeline runs, and the golden schema test holds across -resolver flags.
 func StageNames() []string {
-	return []string{StageSegment, StageClassify, StageFilter, StageResolve, StageAlign}
+	names := []string{StageSegment, StageClassify, StageFilter}
+	for _, r := range resolve.Names() {
+		names = append(names, StageResolveFor(r))
+	}
+	return append(names, StageAlign)
 }
 
 // The pipeline's error taxonomy. Callers branch on these with errors.Is; the
@@ -82,6 +98,16 @@ type Pipeline struct {
 	FilterConfig filter.Config
 	GraphConfig  graph.Config
 	Segmenter    *document.Segmenter
+
+	// Resolver is the global-resolution strategy. nil selects the default:
+	// the paper's random-walk algorithm (resolve.RWR) built from GraphConfig
+	// on every Align, so GraphConfig tuning keeps applying — and the default
+	// path stays byte-identical to the historical hardcoded graph.Resolve
+	// call. Set it before the pipeline is shared across goroutines; a
+	// non-nil Resolver built by its New* constructor is safe for concurrent
+	// Resolve calls, and Clone gives each worker clone a private resolver
+	// clone with its own scratch.
+	Resolver resolve.Resolver
 
 	// Recorder, when non-nil, receives per-stage latencies (StageClassify,
 	// StageFilter, StageResolve, …) for every document aligned. It must be
@@ -136,8 +162,28 @@ type localScratch struct {
 func (p *Pipeline) Clone() *Pipeline {
 	c := *p
 	c.local = &localScratch{}
+	if p.Resolver != nil {
+		c.Resolver = p.Resolver.Clone()
+	}
 	return &c
 }
+
+// resolver returns the pipeline's resolution strategy: the configured one, or
+// the default random-walk strategy assembled from the pipeline's GraphConfig.
+// The default is built per call (it is a two-word struct) so GraphConfig
+// edits made between Align calls — the tuning harness does this — keep
+// taking effect, exactly as the pre-interface hardcoded path behaved.
+func (p *Pipeline) resolver() resolve.Resolver {
+	if p.Resolver != nil {
+		return p.Resolver
+	}
+	return &resolve.RWR{Config: p.GraphConfig}
+}
+
+// ResolverName returns the active resolution strategy's name ("rwr" unless a
+// non-default Resolver is configured) — the value the server logs at startup
+// and the bench report records per comparison row.
+func (p *Pipeline) ResolverName() string { return p.resolver().Name() }
 
 // NewPipeline returns a pipeline with default configuration, the rule-based
 // tagger and no classifier (heuristic scores).
@@ -210,10 +256,11 @@ func (p *Pipeline) Align(doc *document.Document) []Alignment {
 }
 
 // AlignContext is Align with cooperative cancellation: the context is checked
-// before each pipeline phase (classify → filter → rwr), so a canceled corpus
-// run stops within one phase of the current document instead of finishing it.
-// On cancellation it returns ctx.Err(); the phases themselves are CPU-bound
-// and run to completion once started.
+// before each pipeline phase (classify → filter → resolve), so a canceled
+// corpus run stops within one phase of the current document instead of
+// finishing it. On cancellation it returns ctx.Err(); the phases themselves
+// are CPU-bound and run to completion once started (the ILP resolver also
+// checks the context inside its search loop).
 func (p *Pipeline) AlignContext(ctx context.Context, doc *document.Document) ([]Alignment, error) {
 	rec := p.Recorder
 	alignStart := time.Now()
@@ -236,9 +283,12 @@ func (p *Pipeline) AlignContext(ctx context.Context, doc *document.Document) ([]
 		return nil, err
 	}
 	start = time.Now()
-	g := graph.Build(p.GraphConfig, doc, filtered.Kept)
-	resolved := g.Resolve()
-	rec.Observe(StageResolve, time.Since(start))
+	res := p.resolver()
+	resolved, err := res.Resolve(ctx, doc, filtered.Kept)
+	if err != nil {
+		return nil, err
+	}
+	rec.Observe(StageResolveFor(res.Name()), time.Since(start))
 
 	out := make([]Alignment, 0, len(resolved))
 	for _, a := range resolved {
@@ -307,9 +357,10 @@ func (p *Pipeline) AlignPageContext(ctx context.Context, pageID string, page *ht
 
 // Fingerprint returns a stable content hash of everything that determines
 // the pipeline's output for a given input: stage configurations, the feature
-// mask, the segmenter, and the full serialized models (classifier and
-// learned tagger). It scopes serving-layer cache keys, so two pipelines
-// share cached results iff they would compute identical alignments.
+// mask, the segmenter, the resolution strategy (name and parameters), and
+// the full serialized models (classifier and learned tagger). It scopes
+// serving-layer cache keys, so two pipelines share cached results iff they
+// would compute identical alignments.
 //
 // The hash covers trained models byte-for-byte (via their Save encoding), so
 // computing it on a trained pipeline costs a few milliseconds; callers cache
@@ -318,6 +369,13 @@ func (p *Pipeline) Fingerprint() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "briq-pipeline|features=%+v|mask=%v|filter=%+v|graph=%+v",
 		p.Features, p.Mask, p.FilterConfig, p.GraphConfig)
+	// The resolution strategy and its parameters change output, so they scope
+	// cache keys: a pipeline resolving with ILP must never serve a result
+	// computed under RWR (or under ILP with a different budget) and vice
+	// versa — the serve-layer cache-poisoning hazard the isolation test in
+	// briq_resolver_test.go pins down.
+	res := p.resolver()
+	fmt.Fprintf(h, "|resolver=%s|rparams=%s", res.Name(), res.ParamsHash())
 	if p.Segmenter != nil {
 		fmt.Fprintf(h, "|segmenter=%+v", *p.Segmenter)
 	}

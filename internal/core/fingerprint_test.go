@@ -1,6 +1,11 @@
 package core
 
-import "testing"
+import (
+	"testing"
+	"time"
+
+	"briq/internal/resolve"
+)
 
 func TestFingerprintStableAndSensitive(t *testing.T) {
 	p1 := NewPipeline()
@@ -45,5 +50,67 @@ func TestFingerprintIgnoresServingConfig(t *testing.T) {
 	}
 	if p1.Fingerprint() != p1.Clone().Fingerprint() {
 		t.Error("clone fingerprint differs from prototype")
+	}
+}
+
+func TestFingerprintSeparatesResolvers(t *testing.T) {
+	// Pipelines that differ only in resolution strategy (or its parameters)
+	// produce different alignments, so their fingerprints — and therefore
+	// their serve-cache keys — must be distinct. A shared fingerprint here is
+	// cache poisoning: one strategy's cached output served as another's.
+	base := NewPipeline()
+	variants := map[string]*Pipeline{}
+	add := func(name string, r resolve.Resolver) {
+		p := NewPipeline()
+		p.Resolver = r
+		variants[name] = p
+	}
+	add("default", nil)
+	add("rwr-explicit", resolve.NewRWR(base.GraphConfig))
+	add("ilp", resolve.NewILP(base.GraphConfig, 0))
+	add("ilp-long-budget", resolve.NewILP(base.GraphConfig, time.Second))
+	add("greedy", resolve.NewGreedy(resolve.DefaultGreedyMinScore))
+	add("greedy-strict", resolve.NewGreedy(0.9))
+
+	// The explicit rwr resolver is configured identically to the default path
+	// and produces identical output; it alone may share the default's key.
+	if variants["default"].Fingerprint() != variants["rwr-explicit"].Fingerprint() {
+		t.Error("explicit rwr resolver fragments the cache vs the default")
+	}
+	delete(variants, "rwr-explicit")
+
+	seen := map[string]string{}
+	for name, p := range variants {
+		fp := p.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("resolver variants %q and %q share fingerprint %s", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+}
+
+func TestResolverName(t *testing.T) {
+	p := NewPipeline()
+	if got := p.ResolverName(); got != resolve.NameRWR {
+		t.Errorf("default ResolverName = %q, want %q", got, resolve.NameRWR)
+	}
+	p.Resolver = resolve.NewGreedy(0.5)
+	if got := p.ResolverName(); got != resolve.NameGreedy {
+		t.Errorf("ResolverName = %q, want %q", got, resolve.NameGreedy)
+	}
+}
+
+func TestCloneCopiesResolver(t *testing.T) {
+	p := NewPipeline()
+	p.Resolver = resolve.NewGreedy(0.5)
+	c := p.Clone()
+	if c.Resolver == nil {
+		t.Fatal("clone dropped the resolver")
+	}
+	if c.Resolver == p.Resolver {
+		t.Error("clone shares the prototype's resolver (scratch would race)")
+	}
+	if c.Fingerprint() != p.Fingerprint() {
+		t.Error("cloned resolver changed the fingerprint")
 	}
 }

@@ -35,6 +35,12 @@ func (q *QKBSystem) Predict(doc *document.Document) []Prediction {
 // branch-and-bound ILP solver of §VI (the alternative the paper found not
 // to scale). The classifier, tagger and adaptive filtering stages are
 // identical to BriQ's; only the resolution differs.
+//
+// Deprecated: the ablation harness predates the pluggable resolver interface;
+// new comparisons should use NewBriQWithResolver with resolve.NewILP (or the
+// ResolverSystems table), which goes through the real pipeline — fingerprint,
+// stage metrics and budget fallback included. ILPSystem is kept for the
+// legacy ablation bench and its historical MinScore/no-fallback semantics.
 type ILPSystem struct {
 	BriQ     *BriQ
 	Deadline time.Duration

@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"briq/internal/corpus"
+	"briq/internal/document"
+	"briq/internal/resolve"
+)
+
+// ResolverComparison is one strategy's row of the resolver-comparison table:
+// accuracy against the synthetic corpus's gold alignments plus the wall-clock
+// alignment rate, measured behind identical classify/filter stages so only
+// the resolution strategy varies.
+type ResolverComparison struct {
+	Resolver   string  `json:"resolver"`
+	Precision  float64 `json:"precision"`
+	Recall     float64 `json:"recall"`
+	F1         float64 `json:"f1"`
+	DocsPerSec float64 `json:"docs_per_sec"`
+}
+
+// ResolverSystems builds one System per built-in resolution strategy from
+// trained models: BriQ/rwr (the pipeline default), BriQ/ilp with the given
+// per-document budget, and BriQ/greedy at its default threshold.
+func ResolverSystems(tr *Trained, ilpBudget time.Duration) []System {
+	rwr := NewBriQWithResolver(tr, nil)
+	return []System{
+		rwr,
+		NewBriQWithResolver(tr, resolve.NewILP(rwr.P.GraphConfig, ilpBudget)),
+		NewBriQWithResolver(tr, resolve.NewGreedy(resolve.DefaultGreedyMinScore)),
+	}
+}
+
+// RunTableResolvers evaluates every resolution strategy on the test split —
+// the accuracy/latency tradeoff table behind briq.WithResolver. The timing
+// loop aligns the whole document set once per strategy; accuracy comes from
+// the standard gold evaluation.
+func RunTableResolvers(c *corpus.Corpus, tr *Trained, test []*document.Document, ilpBudget time.Duration) (*Report, []ResolverComparison) {
+	var rows []ResolverComparison
+	r := &Report{
+		Title:  "Resolution strategies: accuracy and throughput per resolver",
+		Header: []string{"resolver", "recall", "precision", "F1", "docs/sec"},
+	}
+	for _, sys := range ResolverSystems(tr, ilpBudget) {
+		eval := Evaluate(sys, c, test)
+
+		start := time.Now()
+		for _, doc := range test {
+			sys.Predict(doc)
+		}
+		elapsed := time.Since(start)
+		docsPerSec := 0.0
+		if elapsed > 0 {
+			docsPerSec = float64(len(test)) / elapsed.Seconds()
+		}
+
+		b := sys.(*BriQ)
+		row := ResolverComparison{
+			Resolver:   b.P.ResolverName(),
+			Precision:  eval.Overall.Precision,
+			Recall:     eval.Overall.Recall,
+			F1:         eval.Overall.F1,
+			DocsPerSec: docsPerSec,
+		}
+		rows = append(rows, row)
+		r.AddRow(sys.Name(), f2(row.Recall), f2(row.Precision), f2(row.F1),
+			fmt.Sprintf("%.0f", row.DocsPerSec))
+	}
+	return r, rows
+}

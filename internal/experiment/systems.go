@@ -9,6 +9,7 @@ import (
 	"briq/internal/feature"
 	"briq/internal/filter"
 	"briq/internal/graph"
+	"briq/internal/resolve"
 )
 
 // Prediction is one system output: text mention xi of a document aligned to
@@ -28,9 +29,15 @@ type System interface {
 }
 
 // BriQ is the full pipeline: trained classifier prior, learned tagger,
-// adaptive filtering and graph-based global resolution.
+// adaptive filtering and global resolution (the pipeline's configured
+// strategy; random walks unless a resolver is set).
 type BriQ struct {
 	P *core.Pipeline
+
+	// name overrides the reported system name; empty means "BriQ". Resolver
+	// variants built by NewBriQWithResolver label themselves BriQ/<strategy>
+	// so comparison tables keep one row per strategy.
+	name string
 }
 
 // NewBriQ assembles the full system from trained models.
@@ -43,8 +50,24 @@ func NewBriQ(tr *Trained) *BriQ {
 	return &BriQ{P: p}
 }
 
+// NewBriQWithResolver assembles the full system from trained models with a
+// non-default global-resolution strategy — the harness behind the
+// resolver-comparison table and bench section. A nil resolver keeps the
+// pipeline default (rwr).
+func NewBriQWithResolver(tr *Trained, r resolve.Resolver) *BriQ {
+	b := NewBriQ(tr)
+	b.P.Resolver = r
+	b.name = "BriQ/" + b.P.ResolverName()
+	return b
+}
+
 // Name implements System.
-func (*BriQ) Name() string { return "BriQ" }
+func (b *BriQ) Name() string {
+	if b.name != "" {
+		return b.name
+	}
+	return "BriQ"
+}
 
 // Predict implements System.
 func (b *BriQ) Predict(doc *document.Document) []Prediction {

@@ -394,6 +394,12 @@ func (g *Graph) buildQueue(perText map[int][]cand) []queued {
 // pass, so the per-mention walks fan out across a worker pool (RWRWorkers)
 // with bit-identical output. Resolve consumes the graph (rewiring prunes
 // edges in place): run it once per Build.
+//
+// Resolve is the rwr engine, not a pipeline entry point: pipeline code selects
+// a strategy through the resolve.Resolver interface (resolve.RWR wraps this
+// method), which keeps strategy choice inside the fingerprint and the
+// per-strategy stage metrics. Call Build+Resolve directly only from tests and
+// benchmarks that exercise the engine itself.
 func (g *Graph) Resolve() []Alignment {
 	perText := g.candidatesPerText()
 	queue := g.buildQueue(perText)

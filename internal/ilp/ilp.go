@@ -14,6 +14,7 @@
 package ilp
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"time"
@@ -51,12 +52,39 @@ type Solution struct {
 // ErrNoCandidates reports an empty problem.
 var ErrNoCandidates = errors.New("ilp: problem has no mentions")
 
+// ErrBudgetExhausted reports a search interrupted by its time budget (or the
+// context's deadline) before reaching proven optimality. The accompanying
+// Solution still carries the best incumbent found — callers decide whether a
+// partial answer is acceptable or whether to fall back to another strategy —
+// but the condition is a typed error (errors.Is-testable) instead of a silent
+// Optimal=false flag.
+var ErrBudgetExhausted = errors.New("ilp: time budget exhausted before optimality")
+
 // Solve runs exact branch-and-bound. The deadline bounds wall time; on
 // expiry the best solution found so far is returned with Optimal=false.
+//
+// Deprecated: use SolveContext, which distinguishes budget exhaustion with a
+// typed ErrBudgetExhausted and honors caller cancellation. Solve keeps the
+// legacy contract (partial answer, nil error) for existing benchmarks.
 func Solve(p Problem, deadline time.Duration) (Solution, error) {
+	sol, err := SolveContext(context.Background(), p, deadline)
+	if errors.Is(err, ErrBudgetExhausted) {
+		return sol, nil
+	}
+	return sol, err
+}
+
+// SolveContext runs exact branch-and-bound under two cooperative limits,
+// checked inside the search loop: the budget bounds wall time for this solve,
+// and ctx carries caller cancellation and deadlines. When the budget (or the
+// context's deadline) expires mid-search, the best incumbent found so far is
+// returned together with ErrBudgetExhausted; when ctx is cancelled outright,
+// ctx.Err() is returned and the partial solution is discarded.
+func SolveContext(ctx context.Context, p Problem, budget time.Duration) (Solution, error) {
 	if len(p.Candidates) == 0 {
 		return Solution{}, ErrNoCandidates
 	}
+	deadline := budget
 	if deadline <= 0 {
 		deadline = time.Second
 	}
@@ -68,6 +96,7 @@ func Solve(p Problem, deadline time.Duration) (Solution, error) {
 	s := &solver{
 		p:        p,
 		coh:      coh,
+		ctx:      ctx,
 		start:    time.Now(),
 		deadline: deadline,
 		best:     make([]int, len(p.Candidates)),
@@ -102,28 +131,37 @@ func Solve(p Problem, deadline time.Duration) (Solution, error) {
 	}
 
 	s.branch(0, 0)
-	return Solution{
+	sol := Solution{
 		Assignment: s.best,
 		Objective:  s.bestObj,
 		Optimal:    s.optimal,
 		Nodes:      s.nodes,
 		Elapsed:    time.Since(s.start),
-	}, nil
+	}
+	if s.cancelled != nil {
+		return Solution{}, s.cancelled
+	}
+	if !s.optimal {
+		return sol, ErrBudgetExhausted
+	}
+	return sol, nil
 }
 
 type solver struct {
 	p        Problem
 	coh      func(a, b int) float64
+	ctx      context.Context
 	order    []int
 	maxGain  []float64
 	start    time.Time
 	deadline time.Duration
 
-	current []int
-	best    []int
-	bestObj float64
-	nodes   int
-	optimal bool
+	current   []int
+	best      []int
+	bestObj   float64
+	nodes     int
+	optimal   bool
+	cancelled error // ctx.Err() on outright cancellation (not deadline)
 }
 
 func topScore(cands []Cand) float64 {
@@ -163,8 +201,26 @@ func (s *solver) maxCoherence() float64 {
 	return maxC
 }
 
+// expired is the cooperative limit check, amortized to every 256th node: the
+// solve's own time budget, the context's deadline (both reported as budget
+// exhaustion) and outright cancellation (recorded separately so the caller
+// gets ctx.Err(), not a partial answer).
 func (s *solver) expired() bool {
-	return s.nodes%256 == 0 && time.Since(s.start) > s.deadline
+	if s.nodes%256 != 0 {
+		return false
+	}
+	if time.Since(s.start) > s.deadline {
+		return true
+	}
+	switch err := s.ctx.Err(); {
+	case err == nil:
+		return false
+	case errors.Is(err, context.Canceled):
+		s.cancelled = err
+		return true
+	default: // context.DeadlineExceeded: the caller's budget, same semantics
+		return true
+	}
 }
 
 // branch explores assignments for order[level:].

@@ -1,6 +1,8 @@
 package ilp
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 	"time"
@@ -193,5 +195,82 @@ func TestSolveDeadline(t *testing.T) {
 	}
 	if sol.Nodes == 0 {
 		t.Error("no nodes expanded")
+	}
+}
+
+// hardProblem builds a dense, weakly-coupled instance whose near-uniform
+// scores defeat the bound, guaranteeing the search outlasts any small budget.
+func hardProblem() Problem {
+	rng := rand.New(rand.NewSource(21))
+	p := Problem{
+		Coherence: func(a, b int) float64 {
+			if (a+b)%3 == 0 {
+				return 0.2
+			}
+			return 0
+		},
+	}
+	for m := 0; m < 18; m++ {
+		var cands []Cand
+		for c := 0; c < 12; c++ {
+			cands = append(cands, Cand{Target: rng.Intn(100), Score: 0.4 + rng.Float64()*0.2})
+		}
+		p.Candidates = append(p.Candidates, cands)
+	}
+	return p
+}
+
+func TestSolveContextBudgetExhausted(t *testing.T) {
+	sol, err := SolveContext(context.Background(), hardProblem(), time.Millisecond)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if sol.Optimal {
+		t.Error("exhausted solve reported Optimal")
+	}
+	if len(sol.Assignment) == 0 {
+		t.Error("exhausted solve should still carry the best incumbent")
+	}
+	if sol.Nodes == 0 {
+		t.Error("no nodes expanded")
+	}
+}
+
+func TestSolveContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sol, err := SolveContext(ctx, hardProblem(), time.Minute)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(sol.Assignment) != 0 {
+		t.Errorf("cancelled solve must discard the partial answer, got %v", sol.Assignment)
+	}
+}
+
+func TestSolveContextDeadlineActsAsBudget(t *testing.T) {
+	// A context deadline mid-search is the caller's budget: same typed error
+	// as the solver's own budget, incumbent preserved.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	sol, err := SolveContext(ctx, hardProblem(), time.Minute)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if len(sol.Assignment) == 0 {
+		t.Error("deadline-exhausted solve should still carry the best incumbent")
+	}
+}
+
+func TestSolveLegacyWrapperMapsExhaustion(t *testing.T) {
+	// The deprecated Solve keeps its historical contract: budget exhaustion is
+	// a nil error with Optimal=false, so pre-refactor callers (the root bench)
+	// keep compiling and behaving identically.
+	sol, err := Solve(hardProblem(), time.Millisecond)
+	if err != nil {
+		t.Fatalf("legacy Solve must map ErrBudgetExhausted to nil, got %v", err)
+	}
+	if sol.Optimal {
+		t.Error("exhausted legacy solve reported Optimal")
 	}
 }

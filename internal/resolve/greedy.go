@@ -1,0 +1,94 @@
+package resolve
+
+import (
+	"context"
+
+	"briq/internal/document"
+	"briq/internal/filter"
+)
+
+// DefaultGreedyMinScore is the acceptance threshold when none is configured —
+// the same operating point as the paper's classifier-only baseline (§VII-D).
+const DefaultGreedyMinScore = 0.5
+
+// Greedy is the cheap baseline strategy: each text mention takes its
+// top-scored candidate (ties broken by lower table-mention index) when that
+// score clears MinScore, with no joint reasoning at all. It is the
+// latency-floor reference point of the resolver-comparison bench: one pass
+// over the candidates, no graph, no walks, no search.
+type Greedy struct {
+	// MinScore is the acceptance threshold on the classifier prior; a mention
+	// whose best candidate scores below it abstains. Out-of-range values are
+	// the caller's to clamp (briq.WithResolver records a ConfigWarning).
+	MinScore float64
+
+	scratch *greedyScratch // nil on shared prototypes; owned by a clone
+}
+
+// greedyScratch holds the per-mention argmax buffers a single-goroutine clone
+// reuses across documents.
+type greedyScratch struct {
+	best []filter.Candidate
+	seen []bool
+}
+
+// NewGreedy returns the top-1 baseline with the given acceptance threshold.
+func NewGreedy(minScore float64) *Greedy { return &Greedy{MinScore: minScore} }
+
+// Name implements Resolver.
+func (*Greedy) Name() string { return NameGreedy }
+
+// ParamsHash implements Resolver.
+func (r *Greedy) ParamsHash() string { return paramsHash("greedy|min=%g", r.MinScore) }
+
+// Clone implements Resolver: the clone gets private argmax scratch.
+func (r *Greedy) Clone() Resolver {
+	c := *r
+	c.scratch = &greedyScratch{}
+	return &c
+}
+
+// Resolve implements Resolver with a single deterministic pass: argmax prior
+// per text mention, threshold, emit in text-mention order.
+func (r *Greedy) Resolve(ctx context.Context, doc *document.Document, candidates []filter.Candidate) ([]Assignment, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m := len(doc.TextMentions)
+	var best []filter.Candidate
+	var seen []bool
+	if r.scratch != nil {
+		if cap(r.scratch.best) < m {
+			r.scratch.best = make([]filter.Candidate, m)
+			r.scratch.seen = make([]bool, m)
+		}
+		best = r.scratch.best[:m]
+		seen = r.scratch.seen[:m]
+		for i := range seen {
+			seen[i] = false
+		}
+	} else {
+		best = make([]filter.Candidate, m)
+		seen = make([]bool, m)
+	}
+
+	for _, c := range candidates {
+		if c.Text < 0 || c.Text >= m {
+			continue
+		}
+		if !seen[c.Text] || c.Score > best[c.Text].Score ||
+			(c.Score == best[c.Text].Score && c.Table < best[c.Text].Table) {
+			best[c.Text] = c
+			seen[c.Text] = true
+		}
+	}
+
+	out := make([]Assignment, 0, m)
+	for xi := 0; xi < m; xi++ {
+		if !seen[xi] || best[xi].Score < r.MinScore {
+			continue
+		}
+		out = append(out, Assignment{Text: xi, Table: best[xi].Table, Score: best[xi].Score})
+	}
+	return out, nil
+}

@@ -1,0 +1,185 @@
+package resolve
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"briq/internal/document"
+	"briq/internal/filter"
+	"briq/internal/graph"
+	"briq/internal/ilp"
+	"briq/internal/table"
+)
+
+// DefaultILPBudget is the per-document solve budget when none is configured.
+// Behind BriQ's adaptive filtering the candidate sets are small enough that
+// branch-and-bound usually proves optimality in well under a millisecond;
+// the budget exists for the adversarial documents where it does not.
+const DefaultILPBudget = 200 * time.Millisecond
+
+// ILP is the exact strategy the paper considered and dismissed (§VI): joint
+// assignment as a 0/1 integer program solved by branch-and-bound. Exactness
+// costs worst-case exponential time, so every document's solve runs under a
+// time budget; on exhaustion the resolver degrades gracefully to the rwr
+// strategy for that document instead of shipping a truncated search's answer.
+type ILP struct {
+	// Config supplies the acceptance threshold (Epsilon, as the ILP MinScore)
+	// and the graph parameters of the rwr fallback.
+	Config graph.Config
+	// Budget bounds each document's branch-and-bound solve. ≤0 means
+	// DefaultILPBudget. The context's deadline also applies, whichever is
+	// tighter.
+	Budget time.Duration
+
+	scratch *ilpScratch // nil on shared prototypes; owned by a clone
+}
+
+// ilpScratch holds the problem-construction buffers a single-goroutine clone
+// reuses across documents.
+type ilpScratch struct {
+	byText    [][]ilp.Cand
+	mentionOf []int
+}
+
+// NewILP returns the exact strategy with the given graph configuration and
+// per-document budget (≤0 means DefaultILPBudget).
+func NewILP(cfg graph.Config, budget time.Duration) *ILP {
+	return &ILP{Config: cfg, Budget: budget}
+}
+
+// Name implements Resolver.
+func (*ILP) Name() string { return NameILP }
+
+// ParamsHash implements Resolver. The budget is part of the hash: it decides
+// when the fallback path engages, which changes output.
+func (r *ILP) ParamsHash() string { return paramsHash("ilp|%+v|budget=%d", r.Config, r.budget()) }
+
+// Clone implements Resolver: the clone gets private problem-building scratch.
+func (r *ILP) Clone() Resolver {
+	c := *r
+	c.scratch = &ilpScratch{}
+	return &c
+}
+
+func (r *ILP) budget() time.Duration {
+	if r.Budget <= 0 {
+		return DefaultILPBudget
+	}
+	return r.Budget
+}
+
+// Resolve implements Resolver: it formulates the document's filtered
+// candidates as a joint-assignment ILP — prior per pair, pairwise coherence
+// bonus for co-chosen table mentions that share a cell or a line — and solves
+// it exactly within the budget. Assignments score the classifier prior of the
+// chosen pair. On ErrBudgetExhausted the document falls back to the rwr
+// strategy; on context cancellation ctx.Err() is returned.
+func (r *ILP) Resolve(ctx context.Context, doc *document.Document, candidates []filter.Candidate) ([]Assignment, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	problem, mentionOf := r.buildProblem(doc, candidates)
+	if len(problem.Candidates) == 0 {
+		return []Assignment{}, nil
+	}
+
+	sol, err := ilp.SolveContext(ctx, problem, r.budget())
+	switch {
+	case errors.Is(err, ilp.ErrBudgetExhausted):
+		// Exactness is out of reach for this document; re-resolve with the
+		// strategy that scales rather than trusting a truncated search.
+		return (&RWR{Config: r.Config}).Resolve(ctx, doc, candidates)
+	case err != nil:
+		return nil, err
+	}
+
+	out := make([]Assignment, 0, len(sol.Assignment))
+	for i, ci := range sol.Assignment {
+		if ci < 0 {
+			continue
+		}
+		cand := problem.Candidates[i][ci]
+		out = append(out, Assignment{Text: mentionOf[i], Table: cand.Target, Score: cand.Score})
+	}
+	return out, nil
+}
+
+// buildProblem groups the filtered candidates by text mention (in mention
+// order, so the formulation is deterministic) and attaches the coherence
+// function mirroring the candidate graph's table-table edges.
+func (r *ILP) buildProblem(doc *document.Document, candidates []filter.Candidate) (ilp.Problem, []int) {
+	var byText [][]ilp.Cand
+	var mentionOf []int
+	if r.scratch != nil {
+		byText = r.scratch.byText[:0]
+		mentionOf = r.scratch.mentionOf[:0]
+		defer func() {
+			r.scratch.byText = byText[:0]
+			r.scratch.mentionOf = mentionOf[:0]
+		}()
+	}
+
+	// candidates arrive grouped arbitrarily; bucket them per text mention in
+	// index order. Per-mention candidate order follows the input slice, which
+	// filter.Apply emits deterministically.
+	perMention := make(map[int][]ilp.Cand, len(doc.TextMentions))
+	for _, c := range candidates {
+		perMention[c.Text] = append(perMention[c.Text], ilp.Cand{Target: c.Table, Score: c.Score})
+	}
+	for xi := 0; xi < len(doc.TextMentions); xi++ {
+		if cs, ok := perMention[xi]; ok {
+			mentionOf = append(mentionOf, xi)
+			byText = append(byText, cs)
+		}
+	}
+
+	problem := ilp.Problem{
+		Candidates: byText,
+		MinScore:   r.Config.Epsilon,
+		Coherence: func(a, b int) float64 {
+			ta, tb := doc.TableMentions[a], doc.TableMentions[b]
+			if ta.Table != tb.Table {
+				return 0
+			}
+			switch {
+			case cellsShareCell(ta.Cells, tb.Cells):
+				return cohSharedCell
+			case cellsShareLine(ta.Cells, tb.Cells):
+				return cohSharedLine
+			}
+			return 0
+		},
+	}
+	return problem, mentionOf
+}
+
+// Coherence bonuses for co-chosen table mentions, mirroring the graph's
+// SharedCellBoost/TableTableW relatedness ordering at a scale small enough
+// not to drown the classifier priors.
+const (
+	cohSharedCell = 0.1
+	cohSharedLine = 0.05
+)
+
+func cellsShareCell(a, b []table.CellRef) bool {
+	for _, ca := range a {
+		for _, cb := range b {
+			if ca == cb {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func cellsShareLine(a, b []table.CellRef) bool {
+	for _, ca := range a {
+		for _, cb := range b {
+			if ca.Row == cb.Row || ca.Col == cb.Col {
+				return true
+			}
+		}
+	}
+	return false
+}

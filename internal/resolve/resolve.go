@@ -1,0 +1,98 @@
+// Package resolve makes the pipeline's global-resolution stage a pluggable
+// strategy. The paper's published algorithm is random walks with restart over
+// the candidate graph (Algorithm 1), but that was an explicit design choice:
+// an exact ILP formulation was considered and dismissed for scaling reasons
+// (§VI). This package turns that axis into a first-class interface with three
+// implementations:
+//
+//	rwr     the frozen-CSR random-walk engine (default; byte-identical to
+//	        the historical hardcoded graph.Resolve path)
+//	ilp     exact branch-and-bound joint assignment with a per-document time
+//	        budget and graceful fallback to rwr on budget exhaustion
+//	greedy  top-1 classifier score per mention — the cheap baseline
+//
+// core.Pipeline consumes the interface; strategy selection is threaded from
+// briq.WithResolver and the briq-server -resolver flag down to here. Every
+// resolver exposes a stable Name and ParamsHash so the pipeline fingerprint
+// (and therefore the serving layer's content-addressed cache keys) can never
+// conflate results computed under different strategies or parameters.
+package resolve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"briq/internal/document"
+	"briq/internal/filter"
+)
+
+// Assignment is one decided text↔table pair, the resolver output unit. Text
+// and Table index into the document's mention lists; Score is the strategy's
+// own confidence (OverallScore for rwr, the classifier prior for ilp and
+// greedy), comparable within one strategy but not across strategies.
+type Assignment struct {
+	Text  int
+	Table int
+	Score float64
+}
+
+// Resolver is one global-resolution strategy: given a document and its
+// filtered candidate pairs, decide which text mention aligns to which table
+// mention. Implementations must be deterministic for a fixed input and must
+// return assignments sorted by text-mention index.
+//
+// A Resolver constructed by its New* function is read-only and safe for
+// concurrent Resolve calls (mirroring core.NewPipeline). Clone returns a
+// private copy with per-worker scratch buffers for single-goroutine use — the
+// runtime pool gives each worker exactly one clone, and core.Pipeline.Clone
+// clones its resolver alongside its own scratch.
+type Resolver interface {
+	// Name is the stable strategy identifier ("rwr", "ilp", "greedy") used
+	// for registry lookup, per-resolver stage metrics and fingerprinting.
+	Name() string
+
+	// ParamsHash digests every parameter that can change the strategy's
+	// output, so two resolvers share a hash iff they would produce identical
+	// assignments on every input. It feeds core.Pipeline.Fingerprint.
+	ParamsHash() string
+
+	// Resolve decides the alignments of one document. It honors ctx
+	// cooperatively: on cancellation it returns ctx.Err() (possibly after
+	// finishing a CPU-bound phase already in flight).
+	Resolve(ctx context.Context, doc *document.Document, candidates []filter.Candidate) ([]Assignment, error)
+
+	// Clone returns a copy with private scratch for a dedicated worker
+	// goroutine. The clone shares all configuration read-only.
+	Clone() Resolver
+}
+
+// Strategy names, the registry keys accepted by briq.WithResolver and the
+// briq-server -resolver flag.
+const (
+	NameRWR    = "rwr"
+	NameILP    = "ilp"
+	NameGreedy = "greedy"
+)
+
+// Names lists every built-in strategy, default first.
+func Names() []string { return []string{NameRWR, NameILP, NameGreedy} }
+
+// Known reports whether name is a built-in strategy.
+func Known(name string) bool {
+	for _, n := range Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// paramsHash digests a formatted parameter string into the stable hex form
+// every built-in resolver returns from ParamsHash.
+func paramsHash(format string, args ...any) string {
+	h := sha256.New()
+	fmt.Fprintf(h, format, args...)
+	return hex.EncodeToString(h.Sum(nil))
+}

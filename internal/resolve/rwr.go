@@ -1,0 +1,55 @@
+package resolve
+
+import (
+	"context"
+
+	"briq/internal/document"
+	"briq/internal/filter"
+	"briq/internal/graph"
+)
+
+// RWR is the default strategy: the paper's Algorithm 1 — candidate graph
+// construction, random walks with restart on the frozen CSR engine, entropy
+// ordering and per-decision rewiring. Its output is byte-identical to the
+// historical hardcoded graph.Build(...).Resolve() path; the equivalence
+// suites in internal/graph and cmd/briq-bench gate that invariant.
+type RWR struct {
+	// Config carries the graph and walk hyper-parameters (λ1, λ2, restart,
+	// α, β, ε, …). core.Pipeline builds its default RWR resolver from its own
+	// GraphConfig, so existing tuning keeps applying.
+	Config graph.Config
+}
+
+// NewRWR returns the random-walk strategy with the given graph configuration.
+func NewRWR(cfg graph.Config) *RWR { return &RWR{Config: cfg} }
+
+// Name implements Resolver.
+func (*RWR) Name() string { return NameRWR }
+
+// ParamsHash implements Resolver: every graph/walk hyper-parameter affects
+// the walk outcome, so the whole Config is digested.
+func (r *RWR) ParamsHash() string { return paramsHash("rwr|%+v", r.Config) }
+
+// Clone implements Resolver. The walk scratch (dense probability vectors,
+// CSR arrays) lives inside each per-document graph.Graph, so the resolver
+// itself carries no mutable state and a shallow copy suffices.
+func (r *RWR) Clone() Resolver {
+	c := *r
+	return &c
+}
+
+// Resolve implements Resolver by running Algorithm 1 on a fresh candidate
+// graph. The walks are CPU-bound and run to completion once started; ctx is
+// honored at entry.
+func (r *RWR) Resolve(ctx context.Context, doc *document.Document, candidates []filter.Candidate) ([]Assignment, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	g := graph.Build(r.Config, doc, candidates)
+	resolved := g.Resolve()
+	out := make([]Assignment, len(resolved))
+	for i, a := range resolved {
+		out[i] = Assignment{Text: a.Text, Table: a.Table, Score: a.Score}
+	}
+	return out, nil
+}

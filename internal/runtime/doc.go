@@ -23,7 +23,7 @@
 //
 // Both channels are bounded: a slow consumer parks the workers, full input
 // parks the feeder. Cancellation is observed at every arrow above plus
-// between the classify/filter/rwr phases inside a document
+// between the classify/filter/resolve phases inside a document
 // (core.AlignContext), so a cancelled corpus run stops within one pipeline
 // phase per worker.
 //

@@ -189,9 +189,20 @@ func (p *Pool) Stream(ctx context.Context, docs []*document.Document) *Stream {
 				}
 				als, err := clone.AlignContext(ctx, t.doc)
 				if err != nil {
-					// Only cancellation can fail a document today; the
-					// context is dead, so the result has no reader.
-					return
+					if ctx.Err() != nil {
+						// Cancellation: the context is dead, so the result
+						// has no reader.
+						return
+					}
+					// A resolver-stage failure on a live context (possible
+					// since resolution became pluggable) is a per-document
+					// result the consumer must see, not a silent drop.
+					select {
+					case out <- Result{Index: t.idx, DocID: t.doc.ID, Err: err}:
+						continue
+					case <-ctx.Done():
+						return
+					}
 				}
 				select {
 				case out <- Result{Index: t.idx, DocID: t.doc.ID, Alignments: als}:
