@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: all check build vet test race bench bench-compare bench-tables experiments fmt fmt-check
+.PHONY: all check build vet test race bench bench-compare bench-tables experiments fmt fmt-check fuzz-smoke cover-check
 
 all: check
 
-# Default verify entry point: formatting, vet, build, then the full suite
-# under the race detector. The runtime pool, serving layer, server handlers
-# and AlignAll fan-out are concurrency-bearing, so a non-race test run is not
-# a complete check.
-check: fmt-check vet build race
+# Default verify entry point: formatting, vet, build, the full suite under
+# the race detector, a short fuzz pass over the committed corpora, and the
+# coverage gate on the classification-engine packages. The runtime pool,
+# serving layer, server handlers and AlignAll fan-out are concurrency-bearing,
+# so a non-race test run is not a complete check.
+check: fmt-check vet build race fuzz-smoke cover-check
 
 build:
 	$(GO) build ./...
@@ -47,6 +48,32 @@ bench-tables:
 
 experiments:
 	$(GO) run ./cmd/briq-experiments -table all
+
+# Short fuzz pass over every committed fuzz target and its seed corpus. Each
+# target gets a few seconds of mutation on top of replaying the corpus — long
+# enough to catch regressions in the parsing/serialization invariants the
+# corpora pin (never panic, reject malformed input, round-trip bit-identical),
+# short enough for every `make check`. `go test -fuzz` accepts one target per
+# invocation, hence one line per target.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzLoad$$' -fuzztime 5s ./internal/forest
+	$(GO) test -run '^$$' -fuzz '^FuzzParseCell$$' -fuzztime 5s ./internal/quantity
+	$(GO) test -run '^$$' -fuzz '^FuzzExtractText$$' -fuzztime 5s ./internal/quantity
+
+# Coverage gate for the classification engine: the flat-forest inference path
+# and the feature extractor are equivalence-critical (the frozen engine's
+# bit-identity contract lives in their tests), so their statement coverage
+# must not decay below 85%.
+COVER_PKGS = ./internal/forest ./internal/feature
+COVER_MIN = 85
+cover-check:
+	@fail=0; for pkg in $(COVER_PKGS); do \
+		pct="$$($(GO) test -cover $$pkg | awk '/coverage:/ {for (i=1;i<=NF;i++) if ($$i=="coverage:") {sub(/%/,"",$$(i+1)); print $$(i+1)}}')"; \
+		if [ -z "$$pct" ]; then echo "cover-check: no coverage for $$pkg"; fail=1; \
+		elif awk -v p="$$pct" -v m="$(COVER_MIN)" 'BEGIN{exit (p>=m)?1:0}'; then \
+			echo "cover-check: $$pkg at $$pct% (< $(COVER_MIN)%)"; fail=1; \
+		else echo "cover-check: $$pkg at $$pct% (>= $(COVER_MIN)%)"; fi; \
+	done; exit $$fail
 
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,160 @@
+package core_test
+
+// Corpus-level equivalence suite for the classify stage rewrite: the frozen
+// flat-array batch engine and the pre-classifier gate must be observationally
+// identical to the per-pair pointer-tree reference — bit-identical scores
+// from ScorePairs, byte-identical alignments from Align — across every
+// document of a trained corpus. Randomized forest-level equivalence lives in
+// internal/forest/frozen_test.go; this file pins the end-to-end contract the
+// pipeline depends on.
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+
+	"briq/internal/core"
+	"briq/internal/corpus"
+	"briq/internal/document"
+	"briq/internal/experiment"
+	"briq/internal/quantity"
+)
+
+var (
+	eqOnce    sync.Once
+	eqCorpus  *corpus.Corpus
+	eqTrained *core.Pipeline
+	eqErr     error
+)
+
+// eqFixture builds a small trained corpus shared by the equivalence tests;
+// training dominates the suite's cost, so it runs once.
+func eqFixture(t *testing.T) (*corpus.Corpus, *core.Pipeline) {
+	t.Helper()
+	eqOnce.Do(func() {
+		cfg := corpus.TableSConfig(17)
+		cfg.Pages = 60
+		eqCorpus = corpus.Generate(cfg)
+		split := experiment.SplitCorpus(eqCorpus, 7)
+		trained, err := experiment.Train(eqCorpus, split.Train, experiment.DefaultTrainOptions(3))
+		if err != nil {
+			eqErr = err
+			return
+		}
+		eqTrained = experiment.NewBriQ(trained).P
+	})
+	if eqErr != nil {
+		t.Fatal(eqErr)
+	}
+	return eqCorpus, eqTrained
+}
+
+// referenceCopy returns a shallow copy of p that classifies through the
+// per-pair pointer-tree reference path.
+func referenceCopy(p *core.Pipeline) *core.Pipeline {
+	ref := *p
+	ref.ReferenceClassify = true
+	return &ref
+}
+
+// TestFrozenClassifyBitIdenticalOnCorpus: the batch engine's ScorePairs
+// scores equal the reference path's bit for bit on every mention×candidate
+// pair of every corpus document, with the trained seed forest.
+func TestFrozenClassifyBitIdenticalOnCorpus(t *testing.T) {
+	c, p := eqFixture(t)
+	ref := referenceCopy(p)
+	pairs := 0
+	for _, doc := range c.Docs {
+		got := p.ScorePairs(doc)
+		want := ref.ScorePairs(doc)
+		if len(got) != len(want) {
+			t.Fatalf("doc %s: %d candidates batched, %d reference", doc.ID, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Text != want[i].Text || got[i].Table != want[i].Table {
+				t.Fatalf("doc %s candidate %d: pair (%d,%d) != (%d,%d)",
+					doc.ID, i, got[i].Text, got[i].Table, want[i].Text, want[i].Table)
+			}
+			if math.Float64bits(got[i].Score) != math.Float64bits(want[i].Score) {
+				t.Fatalf("doc %s pair (%d,%d): batched score %v (bits %x) != reference %v (bits %x)",
+					doc.ID, got[i].Text, got[i].Table,
+					got[i].Score, math.Float64bits(got[i].Score),
+					want[i].Score, math.Float64bits(want[i].Score))
+			}
+		}
+		pairs += len(got)
+	}
+	if pairs == 0 {
+		t.Fatal("corpus produced no mention pairs; equivalence vacuous")
+	}
+	t.Logf("verified %d pairs across %d documents", pairs, len(c.Docs))
+}
+
+// TestHeuristicClassifyBitIdentical: the untrained (heuristic goodness-mean)
+// configuration takes the reference path by construction; pin that its
+// scores are unchanged by the rewrite's buffer reuse.
+func TestHeuristicClassifyBitIdentical(t *testing.T) {
+	c, _ := eqFixture(t)
+	p := core.NewPipeline()
+	ref := referenceCopy(p)
+	for _, doc := range c.Docs[:min(len(c.Docs), 10)] {
+		got := p.ScorePairs(doc)
+		want := ref.ScorePairs(doc)
+		for i := range got {
+			if math.Float64bits(got[i].Score) != math.Float64bits(want[i].Score) {
+				t.Fatalf("doc %s pair %d: heuristic score %v != reference %v",
+					doc.ID, i, got[i].Score, want[i].Score)
+			}
+		}
+	}
+}
+
+// gateablePairs counts the pairs of doc the pre-classifier gate skips:
+// units specified on both sides and incompatible.
+func gateablePairs(doc *document.Document) int {
+	n := 0
+	for xi := range doc.TextMentions {
+		x := &doc.TextMentions[xi]
+		for _, tm := range doc.TableMentions {
+			if x.Unit != "" && tm.Unit != "" && !quantity.UnitsCompatible(x.Unit, tm.Unit) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TestGateDecisionIdentity: gate-on (the default align path), gate-off, and
+// the full reference path produce byte-identical alignments on every corpus
+// document — the gate may only skip work, never change a decision.
+func TestGateDecisionIdentity(t *testing.T) {
+	c, p := eqFixture(t)
+
+	gateOff := *p
+	gateOff.NoClassifyGate = true
+	ref := referenceCopy(p)
+	ref.NoClassifyGate = true
+
+	gateable := 0
+	for _, doc := range c.Docs {
+		gated := p.Align(doc)
+		ungated := gateOff.Align(doc)
+		reference := ref.Align(doc)
+
+		g, _ := json.Marshal(gated)
+		u, _ := json.Marshal(ungated)
+		r, _ := json.Marshal(reference)
+		if string(g) != string(u) {
+			t.Fatalf("doc %s: gate-on alignments differ from gate-off:\n%s\nvs\n%s", doc.ID, g, u)
+		}
+		if string(g) != string(r) {
+			t.Fatalf("doc %s: engine alignments differ from reference:\n%s\nvs\n%s", doc.ID, g, r)
+		}
+		gateable += gateablePairs(doc)
+	}
+	if gateable == 0 {
+		t.Fatal("no corpus pair is unit-incompatible; the gate test is vacuous")
+	}
+	t.Logf("gate skips %d pairs across the corpus", gateable)
+}

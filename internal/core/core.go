@@ -31,11 +31,12 @@ import (
 // running a non-default resolver shows its latency under resolve/ilp or
 // resolve/greedy instead of blending strategies into one histogram.
 const (
-	StageClassify = "classify"    // ScorePairs: mention-pair feature scoring
-	StageFilter   = "filter"      // adaptive candidate filtering
-	StageResolve  = "resolve/rwr" // default resolution: graph build + random walks
-	StageSegment  = "segment"     // HTML page → documents
-	StageAlign    = "align"       // full per-document Align
+	StageClassify     = "classify"      // ScorePairs: mention-pair feature scoring
+	StageClassifyGate = "classify/gate" // pre-classifier gate inside classify
+	StageFilter       = "filter"        // adaptive candidate filtering
+	StageResolve      = "resolve/rwr"   // default resolution: graph build + random walks
+	StageSegment      = "segment"       // HTML page → documents
+	StageAlign        = "align"         // full per-document Align
 )
 
 // StageResolveFor returns the stage name the pipeline reports resolution
@@ -48,7 +49,7 @@ func StageResolveFor(resolver string) string { return "resolve/" + resolver }
 // full schema — /metrics exposes an identical shape whichever strategy the
 // pipeline runs, and the golden schema test holds across -resolver flags.
 func StageNames() []string {
-	names := []string{StageSegment, StageClassify, StageFilter}
+	names := []string{StageSegment, StageClassify, StageClassifyGate, StageFilter}
 	for _, r := range resolve.Names() {
 		names = append(names, StageResolveFor(r))
 	}
@@ -137,6 +138,25 @@ type Pipeline struct {
 	// it is never mutated afterward.
 	ConfigWarnings []string
 
+	// ReferenceClassify forces the per-pair pointer-tree reference path
+	// instead of the frozen flat-array batch engine. Output is identical by
+	// contract (the equivalence suite pins bit-identity), so the flag is not
+	// part of Fingerprint; it exists for the equivalence tests and the bench's
+	// before/after comparison.
+	ReferenceClassify bool
+
+	// NoClassifyGate disables the pre-classifier gate of the internal align
+	// path. The gate is decision-identical (it only skips feature computation
+	// for pairs the filter stage drops unconditionally), so this flag is not
+	// part of Fingerprint either; it exists for the gate-on vs gate-off
+	// decision-identity test and for measuring the gate's contribution.
+	NoClassifyGate bool
+
+	// frozen memoizes the flat-array compilation of Classifier, shared by all
+	// clones so a corpus run compiles the forest once. nil (a zero-value
+	// Pipeline not built by NewPipeline) falls back to the reference path.
+	frozen *frozenCache
+
 	// local is per-clone scratch (see Clone). It is nil on pipelines built
 	// by NewPipeline, which therefore stay safe for concurrent Align calls;
 	// a clone owns its scratch and must serve one goroutine at a time.
@@ -145,9 +165,39 @@ type Pipeline struct {
 
 // localScratch holds buffers a single-goroutine pipeline clone reuses across
 // documents, so corpus runs stop paying the per-document allocation for the
-// |X|·|T| candidate slice.
+// |X|·|T| candidate slice and the classify batch matrices.
 type localScratch struct {
 	candidates []filter.Candidate
+	live       []int     // candidate indices that passed the gate
+	feats      []float64 // row-major masked feature matrix, one row per live pair
+	scores     []float64 // batch classifier output
+	votes      []float64 // per-class vote scratch of the batch walk
+}
+
+// frozenCache lazily compiles the pipeline's classifier into its flat-array
+// inference form and caches the compilation keyed by forest identity. Clones
+// share one cache (Clone copies the pointer), so concurrent workers compile
+// once; the mutex covers the swap-recompile, and a retrained classifier (the
+// tuning harness replaces p.Classifier between runs) recompiles on next use.
+type frozenCache struct {
+	mu  sync.Mutex
+	src *forest.Forest
+	fz  *forest.Frozen
+}
+
+// engineFor returns the frozen engine for f, compiling it on first use or
+// when f differs from the cached source. A nil cache or nil forest yields
+// nil, which callers treat as "use the reference path".
+func (c *frozenCache) engineFor(f *forest.Forest) *forest.Frozen {
+	if c == nil || f == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.src != f {
+		c.src, c.fz = f, f.Frozen()
+	}
+	return c.fz
 }
 
 // Clone returns a shallow copy of the pipeline for a dedicated worker
@@ -195,31 +245,128 @@ func NewPipeline() *Pipeline {
 		FilterConfig: filter.DefaultConfig(),
 		GraphConfig:  graph.DefaultConfig(),
 		Segmenter:    document.NewSegmenter(),
+		frozen:       &frozenCache{},
 	}
 }
 
 // ScorePairs computes classifier scores σ for every (text, table) mention
-// pair of the document — the local resolution of §IV.
+// pair of the document — the local resolution of §IV. The public entry point
+// never gates: every pair gets its true score, because callers such as the
+// RF-only baseline threshold raw scores and must observe them even for pairs
+// the align path would discard.
 func (p *Pipeline) ScorePairs(doc *document.Document) []filter.Candidate {
+	return p.scorePairs(doc, false)
+}
+
+// scorePairs is the classify stage. With gated=true (the internal align
+// path), pairs whose units are specified on both sides and incompatible skip
+// f1–f12 feature computation entirely and keep a zero score: the filter stage
+// drops exactly those pairs unconditionally whatever their score (step 2 of
+// filter.Apply), and its mention-type vote and entropy read only survivors,
+// so gating is decision-identical to scoring everything. The candidate row
+// still exists, keeping filter counters unchanged.
+//
+// Scoring itself runs through the frozen flat-array engine in batch — one
+// masked feature matrix, one scratch — unless ReferenceClassify is set or no
+// engine is available, in which case the per-pair pointer-tree reference path
+// runs. Both paths produce bit-identical scores (the equivalence suite pins
+// this), so callers cannot tell them apart except by speed.
+func (p *Pipeline) scorePairs(doc *document.Document, gated bool) []filter.Candidate {
 	ext := feature.NewExtractor(p.Features, doc)
 	n := len(doc.TextMentions) * len(doc.TableMentions)
+	local := p.local
 	var out []filter.Candidate
-	if p.local != nil {
-		// Clone-owned buffer: safe to reuse across documents because the
+	var live []int
+	if local != nil {
+		// Clone-owned buffers: safe to reuse across documents because the
 		// filter stage regroups candidates into fresh slices and nothing
-		// downstream retains this one past the Align call.
-		if cap(p.local.candidates) < n {
-			p.local.candidates = make([]filter.Candidate, 0, n)
+		// downstream retains them past the Align call.
+		if cap(local.candidates) < n {
+			local.candidates = make([]filter.Candidate, 0, n)
 		}
-		out = p.local.candidates[:0]
-		defer func() { p.local.candidates = out[:0] }()
+		out = local.candidates[:0]
+		live = local.live[:0]
+		defer func() {
+			local.candidates = out[:0]
+			local.live = live[:0]
+		}()
 	} else {
 		out = make([]filter.Candidate, 0, n)
+		live = make([]int, 0, n)
 	}
+
+	gated = gated && !p.NoClassifyGate
+	gateStart := time.Now()
 	for xi := range doc.TextMentions {
+		x := &doc.TextMentions[xi]
 		for ti := range doc.TableMentions {
-			out = append(out, filter.Candidate{Text: xi, Table: ti, Score: p.score(ext.Vector(xi, ti))})
+			if gated {
+				tm := doc.TableMentions[ti]
+				if x.Unit != "" && tm.Unit != "" && !quantity.UnitsCompatible(x.Unit, tm.Unit) {
+					out = append(out, filter.Candidate{Text: xi, Table: ti})
+					continue
+				}
+			}
+			live = append(live, len(out))
+			out = append(out, filter.Candidate{Text: xi, Table: ti})
 		}
+	}
+	if gated {
+		p.Recorder.Observe(StageClassifyGate, time.Since(gateStart))
+	}
+
+	var engine *forest.Frozen
+	if p.Classifier != nil && !p.ReferenceClassify {
+		engine = p.frozen.engineFor(p.Classifier)
+	}
+	if engine == nil {
+		// Reference path: per-pair vectors through Mask.Apply and the
+		// pointer-tree walker (or the heuristic goodness mean).
+		var vec [feature.NumFeatures]float64
+		for _, idx := range live {
+			c := &out[idx]
+			c.Score = p.score(ext.VectorInto(c.Text, c.Table, vec[:]))
+		}
+		return out
+	}
+
+	// Batch path: project each live pair's vector onto the mask into one
+	// row-major matrix, then run all rows through the flat forest with a
+	// single vote scratch. The projection loop appends kept features in index
+	// order — the same order Mask.Apply produces.
+	m := p.Mask.Count()
+	nLive := len(live)
+	var feats, scores, votes []float64
+	if local != nil {
+		feats, scores, votes = local.feats, local.scores, local.votes
+	}
+	if cap(feats) < nLive*m {
+		feats = make([]float64, nLive*m)
+	} else {
+		feats = feats[:nLive*m]
+	}
+	var full [feature.NumFeatures]float64
+	for r, idx := range live {
+		c := &out[idx]
+		vec := ext.VectorInto(c.Text, c.Table, full[:])
+		dst := feats[r*m : (r+1)*m]
+		k := 0
+		for i, v := range vec {
+			if p.Mask[i] {
+				dst[k] = v
+				k++
+			}
+		}
+	}
+	if cap(votes) < engine.BatchScratchLen() {
+		votes = make([]float64, engine.BatchScratchLen())
+	}
+	scores = engine.PositiveProbaBatch(feats, nLive, scores, votes)
+	for r, idx := range live {
+		out[idx].Score = scores[r]
+	}
+	if local != nil {
+		local.feats, local.scores, local.votes = feats, scores, votes
 	}
 	return out
 }
@@ -269,7 +416,7 @@ func (p *Pipeline) AlignContext(ctx context.Context, doc *document.Document) ([]
 		return nil, err
 	}
 	start := alignStart
-	candidates := p.ScorePairs(doc)
+	candidates := p.scorePairs(doc, true)
 	rec.Observe(StageClassify, time.Since(start))
 
 	if err := ctx.Err(); err != nil {

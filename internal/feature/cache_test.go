@@ -6,10 +6,12 @@ package feature
 // for every pair of a realistic generated document.
 
 import (
+	"math"
 	"testing"
 
 	"briq/internal/corpus"
 	"briq/internal/nlp"
+	"briq/internal/quantity"
 )
 
 func TestCachedFeaturesMatchDirectComputation(t *testing.T) {
@@ -37,12 +39,105 @@ func TestCachedFeaturesMatchDirectComputation(t *testing.T) {
 				if got, want := vec[F10PrecisionDiff], absInt(x.Precision-tm.Precision()); got != want {
 					t.Fatalf("doc %s pair (%d,%d): cached f10 %v, direct %v", doc.ID, xi, ti, got, want)
 				}
+
+				// f2 runs on interned sorted-id bags in the hot loop; the
+				// direct computation rebuilds both sides as map-backed
+				// WeightedBags straight from the document and goes through
+				// OverlapCoefficient. Bit-identical, not approximately equal.
+				textBag := e.localBag(x.TokenPos)
+				tableBag := nlp.WeightedBag{}
+				seenRow, seenCol := map[int]bool{}, map[int]bool{}
+				for _, ref := range tm.Cells {
+					if !seenRow[ref.Row] {
+						seenRow[ref.Row] = true
+						for w, weight := range nlp.NewWeightedBag(nlp.Words(tm.Table.RowContext(ref.Row))) {
+							tableBag.Add(w, weight)
+						}
+					}
+					if !seenCol[ref.Col] {
+						seenCol[ref.Col] = true
+						for w, weight := range nlp.NewWeightedBag(nlp.Words(tm.Table.ColContext(ref.Col))) {
+							tableBag.Add(w, weight)
+						}
+					}
+				}
+				if got, want := vec[F2LocalOverlap], nlp.OverlapCoefficient(textBag, tableBag); got != want {
+					t.Fatalf("doc %s pair (%d,%d): indexed f2 %v, direct %v", doc.ID, xi, ti, got, want)
+				}
+
+				// f4 runs on interned phrase multisets; the direct computation
+				// is the reference PhraseOverlap on the raw phrase lists.
+				if got, want := vec[F4LocalPhrases], nlp.PhraseOverlap(e.localNPs[xi], e.tableData[ti].localNPs); got != want {
+					t.Fatalf("doc %s pair (%d,%d): indexed f4 %v, direct %v", doc.ID, xi, ti, got, want)
+				}
+
+				// f3/f5 hoisted per table, f11 per text mention, f12 per
+				// (text mention, Agg) — each against its direct computation.
+				if got, want := vec[F3GlobalOverlap], nlp.OverlapCoefficient(e.globalBag, e.tableData[ti].tableBag); got != want {
+					t.Fatalf("doc %s pair (%d,%d): hoisted f3 %v, direct %v", doc.ID, xi, ti, got, want)
+				}
+				if got, want := vec[F5GlobalPhrases], nlp.PhraseOverlap(e.globalNPs, e.tableData[ti].tableNPs); got != want {
+					t.Fatalf("doc %s pair (%d,%d): hoisted f5 %v, direct %v", doc.ID, xi, ti, got, want)
+				}
+				if got, want := vec[F11Approx], float64(x.Approx)/4; got != want {
+					t.Fatalf("doc %s pair (%d,%d): hoisted f11 %v, direct %v", doc.ID, xi, ti, got, want)
+				}
+				if got, want := vec[F12AggMatch], aggMatch(e.mentionAgg[xi], tm.Agg); got != want {
+					t.Fatalf("doc %s pair (%d,%d): hoisted f12 %v, direct %v", doc.ID, xi, ti, got, want)
+				}
 			}
 		}
 	}
 	if pairs == 0 {
 		t.Fatal("corpus produced no mention pairs")
 	}
+}
+
+// TestGateSkippedPairsDoNotPerturbCache covers the pre-classifier gate's
+// access pattern: the align path computes vectors only for pairs that pass
+// the unit-compatibility gate, so an extractor queried for a scattered subset
+// of the pair space — through the reused VectorInto buffer of the hot loop —
+// must return exactly what a fresh extractor computing every pair returns.
+// Stale buffer contents from a previous pair must never leak into a later
+// vector, and skipping pairs must not change what the memos cache.
+func TestGateSkippedPairsDoNotPerturbCache(t *testing.T) {
+	c := corpus.Generate(corpus.TableLConfig(13, 5))
+	skipped, computed := 0, 0
+	for _, doc := range c.Docs {
+		full := NewExtractor(DefaultConfig(), doc)
+		gated := NewExtractor(DefaultConfig(), doc)
+		// One shared destination buffer, poisoned with NaN between uses so a
+		// feature left over from the previous pair cannot go unnoticed.
+		dst := make([]float64, NumFeatures)
+		for xi := range doc.TextMentions {
+			x := &doc.TextMentions[xi]
+			for ti, tm := range doc.TableMentions {
+				if x.Unit != "" && tm.Unit != "" && !quantity.UnitsCompatible(x.Unit, tm.Unit) {
+					skipped++
+					continue // the gate: this pair's features are never computed
+				}
+				computed++
+				for i := range dst {
+					dst[i] = math.NaN()
+				}
+				got := gated.VectorInto(xi, ti, dst)
+				want := full.Vector(xi, ti)
+				for f := range want {
+					if got[f] != want[f] {
+						t.Fatalf("doc %s pair (%d,%d) feature %s: gated extractor %v, full sweep %v",
+							doc.ID, xi, ti, Names[f], got[f], want[f])
+					}
+				}
+			}
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("corpus gate skipped no pairs; subset-access coverage is vacuous")
+	}
+	if computed == 0 {
+		t.Fatal("corpus gate computed no pairs")
+	}
+	t.Logf("gate pattern: %d computed, %d skipped", computed, skipped)
 }
 
 // TestVectorDeterministicAcrossExtractors: two extractors over the same

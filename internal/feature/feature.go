@@ -158,33 +158,56 @@ type Extractor struct {
 	textLower  []nlp.Token // tokens of the document text
 	globalBag  nlp.WeightedBag
 	globalNPs  []string
-	localBags  []nlp.WeightedBag // per text mention
-	sentenceOf []string          // sentence text per text mention
-	localNPs   [][]string        // noun phrases of the mention's sentence
-	mentionAgg [][]quantity.Agg  // aggregations cued near each text mention
-	textNorm   []string          // normalizeSurface of each text mention
+	localIdx   []nlp.IndexedBag // per text mention, f2 left side
+	sentenceOf []string         // sentence text per text mention
+	localNPs   [][]string       // noun phrases of the mention's sentence
+	mentionAgg [][]quantity.Agg // aggregations cued near each text mention
+	textNorm   []string         // normalizeSurface of each text mention
+	approxOf   []float64        // f11 value per text mention
+	aggMatchOf [][]float64      // f12 value per text mention, indexed by Agg
 
 	tableData []tableMentionData // per table mention
+
+	// intern maps context words to dense ids so the per-pair f2 overlap is a
+	// merge scan over sorted int32 slices instead of map probing; see
+	// nlp.IndexedBag for the bit-identity contract with WeightedBag. The
+	// phrase interner plays the same role for the f4 noun-phrase overlap, and
+	// the surface interner keys the f1 memo by dense id pair instead of
+	// hashing both strings on every pair.
+	intern         *nlp.Interner
+	overlapScratch []float64
+	phraseIn       *nlp.PhraseInterner
+	localPhr       []nlp.IndexedPhrases // per text mention, f4 left side
+	phraseMatched  []int32
+	phraseTouched  []int32
+	surfIn         *nlp.Interner
+	textNormID     []int32 // surface id of textNorm, per text mention
 
 	// simMemo caches Jaro-Winkler scores by normalized surface pair: virtual
 	// cells and repeated values make identical pairs common across the
 	// document's pair space, and the similarity is a pure function of the
-	// two strings.
-	simMemo map[simKey]float64
+	// two strings. Keys are packed interned-surface id pairs — equal strings
+	// get equal ids, so hits are exactly the string-pair hits.
+	simMemo map[int64]float64
 }
-
-type simKey struct{ a, b string }
 
 type tableMentionData struct {
 	surface     string
-	normSurface string // normalizeSurface(surface), computed once per mention
-	localBag    nlp.WeightedBag
+	normSurface string         // normalizeSurface(surface), computed once per mention
+	normID      int32          // surface id of normSurface in the extractor's interner
+	localIdx    nlp.IndexedBag // f2 right side: max-weight union of the mention's line bags
+	localPhr    nlp.IndexedPhrases
 	localNPs    []string
 	tableBag    nlp.WeightedBag
 	tableNPs    []string
 	rawValue    float64
 	scale       int // tm.Scale(), computed once per mention
 	precision   int // tm.Precision(), computed once per mention
+
+	// f3/f5 depend only on the mention's table, not on the text mention, so
+	// they are hoisted out of the pair loop entirely.
+	globalOverlap float64
+	globalPhrases float64
 }
 
 // NewExtractor prepares an extractor for one document.
@@ -192,15 +215,22 @@ func NewExtractor(cfg Config, doc *document.Document) *Extractor {
 	if cfg.Window <= 0 {
 		cfg = DefaultConfig()
 	}
-	e := &Extractor{cfg: cfg, doc: doc, simMemo: make(map[simKey]float64)}
+	e := &Extractor{
+		cfg:      cfg,
+		doc:      doc,
+		simMemo:  make(map[int64]float64),
+		intern:   nlp.NewInterner(),
+		phraseIn: nlp.NewPhraseInterner(),
+		surfIn:   nlp.NewInterner(),
+	}
 	e.prepareText()
 	e.prepareTables()
 	return e
 }
 
-// surfaceSim is the memoized f1 kernel.
-func (e *Extractor) surfaceSim(a, b string) float64 {
-	k := simKey{a, b}
+// surfaceSim is the memoized f1 kernel; aID/bID are the interned ids of a/b.
+func (e *Extractor) surfaceSim(aID, bID int32, a, b string) float64 {
+	k := int64(aID)<<32 | int64(uint32(bID))
 	if v, ok := e.simMemo[k]; ok {
 		return v
 	}
@@ -215,21 +245,35 @@ func (e *Extractor) prepareText() {
 	e.globalNPs = nlp.NounPhrases(e.doc.Text)
 	sentences := nlp.SplitSentences(e.doc.Text)
 
-	e.localBags = make([]nlp.WeightedBag, len(e.doc.TextMentions))
+	e.localIdx = make([]nlp.IndexedBag, len(e.doc.TextMentions))
+	e.localPhr = make([]nlp.IndexedPhrases, len(e.doc.TextMentions))
+	e.textNormID = make([]int32, len(e.doc.TextMentions))
 	e.sentenceOf = make([]string, len(e.doc.TextMentions))
 	e.localNPs = make([][]string, len(e.doc.TextMentions))
 	e.mentionAgg = make([][]quantity.Agg, len(e.doc.TextMentions))
 	e.textNorm = make([]string, len(e.doc.TextMentions))
+	e.approxOf = make([]float64, len(e.doc.TextMentions))
+	e.aggMatchOf = make([][]float64, len(e.doc.TextMentions))
 
 	for i, x := range e.doc.TextMentions {
 		e.textNorm[i] = normalizeSurface(x.Surface)
-		e.localBags[i] = e.localBag(x.TokenPos)
+		e.textNormID[i] = e.surfIn.ID(e.textNorm[i])
+		e.localIdx[i] = nlp.IndexBag(e.localBag(x.TokenPos), e.intern)
 		si := x.Sentence
 		if si >= 0 && si < len(sentences) {
 			e.sentenceOf[i] = sentences[si]
 			e.localNPs[i] = nlp.NounPhrases(sentences[si])
 		}
+		e.localPhr[i] = e.phraseIn.IndexPhrases(e.localNPs[i])
 		e.mentionAgg[i] = e.cuedAggs(x.TokenPos)
+		e.approxOf[i] = float64(x.Approx) / 4
+		// f12 only depends on the candidate through its Agg, so the whole
+		// 4-valued table is computable per text mention.
+		row := make([]float64, quantity.NumAggs)
+		for a := range row {
+			row[a] = aggMatch(e.mentionAgg[i], quantity.Agg(a))
+		}
+		e.aggMatchOf[i] = row
 	}
 }
 
@@ -280,17 +324,25 @@ func (e *Extractor) cuedAggs(pos int) []quantity.Agg {
 }
 
 func (e *Extractor) prepareTables() {
-	// Cache per-table global context.
+	// Cache per-table global context. The f3/f5 overlaps against the document
+	// text are also per-table constants (prepareText has already built the
+	// global bag and noun phrases), computed here once instead of per pair.
 	type tcache struct {
-		bag nlp.WeightedBag
-		nps []string
+		bag     nlp.WeightedBag
+		nps     []string
+		overlap float64
+		phrases float64
 	}
 	tables := map[*table.Table]tcache{}
 	for _, t := range e.doc.Tables {
 		content := t.Content()
+		bag := nlp.NewWeightedBag(nlp.Words(content))
+		nps := nlp.NounPhrases(content)
 		tables[t] = tcache{
-			bag: nlp.NewWeightedBag(nlp.Words(content)),
-			nps: nlp.NounPhrases(content),
+			bag:     bag,
+			nps:     nps,
+			overlap: nlp.OverlapCoefficient(e.globalBag, bag),
+			phrases: nlp.PhraseOverlap(e.globalNPs, nps),
 		}
 	}
 
@@ -302,9 +354,9 @@ func (e *Extractor) prepareTables() {
 		row bool
 		idx int
 	}
-	lineBags := map[lineKey]nlp.WeightedBag{}
+	lineBags := map[lineKey]nlp.IndexedBag{}
 	lineNPs := map[lineKey][]string{}
-	lineCtx := func(t *table.Table, row bool, idx int) (nlp.WeightedBag, []string) {
+	lineCtx := func(t *table.Table, row bool, idx int) (nlp.IndexedBag, []string) {
 		k := lineKey{t, row, idx}
 		if bag, ok := lineBags[k]; ok {
 			return bag, lineNPs[k]
@@ -315,7 +367,7 @@ func (e *Extractor) prepareTables() {
 		} else {
 			ctx = t.ColContext(idx)
 		}
-		bag := nlp.NewWeightedBag(nlp.Words(ctx))
+		bag := nlp.IndexBag(nlp.NewWeightedBag(nlp.Words(ctx)), e.intern)
 		nps := nlp.NounPhrases(ctx)
 		lineBags[k], lineNPs[k] = bag, nps
 		return bag, nps
@@ -325,46 +377,46 @@ func (e *Extractor) prepareTables() {
 		tc := tables[tm.Table]
 		surface := tm.Surface()
 		data := tableMentionData{
-			surface:     surface,
-			normSurface: normalizeSurface(surface),
-			tableBag:    tc.bag,
-			tableNPs:    tc.nps,
-			rawValue:    tm.Value,
-			scale:       tm.Scale(),
-			precision:   tm.Precision(),
+			surface:       surface,
+			normSurface:   normalizeSurface(surface),
+			tableBag:      tc.bag,
+			tableNPs:      tc.nps,
+			rawValue:      tm.Value,
+			scale:         tm.Scale(),
+			precision:     tm.Precision(),
+			globalOverlap: tc.overlap,
+			globalPhrases: tc.phrases,
 		}
 		if !tm.IsVirtual() {
 			if q := tm.Table.Cell(tm.Cells[0].Row, tm.Cells[0].Col).Quantity; q != nil {
 				data.rawValue = q.RawValue
 			}
 		}
-		// Local context: union of the mention's rows and columns.
-		local := nlp.WeightedBag{}
+		// Local context: max-weight union of the mention's rows and columns,
+		// merged on the indexed form (bit-identical to merging WeightedBags
+		// through Add — see nlp.MergeIndexed).
+		var local nlp.IndexedBag
 		var nps []string
 		seenRow, seenCol := map[int]bool{}, map[int]bool{}
 		for _, ref := range tm.Cells {
 			if !seenRow[ref.Row] {
 				seenRow[ref.Row] = true
 				bag, ns := lineCtx(tm.Table, true, ref.Row)
-				mergeBag(local, bag)
+				local = nlp.MergeIndexed(local, bag)
 				nps = append(nps, ns...)
 			}
 			if !seenCol[ref.Col] {
 				seenCol[ref.Col] = true
 				bag, ns := lineCtx(tm.Table, false, ref.Col)
-				mergeBag(local, bag)
+				local = nlp.MergeIndexed(local, bag)
 				nps = append(nps, ns...)
 			}
 		}
-		data.localBag = local
+		data.localIdx = local
 		data.localNPs = nps
+		data.localPhr = e.phraseIn.IndexPhrases(nps)
+		data.normID = e.surfIn.ID(data.normSurface)
 		e.tableData[i] = data
-	}
-}
-
-func mergeBag(dst, src nlp.WeightedBag) {
-	for w, weight := range src {
-		dst.Add(w, weight)
 	}
 }
 
@@ -382,42 +434,53 @@ func wordsOf(toks []nlp.Token) []string {
 // Vector computes the full 12-feature vector for text mention xi and table
 // mention ti (indices into the document's mention slices).
 func (e *Extractor) Vector(xi, ti int) []float64 {
+	return e.VectorInto(xi, ti, make([]float64, NumFeatures))
+}
+
+// VectorInto computes the same vector as Vector into dst, which must have
+// length NumFeatures, and returns it. It performs no allocation, so the
+// classify hot loop can reuse one batch matrix across all pairs.
+func (e *Extractor) VectorInto(xi, ti int, dst []float64) []float64 {
 	x := &e.doc.TextMentions[xi]
 	tm := e.doc.TableMentions[ti]
 	td := &e.tableData[ti]
 
-	vec := make([]float64, NumFeatures)
-
 	// f1: surface form similarity on the normalized strings (both sides
 	// normalized once per mention, the similarity memoized per string pair).
-	vec[F1SurfaceSim] = e.surfaceSim(e.textNorm[xi], td.normSurface)
+	dst[F1SurfaceSim] = e.surfaceSim(e.textNormID[xi], td.normID, e.textNorm[xi], td.normSurface)
 
-	// f2/f3: weighted word overlap local and global.
-	vec[F2LocalOverlap] = nlp.OverlapCoefficient(e.localBags[xi], td.localBag)
-	vec[F3GlobalOverlap] = nlp.OverlapCoefficient(e.globalBag, td.tableBag)
+	// f2/f3: weighted word overlap local and global (f3 is a per-table
+	// constant, hoisted into tableData). f2 runs on the interned sorted-id
+	// bags with precomputed totals — bit-identical to OverlapCoefficient on
+	// the underlying WeightedBags, pinned by cache_test.go.
+	dst[F2LocalOverlap], e.overlapScratch = nlp.IndexedOverlap(e.localIdx[xi], td.localIdx, e.overlapScratch)
+	dst[F3GlobalOverlap] = td.globalOverlap
 
-	// f4/f5: noun-phrase overlap local and global.
-	vec[F4LocalPhrases] = nlp.PhraseOverlap(e.localNPs[xi], td.localNPs)
-	vec[F5GlobalPhrases] = nlp.PhraseOverlap(e.globalNPs, td.tableNPs)
+	// f4/f5: noun-phrase overlap local and global (f5 hoisted like f3). f4
+	// runs on the interned phrase multisets — exactly PhraseOverlap on the
+	// underlying lists, pinned by cache_test.go.
+	dst[F4LocalPhrases], e.phraseMatched, e.phraseTouched = nlp.PhraseOverlapIndexed(
+		e.phraseIn, e.localPhr[xi], td.localPhr, e.phraseMatched, e.phraseTouched)
+	dst[F5GlobalPhrases] = td.globalPhrases
 
 	// f6/f7: relative numeric distance, normalized and raw.
-	vec[F6RelDiff] = quantity.RelativeDifference(x.Value, tm.Value)
-	vec[F7RawRelDiff] = quantity.RelativeDifference(x.RawValue, td.rawValue)
+	dst[F6RelDiff] = quantity.RelativeDifference(x.Value, tm.Value)
+	dst[F7RawRelDiff] = quantity.RelativeDifference(x.RawValue, td.rawValue)
 
 	// f8: unit match.
-	vec[F8UnitMatch] = unitMatch(x.Unit, tm.Unit)
+	dst[F8UnitMatch] = unitMatch(x.Unit, tm.Unit)
 
 	// f9/f10: scale and precision differences (table side precomputed).
-	vec[F9ScaleDiff] = absInt(x.Scale - td.scale)
-	vec[F10PrecisionDiff] = absInt(x.Precision - td.precision)
+	dst[F9ScaleDiff] = absInt(x.Scale - td.scale)
+	dst[F10PrecisionDiff] = absInt(x.Precision - td.precision)
 
-	// f11: approximation indicator, ordinal.
-	vec[F11Approx] = float64(x.Approx) / 4
+	// f11: approximation indicator, ordinal (per text mention, precomputed).
+	dst[F11Approx] = e.approxOf[xi]
 
-	// f12: aggregate function match.
-	vec[F12AggMatch] = aggMatch(e.mentionAgg[xi], tm.Agg)
+	// f12: aggregate function match (per text mention × Agg, precomputed).
+	dst[F12AggMatch] = e.aggMatchOf[xi][tm.Agg]
 
-	return vec
+	return dst
 }
 
 // TextMentionAggs exposes the aggregations cued near text mention xi (reused

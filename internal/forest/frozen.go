@@ -1,0 +1,302 @@
+package forest
+
+// Frozen flat-array inference engine. Training builds pointer-ish trees (one
+// node slice per tree, 40-byte nodes); prediction over the mention×candidate
+// pair space of a document walks every tree for every pair, so inference —
+// not training — is the hot path. Frozen() compiles a trained Forest into a
+// flat layout: all trees' nodes concatenated into one contiguous array of
+// 24-byte packed nodes (split feature, threshold, absolute child offsets,
+// leaf class), walked without per-tree indirection and with one cache line
+// touched per node visit. The compilation is exact: a Frozen engine
+// reproduces Forest.PredictProba bit for bit — same vote accumulation order,
+// same division — and the equivalence suite in frozen_test.go holds the two
+// implementations together.
+
+// frozenNode is one compiled node, packed to 24 bytes so that a node visit
+// touches a single cache line (the training-time node is 40 bytes across a
+// pointer-ish tree). feat < 0 marks a leaf; left/right are absolute offsets
+// into the shared node array, valid only on split nodes.
+type frozenNode struct {
+	thresh float64
+	left   int32
+	right  int32
+	feat   int32
+	class  int32 // majority class, read at leaves
+}
+
+// Frozen is an immutable flat-array compilation of a trained Forest. It is
+// safe for concurrent use: prediction only reads the arrays, and all scratch
+// is caller-provided or per-call.
+type Frozen struct {
+	classes   int
+	nFeatures int
+	nTrees    int
+	roots     []int32 // absolute root node index per tree
+	nodes     []frozenNode
+}
+
+// Frozen compiles the forest into its flat-array inference form. The result
+// shares nothing with the Forest: mutating or retraining the source later
+// does not affect a compiled engine.
+//
+// Compilation folds every subtree whose leaves all predict the same class
+// into a single leaf. A tree's vote is the class of the leaf x lands in, so
+// a subtree with a uniform leaf class votes that class for every x that
+// reaches it — replacing it with one leaf changes no prediction, it only
+// shortens the walk. Nodes are re-emitted in depth-first order per tree, so
+// hot paths stay contiguous.
+func (f *Forest) Frozen() *Frozen {
+	total := 0
+	for _, t := range f.trees {
+		total += len(t.nodes)
+	}
+	z := &Frozen{
+		classes:   f.classes,
+		nFeatures: f.nFeatures,
+		nTrees:    len(f.trees),
+		roots:     make([]int32, len(f.trees)),
+		nodes:     make([]frozenNode, 0, total),
+	}
+	for ti, t := range f.trees {
+		// foldClass[i] is the uniform leaf class of node i's subtree, or -1
+		// when its leaves disagree.
+		foldClass := make([]int32, len(t.nodes))
+		var fc func(i int) int32
+		fc = func(i int) int32 {
+			n := &t.nodes[i]
+			if n.feature < 0 {
+				foldClass[i] = int32(n.class)
+				return foldClass[i]
+			}
+			l, r := fc(n.left), fc(n.right)
+			if l >= 0 && l == r {
+				foldClass[i] = l
+			} else {
+				foldClass[i] = -1
+			}
+			return foldClass[i]
+		}
+		fc(0)
+		var emit func(i int) int32
+		emit = func(i int) int32 {
+			idx := int32(len(z.nodes))
+			if c := foldClass[i]; c >= 0 {
+				z.nodes = append(z.nodes, frozenNode{feat: -1, class: c})
+				return idx
+			}
+			n := &t.nodes[i]
+			z.nodes = append(z.nodes, frozenNode{
+				thresh: n.threshold,
+				feat:   int32(n.feature),
+				class:  int32(n.class),
+			})
+			l := emit(n.left)
+			r := emit(n.right)
+			z.nodes[idx].left = l
+			z.nodes[idx].right = r
+			return idx
+		}
+		z.roots[ti] = emit(0)
+	}
+	return z
+}
+
+// Classes returns the number of classes the source forest was trained on.
+func (z *Frozen) Classes() int { return z.classes }
+
+// NumFeatures returns the expected feature-vector length.
+func (z *Frozen) NumFeatures() int { return z.nFeatures }
+
+// Trees returns the number of compiled trees.
+func (z *Frozen) Trees() int { return z.nTrees }
+
+// vote walks every tree for x and increments the winning class's slot in
+// votes — the same accumulation order as Forest.PredictProba, which the
+// bit-identity contract depends on.
+func (z *Frozen) vote(x []float64, votes []float64) {
+	nodes := z.nodes
+	for _, root := range z.roots {
+		i := root
+		for {
+			n := &nodes[i]
+			if n.feat < 0 {
+				votes[n.class]++
+				break
+			}
+			if x[n.feat] <= n.thresh {
+				i = n.left
+			} else {
+				i = n.right
+			}
+		}
+	}
+}
+
+// PredictProba returns the per-class probability estimates for x, writing
+// into out when it has sufficient capacity (allocating otherwise) and
+// returning the slice used. The result is bit-identical to
+// Forest.PredictProba on the source forest.
+func (z *Frozen) PredictProba(x []float64, out []float64) []float64 {
+	if cap(out) < z.classes {
+		out = make([]float64, z.classes)
+	} else {
+		out = out[:z.classes]
+		for i := range out {
+			out[i] = 0
+		}
+	}
+	z.vote(x, out)
+	n := float64(z.nTrees)
+	for i := range out {
+		out[i] /= n
+	}
+	return out
+}
+
+// PositiveProba is shorthand for binary classifiers: the probability of
+// class 1, bit-identical to Forest.PositiveProba.
+func (z *Frozen) PositiveProba(x []float64) float64 {
+	votes := make([]float64, z.classes)
+	z.vote(x, votes)
+	return votes[1%z.classes] / float64(z.nTrees)
+}
+
+// batchBlock is the number of rows walked together through each tree. The
+// compiled forest (80 trees × depth 12 at the default config) is far larger
+// than L1/L2, so a row-at-a-time batch re-streams every tree from memory for
+// every row. Walking a block of rows through one tree before moving to the
+// next keeps the tree's hot nodes cached across the block and gives the CPU
+// independent root-to-leaf chains to overlap. Vote totals per row are
+// unchanged — each row still collects exactly one vote per tree, and the
+// integer-valued float increments commute exactly — so blocking preserves
+// the bit-identity contract.
+const batchBlock = 32
+
+// voteBlock walks every tree for the b rows starting at xs row r0 and
+// accumulates votes into vb, which holds b rows of z.classes counters.
+func (z *Frozen) voteBlock(xs []float64, r0, b int, vb []float64) {
+	nodes := z.nodes
+	nf := z.nFeatures
+	cls := z.classes
+	for r := 0; r < b; r++ {
+		x := xs[(r0+r)*nf : (r0+r+1)*nf]
+		for _, root := range z.roots {
+			i := root
+			for {
+				n := &nodes[i]
+				if n.feat < 0 {
+					vb[r*cls+int(n.class)]++
+					break
+				}
+				if x[n.feat] <= n.thresh {
+					i = n.left
+				} else {
+					i = n.right
+				}
+			}
+		}
+	}
+}
+
+// PredictProbaBatch evaluates n feature vectors laid out row-major in xs
+// (len ≥ n*NumFeatures) and writes n rows of class probabilities row-major
+// into out (len ≥ n*Classes), reusing out's backing array when capacity
+// allows. Each row is bit-identical to Forest.PredictProba on that vector.
+// It returns the out slice used.
+func (z *Frozen) PredictProbaBatch(xs []float64, n int, out []float64) []float64 {
+	need := n * z.classes
+	if cap(out) < need {
+		out = make([]float64, need)
+	} else {
+		out = out[:need]
+	}
+	// out doubles as the vote accumulator: zero it, walk blocks of rows
+	// through each tree, then divide in place.
+	for i := range out {
+		out[i] = 0
+	}
+	div := float64(z.nTrees)
+	for r0 := 0; r0 < n; r0 += batchBlock {
+		b := n - r0
+		if b > batchBlock {
+			b = batchBlock
+		}
+		z.voteBlock(xs, r0, b, out[r0*z.classes:(r0+b)*z.classes])
+	}
+	for i := range out {
+		out[i] /= div
+	}
+	return out
+}
+
+// BatchScratchLen returns the minimum length of the votes scratch buffer for
+// PositiveProbaBatch, letting callers pre-size a reusable slice.
+func (z *Frozen) BatchScratchLen() int { return batchBlock * z.classes }
+
+// PositiveProbaBatch evaluates n feature vectors laid out row-major in xs
+// (len ≥ n*NumFeatures) and writes the class-1 probability of each into out
+// (len ≥ n), reusing out's backing array when capacity allows. votes is the
+// single scratch buffer of the batch — one block of per-class counters
+// (BatchScratchLen long) reused across all row blocks, allocated when too
+// small. Each score is bit-identical to Forest.PositiveProba on that vector.
+// It returns the out slice used.
+func (z *Frozen) PositiveProbaBatch(xs []float64, n int, out, votes []float64) []float64 {
+	if cap(out) < n {
+		out = make([]float64, n)
+	} else {
+		out = out[:n]
+	}
+	need := batchBlock * z.classes
+	if cap(votes) < need {
+		votes = make([]float64, need)
+	} else {
+		votes = votes[:need]
+	}
+	div := float64(z.nTrees)
+	if z.classes == 2 {
+		// Binary fast path: the class-1 vote count is the only number the
+		// caller needs, and leaf classes are 0 or 1, so one integer counter
+		// per row replaces the per-class accumulator. float64(count)/trees is
+		// bit-identical to the generic path's votes[1]/trees — both divide
+		// the same integer-valued numerator.
+		nodes := z.nodes
+		nf := z.nFeatures
+		for r := 0; r < n; r++ {
+			x := xs[r*nf : (r+1)*nf]
+			cnt := int32(0)
+			for _, root := range z.roots {
+				i := root
+				for {
+					nd := &nodes[i]
+					if nd.feat < 0 {
+						cnt += nd.class
+						break
+					}
+					if x[nd.feat] <= nd.thresh {
+						i = nd.left
+					} else {
+						i = nd.right
+					}
+				}
+			}
+			out[r] = float64(cnt) / div
+		}
+		return out
+	}
+	pos := 1 % z.classes
+	for r0 := 0; r0 < n; r0 += batchBlock {
+		b := n - r0
+		if b > batchBlock {
+			b = batchBlock
+		}
+		vb := votes[:b*z.classes]
+		for i := range vb {
+			vb[i] = 0
+		}
+		z.voteBlock(xs, r0, b, vb)
+		for r := 0; r < b; r++ {
+			out[r0+r] = vb[r*z.classes+pos] / div
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package forest
+
+// Equivalence suite for the frozen flat-array engine: on randomized seeded
+// forests and feature vectors (property-style, deterministic seeds), every
+// Frozen prediction must be bit-identical to the pointer-tree walker it
+// compiles — float64 == on every probability, not approximate equality. The
+// pointer walker stays in the tree as the executable reference; this suite
+// is the contract that lets the hot path use the flat engine.
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomForest trains a forest of seed-dependent shape on seed-dependent
+// samples, returning the forest and a batch of probe vectors (including
+// out-of-distribution values, ±Inf and NaN — prediction must stay
+// deterministic and identical on both engines even for garbage input).
+func randomForest(t *testing.T, seed int64) (*Forest, [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	classes := 2 + rng.Intn(3)
+	nFeatures := 3 + rng.Intn(10)
+	nSamples := 40 + rng.Intn(120)
+	samples := make([]Sample, nSamples)
+	for i := range samples {
+		fs := make([]float64, nFeatures)
+		for j := range fs {
+			fs[j] = rng.NormFloat64() * float64(1+j%3)
+		}
+		label := 0
+		if fs[0]+fs[1] > 0 {
+			label = 1 + rng.Intn(classes-1)
+		}
+		samples[i] = Sample{Features: fs, Label: label}
+	}
+	f, err := Train(samples, classes, Config{
+		Trees:    5 + rng.Intn(25),
+		MaxDepth: 3 + rng.Intn(6),
+		MinLeaf:  1 + rng.Intn(3),
+		Seed:     seed,
+	})
+	if err != nil {
+		t.Fatalf("seed %d: train: %v", seed, err)
+	}
+
+	probes := make([][]float64, 0, 40)
+	for i := 0; i < 32; i++ {
+		x := make([]float64, nFeatures)
+		for j := range x {
+			x[j] = rng.NormFloat64() * 10
+		}
+		probes = append(probes, x)
+	}
+	for _, v := range []float64{0, -1e300, 1e300, math.Inf(1), math.Inf(-1), math.NaN()} {
+		x := make([]float64, nFeatures)
+		for j := range x {
+			x[j] = v
+		}
+		probes = append(probes, x)
+	}
+	return f, probes
+}
+
+// TestFrozenBitIdenticalToReference: PredictProba and PositiveProba through
+// the frozen engine equal the pointer-tree walker exactly, across randomized
+// forests and probe vectors.
+func TestFrozenBitIdenticalToReference(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		f, probes := randomForest(t, seed)
+		z := f.Frozen()
+		if z.Classes() != f.Classes() || z.NumFeatures() != f.NumFeatures() || z.Trees() != len(f.trees) {
+			t.Fatalf("seed %d: frozen shape (%d,%d,%d) != forest (%d,%d,%d)", seed,
+				z.Classes(), z.NumFeatures(), z.Trees(), f.Classes(), f.NumFeatures(), len(f.trees))
+		}
+		var scratch []float64
+		for pi, x := range probes {
+			want := f.PredictProba(x)
+			got := z.PredictProba(x, scratch)
+			scratch = got // reuse across probes: stale contents must not leak
+			for c := range want {
+				if !bitEqual(got[c], want[c]) {
+					t.Fatalf("seed %d probe %d class %d: frozen %v (bits %x), reference %v (bits %x)",
+						seed, pi, c, got[c], math.Float64bits(got[c]), want[c], math.Float64bits(want[c]))
+				}
+			}
+			if got, want := z.PositiveProba(x), f.PositiveProba(x); !bitEqual(got, want) {
+				t.Fatalf("seed %d probe %d: frozen PositiveProba %v, reference %v", seed, pi, got, want)
+			}
+		}
+	}
+}
+
+// TestFrozenBatchMatchesSingle: the batch entry points over a row-major
+// matrix agree exactly with per-vector calls, with scratch reused across
+// calls and rows.
+func TestFrozenBatchMatchesSingle(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		f, probes := randomForest(t, seed)
+		z := f.Frozen()
+		nf := z.NumFeatures()
+		xs := make([]float64, 0, len(probes)*nf)
+		for _, x := range probes {
+			xs = append(xs, x...)
+		}
+
+		var probaOut, posOut, votes []float64
+		// Two passes through the same scratch: the second must not see the
+		// first pass's values (the stale-scratch hazard of buffer reuse).
+		for pass := 0; pass < 2; pass++ {
+			probaOut = z.PredictProbaBatch(xs, len(probes), probaOut)
+			posOut = z.PositiveProbaBatch(xs, len(probes), posOut, votes)
+			for r, x := range probes {
+				want := f.PredictProba(x)
+				row := probaOut[r*z.Classes() : (r+1)*z.Classes()]
+				for c := range want {
+					if !bitEqual(row[c], want[c]) {
+						t.Fatalf("seed %d pass %d row %d class %d: batch %v, reference %v",
+							seed, pass, r, c, row[c], want[c])
+					}
+				}
+				if want := f.PositiveProba(x); !bitEqual(posOut[r], want) {
+					t.Fatalf("seed %d pass %d row %d: batch positive %v, reference %v",
+						seed, pass, r, posOut[r], want)
+				}
+			}
+		}
+	}
+}
+
+// TestFrozenSurvivesSerializationRoundTrip: Frozen ↔ serialized ↔ reference —
+// a forest saved, reloaded and frozen predicts bit-identically to the
+// original pointer-tree forest.
+func TestFrozenSurvivesSerializationRoundTrip(t *testing.T) {
+	f, probes := randomForest(t, 99)
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := loaded.Frozen()
+	for pi, x := range probes {
+		want := f.PredictProba(x)
+		got := z.PredictProba(x, nil)
+		for c := range want {
+			if !bitEqual(got[c], want[c]) {
+				t.Fatalf("probe %d class %d: reloaded frozen %v, original reference %v", pi, c, got[c], want[c])
+			}
+		}
+	}
+}
+
+// TestFrozenIndependentOfSource: compiling shares nothing — retraining-style
+// mutation of the source trees after Frozen() must not change the engine.
+func TestFrozenIndependentOfSource(t *testing.T) {
+	f, probes := randomForest(t, 7)
+	z := f.Frozen()
+	want := make([][]float64, len(probes))
+	for i, x := range probes {
+		want[i] = append([]float64(nil), z.PredictProba(x, nil)...)
+	}
+	for _, tr := range f.trees {
+		for i := range tr.nodes {
+			tr.nodes[i].threshold = math.Inf(-1)
+			tr.nodes[i].class = 0
+		}
+	}
+	for i, x := range probes {
+		got := z.PredictProba(x, nil)
+		for c := range want[i] {
+			if !bitEqual(got[c], want[i][c]) {
+				t.Fatalf("probe %d class %d changed after source mutation: %v != %v", i, c, got[c], want[i][c])
+			}
+		}
+	}
+}
+
+// bitEqual compares float64s by bit pattern, so NaN == NaN and -0 != +0 —
+// the strictest form of "exactly equal".
+func bitEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}

@@ -63,6 +63,14 @@ func Load(r io.Reader) (*Forest, error) {
 		return nil, fmt.Errorf("forest: load: malformed model (classes=%d features=%d trees=%d)",
 			in.Classes, in.NFeatures, len(in.Trees))
 	}
+	// Plausibility caps: class and feature counts size prediction scratch
+	// (vote slices, probe vectors), so an implausibly huge header is rejected
+	// as malformed instead of driving giant allocations downstream.
+	const maxDimension = 1 << 20
+	if in.Classes > maxDimension || in.NFeatures > maxDimension {
+		return nil, fmt.Errorf("forest: load: implausible model (classes=%d features=%d)",
+			in.Classes, in.NFeatures)
+	}
 	f := &Forest{classes: in.Classes, nFeatures: in.NFeatures}
 	for ti, nodes := range in.Trees {
 		if len(nodes) == 0 {
@@ -78,7 +86,11 @@ func Load(r io.Reader) (*Forest, error) {
 				return nil, fmt.Errorf("forest: load: tree %d node %d class %d out of range", ti, ni, n.Class)
 			}
 			if n.Feature >= 0 {
-				if n.Left <= 0 || n.Left >= len(nodes) || n.Right <= 0 || n.Right >= len(nodes) {
+				// Children must point strictly forward — the builder appends a
+				// node before growing its subtrees, so every valid save obeys
+				// this. It also guarantees the prediction walk terminates: a
+				// backward edge could encode a cycle that would hang predict.
+				if n.Left <= ni || n.Left >= len(nodes) || n.Right <= ni || n.Right >= len(nodes) {
 					return nil, fmt.Errorf("forest: load: tree %d node %d has invalid children", ti, ni)
 				}
 			}

@@ -13,6 +13,7 @@ package nlp
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Token is a single token of input text with its span in the original string.
@@ -90,6 +91,12 @@ func Tokenize(s string) []Token {
 			i += size
 		case unicode.IsDigit(r):
 			j := scanNumber(s, i)
+			if j == i {
+				// Non-ASCII digits (NKO, Devanagari, …) pass IsDigit but are
+				// not part of the ASCII literals scanNumber consumes; take the
+				// single rune so the scan always advances.
+				j = i + size
+			}
 			tokens = appendToken(tokens, s, i, j)
 			i = j
 		case unicode.IsLetter(r):
@@ -151,29 +158,15 @@ func appendToken(tokens []Token, s string, start, end int) []Token {
 	return append(tokens, Token{Text: s[start:end], Start: start, End: end, Index: len(tokens)})
 }
 
-// decodeRune is a minimal UTF-8 decoder front-end; ASCII fast path.
+// decodeRune is a minimal UTF-8 decoder front-end; ASCII fast path. It
+// reports the width actually consumed, which for invalid UTF-8 is the 1-byte
+// replacement step — computing the width from the decoded rune instead would
+// claim 3 bytes for U+FFFD and walk past the end of the string.
 func decodeRune(s string) (rune, int) {
 	if len(s) > 0 && s[0] < 0x80 {
 		return rune(s[0]), 1
 	}
-	for i, r := range s {
-		_ = i
-		return r, runeLen(r)
-	}
-	return 0, 1
-}
-
-func runeLen(r rune) int {
-	switch {
-	case r < 0x80:
-		return 1
-	case r < 0x800:
-		return 2
-	case r < 0x10000:
-		return 3
-	default:
-		return 4
-	}
+	return utf8.DecodeRuneInString(s)
 }
 
 // Words returns the lowercase word tokens of s, excluding punctuation.

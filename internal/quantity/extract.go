@@ -1,6 +1,7 @@
 package quantity
 
 import (
+	"math"
 	"strings"
 
 	"briq/internal/nlp"
@@ -97,6 +98,11 @@ func ExtractText(text string) []Mention {
 			m.Surface = text[m.Start:m.End]
 		}
 
+		if math.IsInf(m.Value, 0) {
+			// A scale word can overflow an already-huge literal; drop the
+			// mention rather than emit a non-finite value.
+			continue
+		}
 		m.Approx = approxBefore(toks, firstTokenAt(toks, m.Start, i))
 		m.Scale = OrderOfMagnitude(m.Value)
 		mentions = append(mentions, m)

@@ -1,0 +1,87 @@
+package quantity
+
+// Fuzz harnesses for quantity parsing, the input boundary of the
+// pre-classifier gate: table cells go through ParseCell and paragraph text
+// through ExtractText before unit/scale compatibility is consulted. The
+// contract under arbitrary input: never panic, and never emit a mention with
+// a non-finite Value/RawValue — strconv.ParseFloat accepts "NaN"/"Inf"
+// spellings and scale suffixes can overflow, both of which would poison
+// feature arithmetic and JSON encoding downstream. Seed corpora are
+// committed under testdata/fuzz.
+
+import (
+	"math"
+	"testing"
+)
+
+func checkMention(t *testing.T, input string, m Mention) {
+	t.Helper()
+	if math.IsNaN(m.Value) || math.IsInf(m.Value, 0) {
+		t.Fatalf("input %q: non-finite Value %v", input, m.Value)
+	}
+	if math.IsNaN(m.RawValue) || math.IsInf(m.RawValue, 0) {
+		t.Fatalf("input %q: non-finite RawValue %v", input, m.RawValue)
+	}
+	if m.Precision < 0 {
+		t.Fatalf("input %q: negative precision %d", input, m.Precision)
+	}
+	if m.Scale != OrderOfMagnitude(m.Value) {
+		t.Fatalf("input %q: scale %d inconsistent with value %v", input, m.Scale, m.Value)
+	}
+}
+
+func FuzzParseCell(f *testing.F) {
+	for _, seed := range []string{
+		"$3.26 billion CDN",
+		"(9.49)",
+		"$(1,204.5) Million",
+		"12,345.67",
+		"37K",
+		"1.5%",
+		"60 bps",
+		"--",
+		"n/a",
+		"1.2.3",
+		"NaN",
+		"Inf",
+		"-Infinity",
+		"FY2013",
+		"€500",
+		"9999999999999999999999999999999B",
+		"   42\t kg ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, cell string) {
+		m, ok := ParseCell(cell)
+		if !ok {
+			return
+		}
+		checkMention(t, cell, m)
+		if m.Surface == "" {
+			t.Fatalf("input %q: accepted mention with empty surface", cell)
+		}
+	})
+}
+
+func FuzzExtractText(f *testing.F) {
+	for _, seed := range []string{
+		"Revenue grew to $3.26 billion in 2013, up 12.5% year over year.",
+		"Between 3 and 5 km, roughly ± 1.",
+		"Call 555-123-4567 before 14:30; see Section 1.1 and [2].",
+		"About NaN dollars and Inf percent.",
+		"In July 2014 the company shipped 37K units at €12.50 each.",
+		"9999999999999999999999999999999 trillion trillion",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		for _, m := range ExtractText(text) {
+			checkMention(t, text, m)
+			if m.Start < 0 || m.End > len(text) || m.Start >= m.End {
+				t.Fatalf("input %q: mention span [%d,%d) out of bounds", text, m.Start, m.End)
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package quantity
 
 import (
+	"math"
 	"strconv"
 	"strings"
 )
@@ -56,6 +57,12 @@ func parseNumberLiteral(s string) (parsedNumber, bool) {
 	if err != nil {
 		return p, false
 	}
+	// ParseFloat accepts the spellings "NaN"/"Inf"/"Infinity"; those are not
+	// quantities, and a non-finite Value would poison downstream arithmetic
+	// (relative differences, feature vectors) and JSON encoding of alignments.
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return p, false
+	}
 	if i := strings.IndexByte(clean, '.'); i >= 0 {
 		p.precision = len(clean) - i - 1
 	}
@@ -64,6 +71,11 @@ func parseNumberLiteral(s string) (parsedNumber, bool) {
 	}
 	p.raw = v
 	p.value = v * mult
+	if math.IsInf(p.value, 0) {
+		// A huge literal times a K/M/B suffix can overflow even though the
+		// literal itself parsed as finite.
+		return parsedNumber{}, false
+	}
 	return p, true
 }
 
@@ -137,6 +149,10 @@ func ParseCell(s string) (Mention, bool) {
 	}
 	if negative {
 		m.Value, m.RawValue = -m.Value, -m.RawValue
+	}
+	if math.IsInf(m.Value, 0) {
+		// A scale word can overflow an already-huge literal.
+		return Mention{}, false
 	}
 	m.Scale = OrderOfMagnitude(m.Value)
 	m.End = len(trimmed)
