@@ -1,15 +1,16 @@
 GO ?= go
 
-.PHONY: all check build vet test race bench bench-compare bench-tables experiments fmt fmt-check fuzz-smoke cover-check
+.PHONY: all check build vet test race bench bench-compare bench-tables bench-serve loadgen-smoke experiments fmt fmt-check fuzz-smoke cover-check
 
 all: check
 
 # Default verify entry point: formatting, vet, build, the full suite under
-# the race detector, a short fuzz pass over the committed corpora, and the
-# coverage gate on the classification-engine packages. The runtime pool,
-# serving layer, server handlers and AlignAll fan-out are concurrency-bearing,
-# so a non-race test run is not a complete check.
-check: fmt-check vet build race fuzz-smoke cover-check
+# the race detector, a short fuzz pass over the committed corpora, the
+# coverage gate on the classification-engine packages, and a ~2s end-to-end
+# load-harness smoke (real binaries: corpusgen → briq-server → briq-loadgen).
+# The runtime pool, serving layer, server handlers and AlignAll fan-out are
+# concurrency-bearing, so a non-race test run is not a complete check.
+check: fmt-check vet build race fuzz-smoke cover-check loadgen-smoke
 
 build:
 	$(GO) build ./...
@@ -48,6 +49,41 @@ bench-tables:
 
 experiments:
 	$(GO) run ./cmd/briq-experiments -table all
+
+# End-to-end smoke of the load harness with the real binaries: generate a
+# tiny corpus, start an (untrained, fast-boot) briq-server with the cache
+# and admission gate on, drive it open-loop for ~2 seconds, and fail if no
+# request succeeds. This is the cheap guard that the corpus → server →
+# loadgen contract (manifest format, envelope codes, /metrics scrape) still
+# holds end to end; the serving baseline itself comes from bench-serve.
+loadgen-smoke:
+	@set -e; tmp=$$(mktemp -d); spid=""; \
+	trap 'test -n "$$spid" && kill $$spid 2>/dev/null; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/ ./cmd/corpusgen ./cmd/briq-server ./cmd/briq-loadgen; \
+	$$tmp/corpusgen -out $$tmp/corpus -pages 8 -seed 42 >/dev/null; \
+	$$tmp/briq-server -addr 127.0.0.1:18573 -cache-bytes 8388608 -max-inflight 8 -quiet & spid=$$!; \
+	$$tmp/briq-loadgen -target http://127.0.0.1:18573 -corpus $$tmp/corpus \
+		-qps 100 -duration 2s -seed 7 -wait 15s; \
+	kill $$spid; spid=""
+
+# Serving baseline: a size-targeted corpus, a trained briq-server with the
+# production serving configuration, and an open-loop run that writes the
+# committed BENCH_serve.json (schema-tested in internal/loadgen). The
+# ROADMAP's scaling items (gateway sharding, streaming ingest) regress
+# against this file; regenerate it on the same class of machine you compare
+# against. Tune the offered rate with BENCH_SERVE_QPS / BENCH_SERVE_DURATION.
+BENCH_SERVE_QPS ?= 40
+BENCH_SERVE_DURATION ?= 20s
+bench-serve:
+	@set -e; tmp=$$(mktemp -d); spid=""; \
+	trap 'test -n "$$spid" && kill $$spid 2>/dev/null; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/ ./cmd/corpusgen ./cmd/briq-server ./cmd/briq-loadgen; \
+	$$tmp/corpusgen -out $$tmp/corpus -tot-size 4MB -seed 42; \
+	$$tmp/briq-server -addr 127.0.0.1:18574 -trained -cache-bytes 67108864 -max-inflight 32 -quiet & spid=$$!; \
+	$$tmp/briq-loadgen -target http://127.0.0.1:18574 -corpus $$tmp/corpus \
+		-qps $(BENCH_SERVE_QPS) -duration $(BENCH_SERVE_DURATION) -warmup 3s -seed 1 \
+		-wait 60s -out BENCH_serve.json; \
+	kill $$spid; spid=""
 
 # Short fuzz pass over every committed fuzz target and its seed corpus. Each
 # target gets a few seconds of mutation on top of replaying the corpus — long

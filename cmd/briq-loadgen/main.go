@@ -1,0 +1,137 @@
+// Command briq-loadgen drives a live briq-server with open-loop load and
+// reports what a user at the configured arrival rate would experience.
+//
+// Usage:
+//
+//	briq-loadgen -target http://127.0.0.1:8080 -corpus DIR
+//	             [-qps 50] [-duration 10s] [-warmup 0s] [-seed 1]
+//	             [-zipf 1.2] [-mix align=0.7,batch=0.15,summarize=0.15]
+//	             [-batch-pages 8] [-timeout 30s] [-wait 0s]
+//	             [-out BENCH_serve.json]
+//
+// -corpus points at a corpusgen-produced directory (see corpusgen -tot-size);
+// pages are posted with Zipf-distributed popularity, rank 0 = the first
+// manifest entry. Arrivals follow a seeded Poisson schedule at -qps computed
+// before the first request is sent: the generator never slows down because
+// the server did, and each latency is measured from the request's scheduled
+// arrival time, so queueing delay the server caused is charged to the
+// server (no coordinated omission — see internal/loadgen's package docs).
+//
+// -warmup sends unmeasured traffic first (cache fill); -wait polls /healthz
+// until the server is up, for scripted runs that start the server and the
+// generator together. The process exits nonzero if the run completes with
+// zero successful responses, so smoke scripts fail loudly.
+//
+// The report — p50/p95/p99 latency per endpoint, achieved vs offered QPS,
+// 429/504 shed rates, and the server's cache hit rate over the measured
+// window (scraped from /metrics) — prints as a summary and, with -out, is
+// written as the committed BENCH_serve.json (schema-tested in
+// internal/loadgen).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"briq/internal/loadgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("briq-loadgen: ")
+
+	target := flag.String("target", "http://127.0.0.1:8080", "briq-server base URL")
+	corpusDir := flag.String("corpus", "", "corpusgen output directory (required)")
+	qps := flag.Float64("qps", 50, "offered arrival rate, requests/second")
+	duration := flag.Duration("duration", 10*time.Second, "measured run length")
+	warmup := flag.Duration("warmup", 0, "unmeasured lead-in at the same rate (cache fill)")
+	seed := flag.Int64("seed", 1, "schedule seed (same seed = same schedule)")
+	zipfS := flag.Float64("zipf", 1.2, "Zipf popularity exponent (> 1; higher = hotter head)")
+	mixFlag := flag.String("mix", "", "endpoint weights, e.g. align=0.7,batch=0.15,summarize=0.15")
+	batchPages := flag.Int("batch-pages", 8, "pages per /align/batch request")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+	wait := flag.Duration("wait", 0, "poll /healthz this long for the server to come up")
+	out := flag.String("out", "", "write the JSON report here (e.g. BENCH_serve.json)")
+	flag.Parse()
+
+	if *corpusDir == "" {
+		log.Fatal("-corpus is required")
+	}
+	mix := loadgen.Mix{}
+	if *mixFlag != "" {
+		var err error
+		mix, err = loadgen.ParseMix(*mixFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	pages, err := loadgen.LoadCorpusDir(*corpusDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %d pages from %s", len(pages), *corpusDir)
+
+	if *wait > 0 {
+		if err := waitHealthy(*target, *wait); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := loadgen.Config{
+		BaseURL:    *target,
+		QPS:        *qps,
+		Duration:   *duration,
+		Warmup:     *warmup,
+		Seed:       *seed,
+		ZipfS:      *zipfS,
+		Mix:        mix,
+		BatchPages: *batchPages,
+		Timeout:    *timeout,
+	}
+	log.Printf("driving %s at %.1f qps for %v (warmup %v, seed %d)", *target, *qps, *duration, *warmup, *seed)
+	report, err := loadgen.Run(ctx, cfg, pages)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(report)
+	if *out != "" {
+		if err := report.WriteFile(*out); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+	if report.Requests.OK == 0 {
+		log.Fatal("no successful responses — is the server trained and reachable?")
+	}
+}
+
+// waitHealthy polls GET /healthz until it answers 200 or the window closes.
+func waitHealthy(target string, window time.Duration) error {
+	client := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(window)
+	for {
+		resp, err := client.Get(target + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy after %v: %v", target, window, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

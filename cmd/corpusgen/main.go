@@ -1,19 +1,28 @@
 // Command corpusgen generates a synthetic web-table corpus (the substrate
-// standing in for the Dresden Web Table Corpus) and writes it to disk: one
-// HTML file per page plus a gold.json with the ground-truth alignments.
+// standing in for the Dresden Web Table Corpus) and streams it to disk: one
+// HTML file per page, an NDJSON manifest (one line per page: id, domain,
+// payload size, document and gold counts), and a gold.json with the
+// ground-truth alignments.
 //
 // Usage:
 //
 //	corpusgen -out DIR [-pages N] [-seed N] [-profile tableS|tableL]
+//	corpusgen -out DIR -tot-size 256MB [-seed N] [-profile tableS|tableL]
+//
+// With -tot-size, pages stream until the cumulative bytes written reach the
+// target (within one page, so ±5% for targets beyond ~100 KB) instead of
+// stopping at a page count — the corpus-to-rally workflow of load testing:
+// generate a corpus of approximately the size you want to serve, then drive
+// briq-server over it with cmd/briq-loadgen. Output is streaming in both
+// modes: nothing is buffered beyond the current page, so -tot-size 10GB
+// needs no more memory than -pages 10. Same seed + same target ⇒
+// byte-identical output.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
-	"os"
-	"path/filepath"
 
 	"briq/internal/corpus"
 )
@@ -23,13 +32,23 @@ func main() {
 	log.SetPrefix("corpusgen: ")
 
 	out := flag.String("out", "", "output directory (required)")
-	pages := flag.Int("pages", 100, "number of pages")
+	pages := flag.Int("pages", 100, "number of pages (ignored with -tot-size)")
 	seed := flag.Int64("seed", 42, "generator seed")
 	profile := flag.String("profile", "tableS", "corpus profile: tableS or tableL")
+	totSize := flag.String("tot-size", "", "approximate total corpus size (e.g. 256KB, 100MB, 1GB); overrides -pages")
 	flag.Parse()
 
 	if *out == "" {
 		log.Fatal("-out is required")
+	}
+
+	var sizeTarget int64
+	if *totSize != "" {
+		var err error
+		sizeTarget, err = corpus.ParseSize(*totSize)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	var cfg corpus.Config
@@ -43,32 +62,9 @@ func main() {
 		log.Fatalf("unknown profile %q", *profile)
 	}
 
-	c := corpus.Generate(cfg)
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		log.Fatal(err)
-	}
-
-	for _, pg := range c.Pages {
-		path := filepath.Join(*out, pg.ID+".html")
-		if err := os.WriteFile(path, []byte(pg.HTML()), 0o644); err != nil {
-			log.Fatal(err)
-		}
-	}
-
-	goldPath := filepath.Join(*out, "gold.json")
-	f, err := os.Create(goldPath)
+	stats, err := corpus.WriteDir(*out, cfg, sizeTarget)
 	if err != nil {
 		log.Fatal(err)
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(c.Gold); err != nil {
-		log.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Printf("wrote %d pages (%d documents, %d gold alignments) to %s\n",
-		len(c.Pages), len(c.Docs), len(c.Gold), *out)
+	fmt.Printf("wrote %s to %s\n", stats, *out)
 }

@@ -16,6 +16,22 @@
 //     tiny, sports tables are wide and virtual-cell heavy).
 //
 // Every random choice flows from the seed, so corpora are reproducible.
+//
+// # Streaming and size-targeted generation
+//
+// Generate materializes a whole corpus in memory, which is fine for tests
+// and experiments but not for building load-test corpora of hundreds of
+// megabytes. Stream produces the same pages one at a time — page i depends
+// only on the seed and pages 0..i-1, so the stream is a prefix of what
+// Generate would have produced with the same Config — and WriteDir drains a
+// stream straight to disk (one HTML file per page, an NDJSON manifest, an
+// incrementally written gold file) without ever holding more than one page.
+// WriteDir's sizeTarget stops the stream once the cumulative HTML payload
+// reaches a byte budget instead of a page count; ParseSize accepts the
+// human forms ("256MB", "1GiB") the corpusgen -tot-size flag takes. Because
+// the stream is prefix-stable, two runs with the same seed and target are
+// byte-identical — a corpus is reproducible from its (seed, size) pair
+// alone.
 package corpus
 
 import (

@@ -17,21 +17,29 @@ import (
 // standard line up with what the system sees.
 func Generate(cfg Config) *Corpus {
 	cfg = cfg.withDefaults()
-	g := &generator{
-		cfg: cfg,
-		rng: rand.New(rand.NewSource(cfg.Seed)),
-		seg: document.NewSegmenter(),
-	}
-	g.seg.VirtualOpts = cfg.VirtualOpts
-
+	s := NewStream(cfg)
 	c := &Corpus{
 		goldByDoc:   make(map[string][]Gold),
 		domainByDoc: make(map[string]Domain),
 	}
 	for i := 0; i < cfg.Pages; i++ {
-		g.buildPage(c, i)
+		c.add(s.Next())
 	}
 	return c
+}
+
+// add folds one streamed page unit into the corpus, preserving the append
+// order Generate has always produced.
+func (c *Corpus) add(u *PageUnit) {
+	c.Pages = append(c.Pages, u.Page)
+	for _, doc := range u.Docs {
+		c.Docs = append(c.Docs, doc)
+		c.domainByDoc[doc.ID] = u.Page.Domain
+	}
+	for _, gold := range u.Gold {
+		c.Gold = append(c.Gold, gold)
+		c.goldByDoc[gold.DocID] = append(c.goldByDoc[gold.DocID], gold)
+	}
 }
 
 type generator struct {
@@ -47,7 +55,7 @@ type goldSpan struct {
 	agg      quantity.Agg
 }
 
-func (g *generator) buildPage(c *Corpus, idx int) {
+func (g *generator) buildPage(idx int) *PageUnit {
 	domain := pickDomain(g.rng, g.cfg.DomainWeights)
 	prof := profiles[domain]
 	pageID := fmt.Sprintf("pg%04d", idx)
@@ -74,12 +82,11 @@ func (g *generator) buildPage(c *Corpus, idx int) {
 	}
 
 	page := &Page{ID: pageID, Domain: domain, Title: prof.captions[0], Paras: paras, Tables: tables}
-	c.Pages = append(c.Pages, page)
+	unit := &PageUnit{Page: page}
 
 	docs := g.seg.Segment(pageID, paras, tables)
 	for _, doc := range docs {
-		c.Docs = append(c.Docs, doc)
-		c.domainByDoc[doc.ID] = domain
+		unit.Docs = append(unit.Docs, doc)
 
 		// Attach gold alignments whose paragraph this document wraps.
 		pi := -1
@@ -110,11 +117,10 @@ func (g *generator) buildPage(c *Corpus, idx int) {
 			if xi < 0 {
 				continue // extraction missed the rendered value (rare)
 			}
-			gold := Gold{DocID: doc.ID, TextIndex: xi, TableKey: span.tableKey, Agg: span.agg}
-			c.Gold = append(c.Gold, gold)
-			c.goldByDoc[doc.ID] = append(c.goldByDoc[doc.ID], gold)
+			unit.Gold = append(unit.Gold, Gold{DocID: doc.ID, TextIndex: xi, TableKey: span.tableKey, Agg: span.agg})
 		}
 	}
+	return unit
 }
 
 // buildTable generates one table per the domain profile.

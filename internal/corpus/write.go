@@ -1,0 +1,200 @@
+package corpus
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ManifestName and GoldName are the fixed file names WriteDir emits next to
+// the per-page HTML payloads. The manifest is NDJSON: one ManifestEntry per
+// line, in generation order, so consumers (briq-loadgen, rally-style
+// harnesses) can stream the corpus without globbing the directory.
+const (
+	ManifestName = "manifest.ndjson"
+	GoldName     = "gold.json"
+)
+
+// ManifestEntry is one manifest.ndjson line: where a generated page landed
+// and what it contains.
+type ManifestEntry struct {
+	ID        string `json:"id"`
+	Domain    string `json:"domain"`
+	Title     string `json:"title"`
+	File      string `json:"file"`
+	Bytes     int64  `json:"bytes"` // size of the HTML payload
+	Documents int    `json:"documents"`
+	Gold      int    `json:"gold"`
+}
+
+// WriteStats summarizes one WriteDir run.
+type WriteStats struct {
+	Pages      int
+	Documents  int
+	Gold       int
+	Bytes      int64 // total bytes written: HTML payloads + manifest + gold.json
+	HTMLBytes  int64 // HTML payloads alone
+	SizeTarget int64 // the byte budget (0 = page-count mode)
+}
+
+// WriteDir streams a generated corpus to dir: one HTML file per page, an
+// NDJSON manifest, and gold.json with the ground-truth alignments. Nothing
+// is buffered beyond the current page, so corpora far larger than memory are
+// fine.
+//
+// sizeTarget selects the mode. With sizeTarget <= 0, exactly cfg.Pages pages
+// are written (the classic fixed-count mode). With sizeTarget > 0, cfg.Pages
+// is ignored and pages stream until the cumulative bytes written (HTML +
+// manifest + gold) reach the target: generation stops at the first page that
+// crosses it, so the result overshoots by at most one page (a few KB — well
+// within ±5% for targets beyond ~100 KB). Both modes are deterministic:
+// same seed and same target produce byte-identical directories, and because
+// the page stream is prefix-stable, a small corpus is a byte-prefix of a
+// larger one generated from the same seed.
+func WriteDir(dir string, cfg Config, sizeTarget int64) (WriteStats, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return WriteStats{}, err
+	}
+
+	manifestF, err := os.Create(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return WriteStats{}, err
+	}
+	defer manifestF.Close()
+	manifest := bufio.NewWriter(manifestF)
+
+	goldF, err := os.Create(filepath.Join(dir, GoldName))
+	if err != nil {
+		return WriteStats{}, err
+	}
+	defer goldF.Close()
+	gold := newGoldWriter(goldF)
+
+	stats := WriteStats{SizeTarget: sizeTarget}
+	stream := NewStream(cfg)
+	for {
+		if sizeTarget > 0 {
+			if stats.Bytes >= sizeTarget {
+				break
+			}
+		} else if stats.Pages >= cfg.withDefaults().Pages {
+			break
+		}
+
+		u := stream.Next()
+		html := u.Page.HTML()
+		name := u.Page.ID + ".html"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(html), 0o644); err != nil {
+			return stats, err
+		}
+
+		entry := ManifestEntry{
+			ID:        u.Page.ID,
+			Domain:    u.Page.Domain.String(),
+			Title:     u.Page.Title,
+			File:      name,
+			Bytes:     int64(len(html)),
+			Documents: len(u.Docs),
+			Gold:      len(u.Gold),
+		}
+		line, err := json.Marshal(entry)
+		if err != nil {
+			return stats, err
+		}
+		line = append(line, '\n')
+		if _, err := manifest.Write(line); err != nil {
+			return stats, err
+		}
+
+		goldBytes, err := gold.write(u.Gold)
+		if err != nil {
+			return stats, err
+		}
+
+		stats.Pages++
+		stats.Documents += len(u.Docs)
+		stats.Gold += len(u.Gold)
+		stats.HTMLBytes += int64(len(html))
+		stats.Bytes += int64(len(html)) + int64(len(line)) + goldBytes
+	}
+
+	if err := manifest.Flush(); err != nil {
+		return stats, err
+	}
+	if err := manifestF.Close(); err != nil {
+		return stats, err
+	}
+	tail, err := gold.close()
+	if err != nil {
+		return stats, err
+	}
+	stats.Bytes += tail
+	if err := goldF.Close(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// goldWriter emits a JSON array of Gold records incrementally, matching the
+// indented format `json.Encoder.SetIndent("", "  ")` used to produce, so
+// existing gold.json consumers (cmd/briq-eval) keep working unchanged.
+type goldWriter struct {
+	w     *bufio.Writer
+	wrote bool
+}
+
+func newGoldWriter(f *os.File) *goldWriter {
+	return &goldWriter{w: bufio.NewWriter(f)}
+}
+
+// write appends the records and returns how many bytes they serialized to.
+func (g *goldWriter) write(records []Gold) (int64, error) {
+	var n int64
+	for i := range records {
+		b, err := json.MarshalIndent(records[i], "  ", "  ")
+		if err != nil {
+			return n, err
+		}
+		sep := ",\n  "
+		if !g.wrote {
+			sep = "[\n  "
+			g.wrote = true
+		}
+		if _, err := g.w.WriteString(sep); err != nil {
+			return n, err
+		}
+		if _, err := g.w.Write(b); err != nil {
+			return n, err
+		}
+		n += int64(len(sep) + len(b))
+	}
+	return n, nil
+}
+
+// close terminates the array (an empty one collapses to "[]") and flushes.
+func (g *goldWriter) close() (int64, error) {
+	tail := "\n]\n"
+	if !g.wrote {
+		tail = "[]\n"
+	}
+	if _, err := g.w.WriteString(tail); err != nil {
+		return 0, err
+	}
+	if err := g.w.Flush(); err != nil {
+		return 0, err
+	}
+	return int64(len(tail)), nil
+}
+
+// String renders the stats the way cmd/corpusgen reports them.
+func (s WriteStats) String() string {
+	if s.SizeTarget > 0 {
+		return fmt.Sprintf("%d pages (%d documents, %d gold alignments), %d bytes (target %d, %+.1f%%)",
+			s.Pages, s.Documents, s.Gold, s.Bytes, s.SizeTarget,
+			100*(float64(s.Bytes)-float64(s.SizeTarget))/float64(s.SizeTarget))
+	}
+	return fmt.Sprintf("%d pages (%d documents, %d gold alignments), %d bytes",
+		s.Pages, s.Documents, s.Gold, s.Bytes)
+}

@@ -1,0 +1,93 @@
+package loadgen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Page is one request payload: a corpus page the generator can POST to the
+// alignment endpoints.
+type Page struct {
+	ID   string
+	HTML string
+}
+
+// LoadCorpusDir loads the pages of a corpusgen-produced directory, in
+// manifest order when manifest.ndjson is present (the streaming corpusgen
+// always writes one) and in sorted-filename order as a fallback for
+// directories of bare *.html files. Zipf rank follows load order: the first
+// page is the hottest.
+func LoadCorpusDir(dir string) ([]Page, error) {
+	if pages, err := loadManifest(dir); err == nil {
+		return pages, nil
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+
+	paths, err := filepath.Glob(filepath.Join(dir, "*.html"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("loadgen: no manifest.ndjson and no *.html pages in %s", dir)
+	}
+	pages := make([]Page, 0, len(paths))
+	for _, path := range paths {
+		html, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		pages = append(pages, Page{
+			ID:   strings.TrimSuffix(filepath.Base(path), ".html"),
+			HTML: string(html),
+		})
+	}
+	return pages, nil
+}
+
+// manifestEntry mirrors the fields of corpus.ManifestEntry this package
+// needs; decoding locally avoids importing the generator into the driver.
+type manifestEntry struct {
+	ID   string `json:"id"`
+	File string `json:"file"`
+}
+
+func loadManifest(dir string) ([]Page, error) {
+	f, err := os.Open(filepath.Join(dir, "manifest.ndjson"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var pages []Page
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var e manifestEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			return nil, fmt.Errorf("loadgen: manifest line %d: %v", len(pages)+1, err)
+		}
+		html, err := os.ReadFile(filepath.Join(dir, e.File))
+		if err != nil {
+			return nil, err
+		}
+		pages = append(pages, Page{ID: e.ID, HTML: string(html)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(pages) == 0 {
+		return nil, fmt.Errorf("loadgen: empty manifest in %s", dir)
+	}
+	return pages, nil
+}

@@ -1,0 +1,50 @@
+// Package loadgen is an open-loop HTTP load generator for briq-server: it
+// drives a live server at a configured request rate over a corpusgen-made
+// corpus and reports latency quantiles, achieved throughput, cache hit rate
+// and shed rates as a machine-readable BENCH_serve.json.
+//
+// # Open loop, not closed loop
+//
+// Every throughput number the repo produced before this package came from a
+// closed-loop harness: N workers issue a request, wait for the response,
+// then issue the next one. Closed loops are the right tool for measuring
+// capacity (how fast can the system go when the client never outruns it)
+// but they systematically lie about latency under load, because the system
+// under test controls its own arrival rate — when the server stalls, the
+// clients stall with it, and the stall window receives fewer requests
+// exactly when users would have been piling in. That feedback is the
+// coordinated-omission problem: the slow samples that matter most are the
+// ones a closed loop never takes.
+//
+// This generator is open-loop: arrivals follow a fixed schedule derived
+// only from the configured QPS and seed, computed before the first request
+// is sent. A request whose predecessor is still in flight is sent anyway,
+// concurrency grows without bound if the server falls behind, and — the
+// other half of avoiding coordinated omission — each request's latency is
+// measured from its *scheduled* arrival time, not from when the sender
+// goroutine actually got around to writing bytes. A request that waited
+// 300ms behind a stalled connection pool and then took 20ms of server time
+// reports 320ms, which is what a user arriving at that moment would have
+// experienced.
+//
+// # Workload shape
+//
+// Page popularity is Zipf-distributed (rank 0 = the hottest page), matching
+// web traffic and deliberately exercising the serving layer: a zipfian
+// request stream is what makes the content-addressed cache and single-flight
+// coalescing earn their keep, and the measured hit rate is only meaningful
+// under realistic skew. The endpoint mix (/align, /align/batch, /summarize)
+// is a weighted profile; the whole schedule — arrival times, endpoint
+// choices, page choices — is a pure function of the seed, so two runs
+// against equally-warm servers are directly comparable.
+//
+// # Measurement
+//
+// Latencies land in internal/obs histograms with HDR-style log-spaced
+// buckets (ExponentialBounds: bounded relative error at every magnitude, so
+// tail quantiles are as trustworthy as the median). Shed traffic is counted
+// client-side from the envelope status codes (429 overloaded, 504 deadline)
+// and cross-checked against the server's own /metrics serving counters,
+// scraped immediately before and after the run; the cache hit rate is the
+// hits/(hits+misses) delta over the run window.
+package loadgen

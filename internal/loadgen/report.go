@@ -1,0 +1,143 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"briq/internal/obs"
+)
+
+// Report is the machine-readable result of one load run — the schema of
+// BENCH_serve.json. Every field is present on every run (a quiet endpoint
+// reports zeros, never a missing key), so the schema golden test and any
+// dashboard reading the file see the same shape regardless of traffic.
+type Report struct {
+	Config     ReportConfig   `json:"config"`
+	Requests   RequestCounts  `json:"requests"`
+	Throughput Throughput     `json:"throughput"`
+	Rates      Rates          `json:"rates"`
+	LatencyMs  LatencyByClass `json:"latency_ms"`
+	Serving    ServingReport  `json:"serving"`
+}
+
+// ReportConfig echoes the run parameters, so a committed BENCH_serve.json
+// is self-describing and two reports are comparable at a glance.
+type ReportConfig struct {
+	Target          string  `json:"target"`
+	OfferedQPS      float64 `json:"offered_qps"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	WarmupSeconds   float64 `json:"warmup_seconds"`
+	Seed            int64   `json:"seed"`
+	ZipfS           float64 `json:"zipf_s"`
+	BatchPages      int     `json:"batch_pages"`
+	CorpusPages     int     `json:"corpus_pages"`
+	Mix             Mix     `json:"mix"`
+}
+
+// RequestCounts classifies every measured request by outcome. Sent always
+// equals the sum of the outcome buckets.
+type RequestCounts struct {
+	Scheduled     int64 `json:"scheduled"`        // arrivals in the measured window
+	Sent          int64 `json:"sent"`             // actually issued (== scheduled unless the run was cancelled)
+	OK            int64 `json:"ok"`               // 200
+	Unprocessable int64 `json:"unprocessable"`    // 422 no_tables / no_mentions / unprocessable
+	Shed429       int64 `json:"shed_429"`         // 429 overloaded (admission control)
+	Deadline504   int64 `json:"deadline_504"`     // 504 deadline
+	OtherHTTP     int64 `json:"other_http"`       // any other status
+	TransportErrs int64 `json:"transport_errors"` // no HTTP response (dial/timeout/reset)
+}
+
+func (c RequestCounts) completed() int64 {
+	return c.OK + c.Unprocessable + c.Shed429 + c.Deadline504 + c.OtherHTTP
+}
+
+// Throughput compares what was offered with what came back.
+type Throughput struct {
+	OfferedQPS  float64 `json:"offered_qps"`  // scheduled arrivals / schedule window
+	AchievedQPS float64 `json:"achieved_qps"` // completed HTTP responses / wall clock incl. drain
+	GoodputQPS  float64 `json:"goodput_qps"`  // 200s / wall clock incl. drain
+}
+
+// Rates are the outcome counts as fractions of sent requests — the
+// shed-rate numbers the ROADMAP's scaling items regress against.
+type Rates struct {
+	Shed429     float64 `json:"shed_429"`
+	Deadline504 float64 `json:"deadline_504"`
+	Error       float64 `json:"error"` // other_http + transport_errors
+}
+
+// LatencySummary is the flat quantile view of one latency population. All
+// values are milliseconds, measured from each request's *scheduled* arrival
+// time (see the package comment on coordinated omission).
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean"`
+	P50Ms  float64 `json:"p50"`
+	P90Ms  float64 `json:"p90"`
+	P95Ms  float64 `json:"p95"`
+	P99Ms  float64 `json:"p99"`
+	MaxMs  float64 `json:"max"`
+}
+
+func summarize(h *obs.Histogram) LatencySummary {
+	s := h.Snapshot()
+	return LatencySummary{
+		Count:  s.Count,
+		MeanMs: s.MeanMillis,
+		P50Ms:  s.P50Millis,
+		P90Ms:  s.P90Millis,
+		P95Ms:  s.P95Millis,
+		P99Ms:  s.P99Millis,
+		MaxMs:  s.MaxMillis,
+	}
+}
+
+// LatencyByClass breaks latency out overall and per endpoint.
+type LatencyByClass struct {
+	Overall   LatencySummary `json:"overall"`
+	Align     LatencySummary `json:"align"`
+	Batch     LatencySummary `json:"batch"`
+	Summarize LatencySummary `json:"summarize"`
+}
+
+// ServingReport is the server's own view of the measured window: the
+// /metrics serving-counter deltas plus the derived cache hit rate. ScrapeOK
+// is false when either scrape failed (the deltas are then zero, and the
+// client-side counts are the only record of the run).
+type ServingReport struct {
+	ScrapeOK       bool    `json:"scrape_ok"`
+	Hits           int64   `json:"hits"`
+	Misses         int64   `json:"misses"`
+	Coalesced      int64   `json:"coalesced"`
+	Stores         int64   `json:"stores"`
+	ShedOverloaded int64   `json:"shed_overloaded"`
+	ShedDeadline   int64   `json:"shed_deadline"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+}
+
+// WriteFile writes the report as indented JSON, the committed
+// BENCH_serve.json format.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// String renders the one-screen operator summary briq-loadgen prints.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"offered %.1f qps → achieved %.1f qps (goodput %.1f) over %.1fs\n"+
+			"requests: %d sent / %d ok / %d unprocessable / %d shed(429) / %d deadline(504) / %d other / %d transport\n"+
+			"latency ms (from scheduled arrival): p50 %.2f  p90 %.2f  p95 %.2f  p99 %.2f  max %.2f\n"+
+			"serving: hit rate %.1f%% (%d hits / %d misses, %d coalesced), shed %d overloaded / %d deadline",
+		r.Throughput.OfferedQPS, r.Throughput.AchievedQPS, r.Throughput.GoodputQPS, r.Config.DurationSeconds,
+		r.Requests.Sent, r.Requests.OK, r.Requests.Unprocessable, r.Requests.Shed429,
+		r.Requests.Deadline504, r.Requests.OtherHTTP, r.Requests.TransportErrs,
+		r.LatencyMs.Overall.P50Ms, r.LatencyMs.Overall.P90Ms, r.LatencyMs.Overall.P95Ms,
+		r.LatencyMs.Overall.P99Ms, r.LatencyMs.Overall.MaxMs,
+		100*r.Serving.CacheHitRate, r.Serving.Hits, r.Serving.Misses, r.Serving.Coalesced,
+		r.Serving.ShedOverloaded, r.Serving.ShedDeadline)
+}

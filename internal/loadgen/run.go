@@ -1,0 +1,263 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"briq/internal/obs"
+)
+
+// latencyBounds is the HDR-style bucket layout for request latencies:
+// 100µs to 2 minutes at 20 buckets per decade (~12% relative quantile
+// error at every magnitude — see obs.ExponentialBounds).
+func latencyBounds() []int64 {
+	return obs.ExponentialBounds(100*time.Microsecond, 2*time.Minute, 20)
+}
+
+// Run executes one open-loop load run against a live briq-server and
+// returns the report. The schedule is computed up front (BuildSchedule);
+// each request fires at its scheduled time whether or not earlier requests
+// have returned, and its latency is measured from that scheduled time.
+// Requests arriving during cfg.Warmup are sent but not measured, and the
+// serving counters are scraped at the warmup boundary so the report's
+// serving deltas cover exactly the measured window. ctx cancels the run
+// early; whatever was measured so far is still reported.
+func Run(ctx context.Context, cfg Config, pages []Page) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if len(pages) == 0 {
+		return nil, fmt.Errorf("loadgen: empty corpus")
+	}
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: no base URL")
+	}
+	base := strings.TrimRight(cfg.BaseURL, "/")
+	sched := BuildSchedule(cfg, len(pages))
+
+	// The open loop needs one connection per concurrent request; the
+	// transport must not throttle below the offered concurrency or the
+	// harness would reintroduce the coordination it exists to avoid.
+	client := &http.Client{
+		Timeout: cfg.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        1024,
+			MaxIdleConnsPerHost: 1024,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+
+	rec := newRecorder()
+
+	// Scrape the serving counters at the warmup boundary and again after the
+	// last response: the delta is the server-side record of the measured
+	// window. Without a warmup the boundary is before the first request, so
+	// the scrape runs synchronously and the window is exact (the accounting
+	// tests pin client counts == server deltas on warmup-free runs); with a
+	// warmup, traffic is in flight at the boundary and the delta is
+	// approximate by a request or two — the counters themselves are atomic.
+	var before ServingCounters
+	var beforeErr error
+	scraped := make(chan struct{})
+	if cfg.Warmup == 0 {
+		before, beforeErr = ScrapeServing(client, base)
+		close(scraped)
+	} else {
+		go func() {
+			defer close(scraped)
+			select {
+			case <-time.After(cfg.Warmup):
+			case <-ctx.Done():
+				return
+			}
+			before, beforeErr = ScrapeServing(client, base)
+		}()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	var sent, scheduled int64
+	for _, req := range sched {
+		measured := req.At >= cfg.Warmup
+		if measured {
+			scheduled++
+		}
+		if d := time.Until(start.Add(req.At)); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		if measured {
+			sent++
+		}
+		wg.Add(1)
+		go func(req Request) {
+			defer wg.Done()
+			status, err := send(client, base, pages, req)
+			if measured {
+				rec.record(req.Endpoint, time.Since(start.Add(req.At)), status, err)
+			}
+		}(req)
+	}
+	wg.Wait()
+	wall := time.Since(start) - cfg.Warmup
+	if wall <= 0 {
+		wall = time.Since(start)
+	}
+
+	<-scraped
+	serving := ServingReport{}
+	if beforeErr == nil && ctx.Err() == nil {
+		if after, err := ScrapeServing(client, base); err == nil {
+			d := after.Sub(before)
+			serving = ServingReport{
+				ScrapeOK:       true,
+				Hits:           d.Hits,
+				Misses:         d.Misses,
+				Coalesced:      d.Coalesced,
+				Stores:         d.Stores,
+				ShedOverloaded: d.ShedOverloaded,
+				ShedDeadline:   d.ShedDeadline,
+				CacheHitRate:   d.HitRate(),
+			}
+		}
+	}
+
+	return rec.report(cfg, base, len(pages), scheduled, sent, wall, serving), nil
+}
+
+// send issues one scheduled request and fully drains the response. It
+// returns the HTTP status, or 0 with an error when no response arrived.
+func send(client *http.Client, base string, pages []Page, req Request) (int, error) {
+	var url, contentType string
+	var body []byte
+	switch req.Endpoint {
+	case EndpointAlign, EndpointSummarize:
+		url = base + "/" + req.Endpoint
+		contentType = "text/html"
+		body = []byte(pages[req.Pages[0]].HTML)
+	case EndpointBatch:
+		url = base + "/align/batch"
+		contentType = "application/json"
+		type batchPage struct {
+			ID   string `json:"id"`
+			HTML string `json:"html"`
+		}
+		payload := struct {
+			Pages []batchPage `json:"pages"`
+		}{}
+		for _, i := range req.Pages {
+			payload.Pages = append(payload.Pages, batchPage{ID: pages[i].ID, HTML: pages[i].HTML})
+		}
+		body, _ = json.Marshal(payload)
+	default:
+		return 0, fmt.Errorf("loadgen: unknown endpoint %q", req.Endpoint)
+	}
+	resp, err := client.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	// Latency covers the full response, not just the first header byte.
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// recorder accumulates measured outcomes; all methods are goroutine-safe.
+type recorder struct {
+	mu     sync.Mutex
+	counts RequestCounts
+	all    *obs.Histogram
+	byEP   map[string]*obs.Histogram
+}
+
+func newRecorder() *recorder {
+	bounds := latencyBounds()
+	return &recorder{
+		all: obs.NewHistogramBounds(bounds),
+		byEP: map[string]*obs.Histogram{
+			EndpointAlign:     obs.NewHistogramBounds(bounds),
+			EndpointBatch:     obs.NewHistogramBounds(bounds),
+			EndpointSummarize: obs.NewHistogramBounds(bounds),
+		},
+	}
+}
+
+func (r *recorder) record(endpoint string, latency time.Duration, status int, err error) {
+	r.all.Observe(latency)
+	if h := r.byEP[endpoint]; h != nil {
+		h.Observe(latency)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch {
+	case err != nil:
+		r.counts.TransportErrs++
+	case status == http.StatusOK:
+		r.counts.OK++
+	case status == http.StatusUnprocessableEntity:
+		r.counts.Unprocessable++
+	case status == http.StatusTooManyRequests:
+		r.counts.Shed429++
+	case status == http.StatusGatewayTimeout:
+		r.counts.Deadline504++
+	default:
+		r.counts.OtherHTTP++
+	}
+}
+
+func (r *recorder) report(cfg Config, base string, npages int, scheduled, sent int64, wall time.Duration, serving ServingReport) *Report {
+	r.mu.Lock()
+	counts := r.counts
+	r.mu.Unlock()
+	counts.Scheduled = scheduled
+	counts.Sent = sent
+
+	secs := wall.Seconds()
+	// Offered rate is a property of the schedule window; achieved rate is
+	// completions over the wall clock including the drain of the in-flight
+	// tail — under overload the two diverge, which is the point.
+	rep := &Report{
+		Config: ReportConfig{
+			Target:          base,
+			OfferedQPS:      cfg.QPS,
+			DurationSeconds: cfg.Duration.Seconds(),
+			WarmupSeconds:   cfg.Warmup.Seconds(),
+			Seed:            cfg.Seed,
+			ZipfS:           cfg.ZipfS,
+			BatchPages:      cfg.BatchPages,
+			CorpusPages:     npages,
+			Mix:             cfg.Mix,
+		},
+		Requests: counts,
+		Throughput: Throughput{
+			OfferedQPS:  float64(scheduled) / cfg.Duration.Seconds(),
+			AchievedQPS: float64(counts.completed()) / secs,
+			GoodputQPS:  float64(counts.OK) / secs,
+		},
+		LatencyMs: LatencyByClass{
+			Overall:   summarize(r.all),
+			Align:     summarize(r.byEP[EndpointAlign]),
+			Batch:     summarize(r.byEP[EndpointBatch]),
+			Summarize: summarize(r.byEP[EndpointSummarize]),
+		},
+		Serving: serving,
+	}
+	if sent > 0 {
+		rep.Rates = Rates{
+			Shed429:     float64(counts.Shed429) / float64(sent),
+			Deadline504: float64(counts.Deadline504) / float64(sent),
+			Error:       float64(counts.OtherHTTP+counts.TransportErrs) / float64(sent),
+		}
+	}
+	return rep
+}

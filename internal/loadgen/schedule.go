@@ -1,0 +1,185 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Endpoint names, as they appear in schedules, reports and the -mix flag.
+const (
+	EndpointAlign     = "align"
+	EndpointBatch     = "batch"
+	EndpointSummarize = "summarize"
+)
+
+// Mix is the endpoint profile: relative weights for /align, /align/batch
+// and /summarize. Weights need not sum to 1; only ratios matter. The zero
+// Mix means "use the default profile" (mostly single-page aligns, matching
+// interactive traffic, with a batch and summarize minority).
+type Mix struct {
+	Align     float64 `json:"align"`
+	Batch     float64 `json:"batch"`
+	Summarize float64 `json:"summarize"`
+}
+
+// DefaultMix is the endpoint profile used when Config.Mix is zero.
+var DefaultMix = Mix{Align: 0.70, Batch: 0.15, Summarize: 0.15}
+
+func (m Mix) zero() bool { return m.Align == 0 && m.Batch == 0 && m.Summarize == 0 }
+
+func (m Mix) total() float64 { return m.Align + m.Batch + m.Summarize }
+
+// ParseMix parses the -mix flag syntax: comma-separated name=weight pairs,
+// e.g. "align=0.7,batch=0.15,summarize=0.15". Omitted endpoints get weight
+// zero; unknown names are an error.
+func ParseMix(s string) (Mix, error) {
+	var m Mix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Mix{}, fmt.Errorf("parse mix %q: %q is not name=weight", s, part)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || w < 0 {
+			return Mix{}, fmt.Errorf("parse mix %q: bad weight %q", s, val)
+		}
+		switch strings.TrimSpace(name) {
+		case EndpointAlign:
+			m.Align = w
+		case EndpointBatch:
+			m.Batch = w
+		case EndpointSummarize:
+			m.Summarize = w
+		default:
+			return Mix{}, fmt.Errorf("parse mix %q: unknown endpoint %q (known: %s, %s, %s)",
+				s, name, EndpointAlign, EndpointBatch, EndpointSummarize)
+		}
+	}
+	if m.zero() {
+		return Mix{}, fmt.Errorf("parse mix %q: all weights zero", s)
+	}
+	return m, nil
+}
+
+// Config parameterizes one load run. The zero value of every optional field
+// selects a sensible default (see withDefaults); BaseURL is required.
+type Config struct {
+	BaseURL    string        // briq-server root, e.g. http://127.0.0.1:8080
+	QPS        float64       // offered arrival rate (default 50)
+	Duration   time.Duration // measured window (default 10s)
+	Warmup     time.Duration // unmeasured lead-in at the same rate (default 0)
+	Seed       int64         // schedule seed; same seed = same schedule
+	ZipfS      float64       // popularity skew exponent, > 1 (default 1.2)
+	Mix        Mix           // endpoint profile (zero = DefaultMix)
+	BatchPages int           // pages per /align/batch request (default 8)
+	Timeout    time.Duration // per-request client timeout (default 30s)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QPS <= 0 {
+		c.QPS = 50
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.2
+	}
+	if c.Mix.zero() {
+		c.Mix = DefaultMix
+	}
+	if c.BatchPages <= 0 {
+		c.BatchPages = 8
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// Request is one scheduled arrival: when (relative to run start), which
+// endpoint, and which corpus pages to post.
+type Request struct {
+	At       time.Duration
+	Endpoint string
+	Pages    []int // indices into the corpus page slice
+}
+
+// BuildSchedule precomputes the full arrival schedule for a run over npages
+// corpus pages: a Poisson process at cfg.QPS spanning warmup + duration,
+// each arrival assigned an endpoint by the mix weights and pages by a Zipf
+// draw (rank 0 — the first corpus page — is the hottest). The schedule is a
+// pure function of (cfg, npages): computing it before the first request is
+// sent is what makes the generator open-loop, and seeding it is what makes
+// two runs comparable.
+func BuildSchedule(cfg Config, npages int) []Request {
+	cfg = cfg.withDefaults()
+	if npages < 1 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var zipf *rand.Zipf
+	if npages > 1 {
+		zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(npages-1))
+	}
+	pick := func() int {
+		if zipf == nil {
+			return 0
+		}
+		return int(zipf.Uint64())
+	}
+
+	horizon := cfg.Warmup + cfg.Duration
+	total := cfg.Mix.total()
+	var sched []Request
+	// Exponential inter-arrival times: a Poisson process, the standard
+	// open-loop arrival model — bursty the way independent clients are,
+	// rather than the metronome spacing of 1/QPS.
+	for at := time.Duration(0); ; {
+		at += time.Duration(rng.ExpFloat64() / cfg.QPS * float64(time.Second))
+		if at >= horizon {
+			break
+		}
+		r := Request{At: at}
+		switch u := rng.Float64() * total; {
+		case u < cfg.Mix.Align:
+			r.Endpoint = EndpointAlign
+			r.Pages = []int{pick()}
+		case u < cfg.Mix.Align+cfg.Mix.Batch:
+			r.Endpoint = EndpointBatch
+			n := cfg.BatchPages
+			if n > npages {
+				n = npages
+			}
+			pages := make([]int, 0, n)
+			seen := map[int]bool{}
+			for len(pages) < n {
+				p := pick()
+				if seen[p] {
+					// Batch pages must be distinct (the server rejects
+					// duplicate page IDs); fall forward to the next free
+					// rank so hot batches stay hot without re-rolling
+					// forever on a tiny corpus.
+					for seen[p] {
+						p = (p + 1) % npages
+					}
+				}
+				seen[p] = true
+				pages = append(pages, p)
+			}
+			r.Pages = pages
+		default:
+			r.Endpoint = EndpointSummarize
+			r.Pages = []int{pick()}
+		}
+		sched = append(sched, r)
+	}
+	return sched
+}

@@ -1,0 +1,112 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// schemaLines renders the shape of a decoded JSON value — field paths and
+// types, never values — the same way the briq-server /metrics golden does.
+func schemaLines(prefix string, v any, out *[]string) {
+	switch t := v.(type) {
+	case map[string]any:
+		*out = append(*out, prefix+": object")
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			schemaLines(prefix+"."+k, t[k], out)
+		}
+	case []any:
+		*out = append(*out, prefix+": array")
+		if len(t) > 0 {
+			schemaLines(prefix+"[]", t[0], out)
+		}
+	case float64:
+		*out = append(*out, prefix+": number")
+	case string:
+		*out = append(*out, prefix+": string")
+	case bool:
+		*out = append(*out, prefix+": boolean")
+	case nil:
+		*out = append(*out, prefix+": null")
+	default:
+		*out = append(*out, fmt.Sprintf("%s: UNEXPECTED %T", prefix, v))
+	}
+}
+
+func reportSchema(t *testing.T, data []byte) string {
+	t.Helper()
+	var v map[string]any
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	schemaLines("report", v, &lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// TestBenchServeSchema locks the BENCH_serve.json shape: a report from a
+// real (fake-server) run must match testdata/bench_serve_schema.golden
+// line for line, and so must the committed BENCH_serve.json at the repo
+// root — the one the ROADMAP's scaling items regress against. Run with
+// -update after an intentional schema change.
+func TestBenchServeSchema(t *testing.T) {
+	ts := httptest.NewServer(&fakeServer{})
+	defer ts.Close()
+
+	cfg := Config{
+		BaseURL:  ts.URL,
+		QPS:      300,
+		Duration: 300 * time.Millisecond,
+		Seed:     1,
+	}
+	rep, err := Run(context.Background(), cfg, []Page{{ID: "p0", HTML: "<html/>"}, {ID: "p1", HTML: "<html/>"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := reportSchema(t, data)
+
+	goldenPath := filepath.Join("testdata", "bench_serve_schema.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("report schema drifted from golden.\nGot:\n%s\nWant:\n%s", got, want)
+	}
+
+	// The committed artifact must carry the same schema as a fresh run.
+	committed, err := os.ReadFile(filepath.Join("..", "..", "BENCH_serve.json"))
+	if err != nil {
+		t.Fatalf("read committed BENCH_serve.json (run make bench-serve): %v", err)
+	}
+	if got := reportSchema(t, committed); got != string(want) {
+		t.Errorf("committed BENCH_serve.json schema drifted from golden.\nGot:\n%s\nWant:\n%s", got, want)
+	}
+}

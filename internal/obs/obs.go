@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -78,11 +79,12 @@ func (s *CounterSet) Snapshot() map[string]int64 {
 	return out
 }
 
-// bucketBounds are the histogram upper bounds in nanoseconds: exponential
-// 50µs → 5s, matched to pipeline stages that run from tens of microseconds
-// (filtering a small document) to seconds (RWR on a dense page). Observations
-// above the last bound land in an implicit overflow bucket.
-var bucketBounds = [...]int64{
+// defaultBucketBounds are the standard histogram upper bounds in
+// nanoseconds: exponential 50µs → 5s, matched to pipeline stages that run
+// from tens of microseconds (filtering a small document) to seconds (RWR on
+// a dense page). Observations above the last bound land in an implicit
+// overflow bucket.
+var defaultBucketBounds = []int64{
 	50_000, 100_000, 250_000, 500_000, // 50µs … 500µs
 	1_000_000, 2_500_000, 5_000_000, 10_000_000, // 1ms … 10ms
 	25_000_000, 50_000_000, 100_000_000, 250_000_000, // 25ms … 250ms
@@ -91,20 +93,66 @@ var bucketBounds = [...]int64{
 
 // Histogram is a fixed-bucket latency histogram. All methods are safe for
 // concurrent use; recording is wait-free (atomic adds plus a CAS loop for
-// min/max).
+// min/max). The bucket layout is fixed at construction: NewHistogram uses
+// the standard pipeline-stage bounds, NewHistogramBounds takes a custom
+// HDR-style layout (the load harness uses ExponentialBounds for finer tail
+// resolution than the stage histograms need).
 type Histogram struct {
 	count   atomic.Int64
 	sum     atomic.Int64 // nanoseconds
 	min     atomic.Int64 // nanoseconds; valid only when count > 0
 	max     atomic.Int64
-	buckets [len(bucketBounds) + 1]atomic.Int64 // +1 = overflow
+	bounds  []int64        // immutable after construction
+	buckets []atomic.Int64 // len(bounds)+1; last = overflow
 }
 
-// NewHistogram returns an empty histogram.
-func NewHistogram() *Histogram {
-	h := &Histogram{}
+// NewHistogram returns an empty histogram with the standard stage bounds.
+func NewHistogram() *Histogram { return NewHistogramBounds(defaultBucketBounds) }
+
+// NewHistogramBounds returns an empty histogram with custom bucket upper
+// bounds in nanoseconds. Bounds must be positive and strictly increasing;
+// NewHistogramBounds panics otherwise (bucket layouts are static program
+// configuration, not runtime input).
+func NewHistogramBounds(bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: empty histogram bounds")
+	}
+	for i, b := range bounds {
+		if b <= 0 || (i > 0 && b <= bounds[i-1]) {
+			panic("obs: histogram bounds must be positive and strictly increasing")
+		}
+	}
+	h := &Histogram{
+		bounds:  append([]int64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
 	h.min.Store(int64(1<<63 - 1))
 	return h
+}
+
+// ExponentialBounds builds a log-spaced bucket layout: perDecade bounds per
+// factor-of-10 from lo to hi inclusive (both rounded to nanoseconds). This
+// is the HDR-histogram trade: relative quantile error is bounded by the
+// per-decade resolution instead of growing with the value, so p99 at 800ms
+// is as trustworthy as p50 at 2ms. 20 bounds per decade keeps the relative
+// error ≈ 12% at ~7x the memory of the default stage layout.
+func ExponentialBounds(lo, hi time.Duration, perDecade int) []int64 {
+	if lo <= 0 || hi <= lo || perDecade < 1 {
+		panic("obs: ExponentialBounds needs 0 < lo < hi and perDecade >= 1")
+	}
+	factor := math.Pow(10, 1/float64(perDecade))
+	var out []int64
+	for v := float64(lo); ; v *= factor {
+		b := int64(math.Round(v))
+		if len(out) > 0 && b <= out[len(out)-1] {
+			continue // rounding collapsed two bounds at the nanosecond floor
+		}
+		out = append(out, b)
+		if b >= int64(hi) {
+			break
+		}
+	}
+	return out
 }
 
 // Observe records one duration. Negative durations are clamped to zero.
@@ -127,7 +175,7 @@ func (h *Histogram) Observe(d time.Duration) {
 			break
 		}
 	}
-	i := sort.Search(len(bucketBounds), func(i int) bool { return ns <= bucketBounds[i] })
+	i := sort.Search(len(h.bounds), func(i int) bool { return ns <= h.bounds[i] })
 	h.buckets[i].Add(1)
 }
 
@@ -139,9 +187,20 @@ func (h *Histogram) Observe(d time.Duration) {
 // This is how the runtime pool combines per-worker recorders into one
 // pool-level view: workers record contention-free into private histograms,
 // and the pool merges them on demand.
+//
+// Both histograms must share the same bucket layout; merging across layouts
+// panics (bucket counts cannot be redistributed after the fact).
 func (h *Histogram) Merge(src *Histogram) {
 	if src == nil {
 		return
+	}
+	if len(h.bounds) != len(src.bounds) {
+		panic("obs: merging histograms with different bucket layouts")
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != src.bounds[i] {
+			panic("obs: merging histograms with different bucket layouts")
+		}
 	}
 	n := src.count.Load()
 	if n == 0 {
@@ -178,7 +237,9 @@ type Bucket struct {
 
 // HistogramSnapshot is a point-in-time JSON-ready view of a histogram. All
 // durations are milliseconds. Quantiles are estimated by linear interpolation
-// inside the bucket that holds the target rank.
+// inside the bucket that holds the target rank; Quantile exports the same
+// estimator for any q, so consumers (the load harness, dashboards scraping
+// /metrics) can derive quantiles the snapshot does not pre-compute.
 type HistogramSnapshot struct {
 	Count      int64    `json:"count"`
 	SumMillis  float64  `json:"sum_ms"`
@@ -187,6 +248,7 @@ type HistogramSnapshot struct {
 	MaxMillis  float64  `json:"max_ms"`
 	P50Millis  float64  `json:"p50_ms"`
 	P90Millis  float64  `json:"p90_ms"`
+	P95Millis  float64  `json:"p95_ms"`
 	P99Millis  float64  `json:"p99_ms"`
 	Buckets    []Bucket `json:"buckets"`
 }
@@ -197,17 +259,17 @@ const nsPerMs = 1e6
 // may land between field reads; the snapshot is internally near-consistent,
 // which is all a metrics endpoint needs.
 func (h *Histogram) Snapshot() HistogramSnapshot {
-	var counts [len(bucketBounds) + 1]int64
+	counts := make([]int64, len(h.buckets))
 	for i := range h.buckets {
 		counts[i] = h.buckets[i].Load()
 	}
 	s := HistogramSnapshot{
 		Count:     h.count.Load(),
 		SumMillis: float64(h.sum.Load()) / nsPerMs,
-		Buckets:   make([]Bucket, len(bucketBounds)),
+		Buckets:   make([]Bucket, len(h.bounds)),
 	}
 	cum := int64(0)
-	for i, bound := range bucketBounds {
+	for i, bound := range h.bounds {
 		cum += counts[i]
 		s.Buckets[i] = Bucket{LEMillis: float64(bound) / nsPerMs, Count: cum}
 	}
@@ -215,18 +277,40 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.MeanMillis = s.SumMillis / float64(s.Count)
 		s.MinMillis = float64(h.min.Load()) / nsPerMs
 		s.MaxMillis = float64(h.max.Load()) / nsPerMs
-		s.P50Millis = quantile(counts[:], s.Count, 0.50)
-		s.P90Millis = quantile(counts[:], s.Count, 0.90)
-		s.P99Millis = quantile(counts[:], s.Count, 0.99)
+		s.P50Millis = quantile(h.bounds, counts, s.Count, 0.50)
+		s.P90Millis = quantile(h.bounds, counts, s.Count, 0.90)
+		s.P95Millis = quantile(h.bounds, counts, s.Count, 0.95)
+		s.P99Millis = quantile(h.bounds, counts, s.Count, 0.99)
 	}
 	return s
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) in milliseconds from the
+// snapshot's cumulative buckets — the export path for quantiles beyond the
+// pre-computed p50/p90/p95/p99. It reconstructs per-bucket counts from the
+// cumulative form, so it works on snapshots decoded from JSON (a scraped
+// /metrics payload) as well as fresh ones. Returns 0 on an empty snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	bounds := make([]int64, len(s.Buckets))
+	counts := make([]int64, len(s.Buckets)+1)
+	prev := int64(0)
+	for i, b := range s.Buckets {
+		bounds[i] = int64(b.LEMillis * nsPerMs)
+		counts[i] = b.Count - prev
+		prev = b.Count
+	}
+	counts[len(s.Buckets)] = s.Count - prev // overflow
+	return quantile(bounds, counts, s.Count, q)
 }
 
 // quantile estimates the q-quantile in milliseconds from per-bucket counts.
 // Within the holding bucket the observations are assumed uniform; the
 // overflow bucket reports its lower bound (there is no upper edge to
 // interpolate toward).
-func quantile(counts []int64, total int64, q float64) float64 {
+func quantile(bounds []int64, counts []int64, total int64, q float64) float64 {
 	rank := q * float64(total)
 	cum := 0.0
 	for i, c := range counts {
@@ -237,16 +321,16 @@ func quantile(counts []int64, total int64, q float64) float64 {
 		}
 		lo := 0.0
 		if i > 0 {
-			lo = float64(bucketBounds[i-1])
+			lo = float64(bounds[i-1])
 		}
-		if i >= len(bucketBounds) { // overflow bucket
-			return float64(bucketBounds[len(bucketBounds)-1]) / nsPerMs
+		if i >= len(bounds) { // overflow bucket
+			return float64(bounds[len(bounds)-1]) / nsPerMs
 		}
-		hi := float64(bucketBounds[i])
+		hi := float64(bounds[i])
 		frac := (rank - prev) / float64(c)
 		return (lo + (hi-lo)*frac) / nsPerMs
 	}
-	return float64(bucketBounds[len(bucketBounds)-1]) / nsPerMs
+	return float64(bounds[len(bounds)-1]) / nsPerMs
 }
 
 // Recorder names histograms by stage. The zero value is ready to use; a nil

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -269,4 +270,90 @@ func TestRecorderMergeConcurrent(t *testing.T) {
 	if dst.Snapshot()["align"].Count == 0 {
 		t.Error("no observations survived the concurrent merge")
 	}
+}
+
+func TestExponentialBounds(t *testing.T) {
+	bounds := ExponentialBounds(100*time.Microsecond, 10*time.Second, 20)
+	if len(bounds) < 80 { // 5 decades × 20 per decade
+		t.Fatalf("too few bounds: %d", len(bounds))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %v <= %v", i, bounds[i], bounds[i-1])
+		}
+	}
+	if bounds[0] != int64(100*time.Microsecond) {
+		t.Errorf("first bound = %d, want %d", bounds[0], int64(100*time.Microsecond))
+	}
+	if last := bounds[len(bounds)-1]; last < int64(10*time.Second) {
+		t.Errorf("last bound = %d, does not cover hi", last)
+	}
+}
+
+func TestHistogramCustomBounds(t *testing.T) {
+	h := NewHistogramBounds(ExponentialBounds(time.Millisecond, time.Second, 10))
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	// With 10 buckets per decade the relative quantile error is ~26% worst
+	// case; the true p50/p95/p99 of 1..1000ms are 500/950/990.
+	checks := []struct {
+		got, want float64
+	}{{s.P50Millis, 500}, {s.P95Millis, 950}, {s.P99Millis, 990}}
+	for _, c := range checks {
+		if c.got < c.want*0.7 || c.got > c.want*1.3 {
+			t.Errorf("quantile = %v, want within 30%% of %v", c.got, c.want)
+		}
+	}
+	if s.P50Millis > s.P90Millis || s.P90Millis > s.P95Millis || s.P95Millis > s.P99Millis {
+		t.Errorf("quantiles not monotone: %v/%v/%v/%v", s.P50Millis, s.P90Millis, s.P95Millis, s.P99Millis)
+	}
+}
+
+func TestSnapshotQuantileExport(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	// The export must agree with the pre-computed fields bit-for-bit: both
+	// run the same estimator over the same buckets.
+	if got := s.Quantile(0.50); got != s.P50Millis {
+		t.Errorf("Quantile(0.50) = %v, P50Millis = %v", got, s.P50Millis)
+	}
+	if got := s.Quantile(0.95); got != s.P95Millis {
+		t.Errorf("Quantile(0.95) = %v, P95Millis = %v", got, s.P95Millis)
+	}
+	if got := s.Quantile(0.99); got != s.P99Millis {
+		t.Errorf("Quantile(0.99) = %v, P99Millis = %v", got, s.P99Millis)
+	}
+
+	// And it must survive a JSON round trip — the scraped-/metrics path.
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded HistogramSnapshot
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := decoded.Quantile(0.95), s.P95Millis; math.Abs(got-want) > 1e-6 {
+		t.Errorf("decoded Quantile(0.95) = %v, want %v", got, want)
+	}
+	if (HistogramSnapshot{}).Quantile(0.5) != 0 {
+		t.Error("empty snapshot quantile should be 0")
+	}
+}
+
+func TestMergeMismatchedBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("merging mismatched layouts did not panic")
+		}
+	}()
+	NewHistogram().Merge(NewHistogramBounds([]int64{1, 2, 3}))
 }
