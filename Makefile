@@ -1,16 +1,18 @@
 GO ?= go
 
-.PHONY: all check build vet test race bench bench-compare bench-tables bench-serve loadgen-smoke experiments fmt fmt-check fuzz-smoke cover-check
+.PHONY: all check build vet test race bench bench-compare bench-tables bench-serve bench-gateway loadgen-smoke gateway-smoke experiments fmt fmt-check fuzz-smoke cover-check
 
 all: check
 
 # Default verify entry point: formatting, vet, build, the full suite under
 # the race detector, a short fuzz pass over the committed corpora, the
-# coverage gate on the classification-engine packages, and a ~2s end-to-end
-# load-harness smoke (real binaries: corpusgen → briq-server → briq-loadgen).
-# The runtime pool, serving layer, server handlers and AlignAll fan-out are
-# concurrency-bearing, so a non-race test run is not a complete check.
-check: fmt-check vet build race fuzz-smoke cover-check loadgen-smoke
+# coverage gate on the classification-engine packages, and two end-to-end
+# smokes with the real binaries: the single-server load harness
+# (loadgen-smoke) and the sharded fleet behind briq-gateway including a
+# replica kill (gateway-smoke). The runtime pool, serving layer, server
+# handlers and AlignAll fan-out are concurrency-bearing, so a non-race test
+# run is not a complete check.
+check: fmt-check vet build race fuzz-smoke cover-check loadgen-smoke gateway-smoke
 
 build:
 	$(GO) build ./...
@@ -66,6 +68,32 @@ loadgen-smoke:
 		-qps 100 -duration 2s -seed 7 -wait 15s; \
 	kill $$spid; spid=""
 
+# End-to-end smoke of the sharded fleet with the real binaries: train one
+# model bundle, boot two briq-server replicas from it, front them with
+# briq-gateway, and drive two bursts through the gateway. The first burst
+# asserts the sharded caches are actually being hit (-min-hit-rate) with
+# zero errors; then one replica is killed and the second burst asserts the
+# gateway's retry + eject path hides the corpse (error rate ≤ 5%, hit rate
+# intact). This is the cheap guard that the fleet contract — bundle boot,
+# /v1 surface, consistent-hash routing, health ejection, aggregated
+# /metrics scrape — holds end to end; the scaling numbers come from
+# bench-gateway.
+gateway-smoke:
+	@set -e; tmp=$$(mktemp -d); pids=""; \
+	trap 'kill $$pids 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/ ./cmd/corpusgen ./cmd/briq-train ./cmd/briq-server ./cmd/briq-gateway ./cmd/briq-loadgen; \
+	$$tmp/corpusgen -out $$tmp/corpus -pages 8 -seed 42 >/dev/null; \
+	$$tmp/briq-train -out $$tmp/briq.model -pages 60 -seed 42 >/dev/null; \
+	$$tmp/briq-server -addr 127.0.0.1:18575 -model $$tmp/briq.model -cache-bytes 8388608 -max-inflight 8 -quiet & pids="$$!"; \
+	$$tmp/briq-server -addr 127.0.0.1:18576 -model $$tmp/briq.model -cache-bytes 8388608 -max-inflight 8 -quiet & r2=$$!; pids="$$pids $$r2"; \
+	$$tmp/briq-gateway -addr 127.0.0.1:18577 -replicas http://127.0.0.1:18575,http://127.0.0.1:18576 -probe-interval 100ms & pids="$$pids $$!"; \
+	$$tmp/briq-loadgen -target http://127.0.0.1:18577 -corpus $$tmp/corpus \
+		-qps 100 -duration 2s -seed 7 -wait 30s -min-hit-rate 0.3 -max-error-rate 0; \
+	echo "gateway-smoke: killing replica 2, driving the survivor"; \
+	kill $$r2; \
+	$$tmp/briq-loadgen -target http://127.0.0.1:18577 -corpus $$tmp/corpus \
+		-qps 100 -duration 2s -seed 8 -wait 10s -min-hit-rate 0.3 -max-error-rate 0.05
+
 # Serving baseline: a size-targeted corpus, a trained briq-server with the
 # production serving configuration, and an open-loop run that writes the
 # committed BENCH_serve.json (schema-tested in internal/loadgen). The
@@ -84,6 +112,76 @@ bench-serve:
 		-qps $(BENCH_SERVE_QPS) -duration $(BENCH_SERVE_DURATION) -warmup 3s -seed 1 \
 		-wait 60s -out BENCH_serve.json; \
 	kill $$spid; spid=""
+
+# Gateway scaling section of BENCH_serve.json: the same offered load driven
+# through briq-gateway against one replica, then against two replicas
+# sharding the same model bundle, then against two replicas with one killed
+# mid-run (the chaos slot). Run bench-serve first — the scaling runs merge
+# into the existing report (-scaling <slot>) without disturbing the
+# single-server sections.
+#
+# The workload is built to expose cache-capacity scaling on a 1-CPU box,
+# where replicas cannot add compute: heavyweight pages (-paras/-refs) whose
+# alignment costs ~100ms a miss, bulk block-batches (-batch-blocks: every
+# batch is one of a fixed set of non-overlapping 8-page blocks, so batch
+# bodies recur and the gateway's consistent hash pins each block — and its
+# documents' cache entries — to exactly one replica), a near-uniform block
+# popularity curve (-zipf 1.05), and a per-replica cache sized to roughly
+# half the corpus working set. A batch occupies one admission slot and
+# computes every cold page it carries, so one replica churns its LRU,
+# holds its slots for ~1s per cold block, and sheds whole batches — while
+# two replicas hold the full working set between their shards, turn slots
+# over in milliseconds, and serve the same offered load nearly flat-out.
+# The mix is batch-only: single-page requests route by page body while the
+# page's block routes by batch body, so mixing them caches hot pages on
+# both replicas and hands the capacity win back. The comparison runs also
+# disable the gateway's retry budget (-retry-budget -1): retrying a
+# capacity shed onto the ring successor computes the block on the wrong
+# replica and pollutes its shard — and with retries off, client-observed
+# 429s equal the fleet's shed_overloaded delta exactly, which is the
+# cross-check the chaos slot's report is read against. The chaos run keeps
+# the default budget, because retry-to-successor is precisely the
+# mechanism that absorbs a replica kill. The headline number is
+# scaling.docs_speedup — delivered documents per second, which charges a
+# shed batch for every page it carried.
+BENCH_GATEWAY_QPS ?= 10
+BENCH_GATEWAY_DURATION ?= 30s
+BENCH_GATEWAY_WARMUP ?= 40s
+BENCH_GATEWAY_CACHE_BYTES ?= 1048576
+BENCH_GATEWAY_CORPUS_SIZE ?= 2MB
+BENCH_GATEWAY_MIX ?= batch=1
+bench-gateway:
+	@set -e; tmp=$$(mktemp -d); pids=""; \
+	trap 'kill $$pids 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/ ./cmd/corpusgen ./cmd/briq-train ./cmd/briq-server ./cmd/briq-gateway ./cmd/briq-loadgen; \
+	$$tmp/corpusgen -out $$tmp/corpus -tot-size $(BENCH_GATEWAY_CORPUS_SIZE) -seed 42 -paras 12 -refs 6; \
+	$$tmp/briq-train -out $$tmp/briq.model -seed 42; \
+	echo "== bench-gateway 1/3: gateway + 1 replica =="; \
+	$$tmp/briq-server -addr 127.0.0.1:18580 -model $$tmp/briq.model -cache-bytes $(BENCH_GATEWAY_CACHE_BYTES) -max-inflight 4 -quiet & pids="$$!"; \
+	$$tmp/briq-gateway -addr 127.0.0.1:18583 -replicas http://127.0.0.1:18580 -retry-budget -1 & pids="$$pids $$!"; \
+	$$tmp/briq-loadgen -target http://127.0.0.1:18583 -corpus $$tmp/corpus \
+		-qps $(BENCH_GATEWAY_QPS) -duration $(BENCH_GATEWAY_DURATION) -warmup $(BENCH_GATEWAY_WARMUP) \
+		-zipf 1.05 -mix $(BENCH_GATEWAY_MIX) -batch-blocks -seed 1 -wait 60s \
+		-out BENCH_serve.json -scaling replicas_1; \
+	kill $$pids; pids=""; sleep 1; \
+	echo "== bench-gateway 2/3: gateway + 2 replicas =="; \
+	$$tmp/briq-server -addr 127.0.0.1:18580 -model $$tmp/briq.model -cache-bytes $(BENCH_GATEWAY_CACHE_BYTES) -max-inflight 4 -quiet & pids="$$!"; \
+	$$tmp/briq-server -addr 127.0.0.1:18581 -model $$tmp/briq.model -cache-bytes $(BENCH_GATEWAY_CACHE_BYTES) -max-inflight 4 -quiet & pids="$$pids $$!"; \
+	$$tmp/briq-gateway -addr 127.0.0.1:18583 -replicas http://127.0.0.1:18580,http://127.0.0.1:18581 -retry-budget -1 & pids="$$pids $$!"; \
+	$$tmp/briq-loadgen -target http://127.0.0.1:18583 -corpus $$tmp/corpus \
+		-qps $(BENCH_GATEWAY_QPS) -duration $(BENCH_GATEWAY_DURATION) -warmup $(BENCH_GATEWAY_WARMUP) \
+		-zipf 1.05 -mix $(BENCH_GATEWAY_MIX) -batch-blocks -seed 1 -wait 60s \
+		-out BENCH_serve.json -scaling replicas_2; \
+	kill $$pids; pids=""; sleep 1; \
+	echo "== bench-gateway 3/3: chaos, replica killed mid-run =="; \
+	$$tmp/briq-server -addr 127.0.0.1:18580 -model $$tmp/briq.model -cache-bytes $(BENCH_GATEWAY_CACHE_BYTES) -max-inflight 4 -quiet & pids="$$!"; \
+	$$tmp/briq-server -addr 127.0.0.1:18581 -model $$tmp/briq.model -cache-bytes $(BENCH_GATEWAY_CACHE_BYTES) -max-inflight 4 -quiet & r2=$$!; pids="$$pids $$r2"; \
+	$$tmp/briq-gateway -addr 127.0.0.1:18583 -replicas http://127.0.0.1:18580,http://127.0.0.1:18581 & pids="$$pids $$!"; \
+	( sleep 55; echo "bench-gateway: killing replica 2 mid-run"; kill $$r2 ) & pids="$$pids $$!"; \
+	$$tmp/briq-loadgen -target http://127.0.0.1:18583 -corpus $$tmp/corpus \
+		-qps $(BENCH_GATEWAY_QPS) -duration $(BENCH_GATEWAY_DURATION) -warmup $(BENCH_GATEWAY_WARMUP) \
+		-zipf 1.05 -mix $(BENCH_GATEWAY_MIX) -batch-blocks -seed 1 -wait 60s \
+		-out BENCH_serve.json -scaling chaos
 
 # Short fuzz pass over every committed fuzz target and its seed corpus. Each
 # target gets a few seconds of mutation on top of replaying the corpus — long

@@ -45,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"briq/internal/core"
@@ -304,21 +305,54 @@ func New(opts ...Option) *Pipeline {
 		}
 		p = trained
 	}
-	p.Workers = cfg.workers
-	p.Recorder = cfg.recorder
-	// The resolver must be in place before the serving gate is built: the
-	// gate captures the pipeline fingerprint, which includes the strategy.
-	p.Resolver = cfg.buildResolver(p)
-	p.ConfigWarnings = cfg.warnings
-	if cfg.cacheBytes > 0 || cfg.maxInFlight > 0 {
+	return cfg.finish(p)
+}
+
+// finish applies the post-model configuration — fan-out, recorder, resolver,
+// serving gate — to a pipeline whose models are already in place. The
+// resolver must be set before the serving gate is built: the gate captures
+// the pipeline fingerprint, which includes the strategy.
+func (c *config) finish(p *core.Pipeline) *Pipeline {
+	p.Workers = c.workers
+	p.Recorder = c.recorder
+	p.Resolver = c.buildResolver(p)
+	p.ConfigWarnings = c.warnings
+	if c.cacheBytes > 0 || c.maxInFlight > 0 {
 		p.Gate = serve.NewEngine(serve.Config{
 			Fingerprint: p.Fingerprint(),
-			CacheBytes:  cfg.cacheBytes,
-			MaxInFlight: cfg.maxInFlight,
+			CacheBytes:  c.cacheBytes,
+			MaxInFlight: c.maxInFlight,
 			MaxQueue:    serve.DefaultMaxQueue,
 		})
 	}
 	return p
+}
+
+// NewFromModelFile builds a pipeline from a model bundle written by
+// briq-train, applying the same options New accepts (cache, admission,
+// resolver, workers, …). Loading is how a replica fleet boots every process
+// from one training run: all replicas share a model fingerprint, so a
+// gateway can route by content key knowing any replica computes an
+// identical, cache-compatible result. WithTrainedSeed conflicts with
+// loading and is rejected.
+func NewFromModelFile(path string, opts ...Option) (*Pipeline, error) {
+	var cfg config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.trainSeed != nil {
+		return nil, fmt.Errorf("briq: NewFromModelFile: WithTrainedSeed conflicts with loading models from %s", path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("briq: load models: %w", err)
+	}
+	defer f.Close()
+	tr, err := experiment.LoadModels(f)
+	if err != nil {
+		return nil, fmt.Errorf("briq: load models from %s: %w", path, err)
+	}
+	return cfg.finish(experiment.NewBriQ(tr).P), nil
 }
 
 // newTrained generates a deterministic synthetic training corpus, trains the

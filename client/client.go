@@ -1,0 +1,445 @@
+// Package client is the typed Go client for the briq HTTP API — the one way
+// this repo talks to a briq-server or briq-gateway over the wire. It owns
+// the request URL discipline (base-URL normalization, versioned /v1 paths),
+// decodes the {"result", "error": {code, message}} envelope into errors that
+// errors.Is-match the facade taxonomy (briq.ErrOverloaded,
+// briq.ErrDeadlineBudget, briq.ErrNoTables, briq.ErrNoMentions), and honors
+// Retry-After on backpressure responses when retries are enabled.
+//
+//	c, err := client.New("127.0.0.1:8080")       // scheme defaults to http
+//	alignments, err := c.Align(ctx, htmlSource)
+//	if errors.Is(err, briq.ErrOverloaded) { backoff() }
+//
+// Everything in-repo that calls the API — the load generator, the gateway's
+// upstream path, the server smoke tests — goes through this package;
+// hand-rolled envelope decoding outside it is a regression.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"briq"
+	"briq/internal/api"
+)
+
+// maxErrorBody caps how much of a non-envelope error body (a proxy's HTML
+// 502 page, a truncated response) is carried into the error message.
+const maxErrorBody = 512
+
+// Client talks to one briq-server or briq-gateway base URL. It is safe for
+// concurrent use.
+type Client struct {
+	base    *url.URL
+	httpc   *http.Client
+	retries int
+	// retryAfterCap bounds how long a Retry-After hint is honored, so a
+	// misbehaving server cannot park the client for minutes.
+	retryAfterCap time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client — the load
+// generator passes one with an unthrottled transport, the gateway one with
+// tight timeouts. The default is a dedicated client with a 30s timeout.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.httpc = h }
+}
+
+// WithTimeout sets the per-request timeout on the default HTTP client. It is
+// ignored after WithHTTPClient (the custom client owns its own timeout).
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) {
+		if c.httpc == defaultClient {
+			c.httpc = &http.Client{Timeout: d}
+		}
+	}
+}
+
+// WithRetries enables up to n automatic retries of a request that failed
+// with 429 overloaded or 503 unavailable, sleeping the server's Retry-After
+// hint (capped at 5s, context-aware) between attempts. The default is 0:
+// callers that do their own accounting — the load generator must count every
+// shed — see each response exactly once.
+func WithRetries(n int) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.retries = n
+		}
+	}
+}
+
+var defaultClient = &http.Client{Timeout: 30 * time.Second}
+
+// New builds a Client for baseURL, normalizing it once so every later call
+// composes URLs correctly:
+//
+//   - a missing scheme defaults to http:// ("127.0.0.1:8080" works)
+//   - trailing slashes are dropped ("http://h:8080/" and "http://h:8080"
+//     are the same base; no more "//align" from string concatenation)
+//   - a base path is kept, so a server mounted behind a reverse-proxy
+//     prefix ("http://edge/briq") routes correctly
+//   - a query, fragment or userinfo in the base is rejected loudly
+func New(baseURL string, opts ...Option) (*Client, error) {
+	base, err := normalizeBase(baseURL)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{base: base, httpc: defaultClient, retryAfterCap: 5 * time.Second}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// normalizeBase applies the base-URL discipline documented on New.
+func normalizeBase(raw string) (*url.URL, error) {
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		return nil, fmt.Errorf("client: empty base URL")
+	}
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	u, err := url.Parse(s)
+	if err != nil {
+		return nil, fmt.Errorf("client: parse base URL %q: %w", raw, err)
+	}
+	switch {
+	case u.Scheme != "http" && u.Scheme != "https":
+		return nil, fmt.Errorf("client: base URL %q: unsupported scheme %q", raw, u.Scheme)
+	case u.Host == "":
+		return nil, fmt.Errorf("client: base URL %q has no host", raw)
+	case u.RawQuery != "" || u.Fragment != "":
+		return nil, fmt.Errorf("client: base URL %q must not carry a query or fragment", raw)
+	case u.User != nil:
+		return nil, fmt.Errorf("client: base URL %q must not carry userinfo", raw)
+	}
+	u.Path = strings.TrimRight(u.Path, "/")
+	u.RawPath = ""
+	return u, nil
+}
+
+// BaseURL returns the normalized base, e.g. "http://127.0.0.1:8080".
+func (c *Client) BaseURL() string { return c.base.String() }
+
+// url composes the absolute URL for a server-relative path ("/v1/align").
+func (c *Client) url(path string) string {
+	u := *c.base
+	u.Path = c.base.Path + path
+	return u.String()
+}
+
+// Do issues one request against a server-relative path and returns the raw
+// response, bypassing envelope decoding — the escape hatch for proxies
+// (briq-gateway forwards bodies verbatim and must not re-encode them) and
+// for endpoints outside the envelope contract. The caller owns resp.Body.
+func (c *Client) Do(ctx context.Context, method, path, contentType string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.url(path), rd)
+	if err != nil {
+		return nil, fmt.Errorf("client: build %s %s: %w", method, path, err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	return c.httpc.Do(req)
+}
+
+// Align aligns one HTML page: POST /v1/align.
+func (c *Client) Align(ctx context.Context, html string) ([]briq.Alignment, error) {
+	var out struct {
+		Alignments []briq.Alignment `json:"alignments"`
+	}
+	if err := c.call(ctx, http.MethodPost, api.Versioned("/align"), "text/html", []byte(html), &out); err != nil {
+		return nil, err
+	}
+	return out.Alignments, nil
+}
+
+// Page is one page of an AlignBatch request.
+type Page struct {
+	ID   string `json:"id,omitempty"`
+	HTML string `json:"html"`
+}
+
+// PageResult is the per-page slice of a batch response.
+type PageResult struct {
+	ID         string           `json:"id"`
+	Documents  int              `json:"documents"`
+	Alignments []briq.Alignment `json:"alignments"`
+}
+
+// BatchResult is the result of one AlignBatch call.
+type BatchResult struct {
+	Pages      []PageResult `json:"pages"`
+	Documents  int          `json:"documents"`
+	Alignments int          `json:"alignments"`
+}
+
+// AlignBatch aligns many pages in one request: POST /v1/align/batch.
+func (c *Client) AlignBatch(ctx context.Context, pages []Page) (*BatchResult, error) {
+	body, err := json.Marshal(struct {
+		Pages []Page `json:"pages"`
+	}{pages})
+	if err != nil {
+		return nil, fmt.Errorf("client: encode batch: %w", err)
+	}
+	var out BatchResult
+	if err := c.call(ctx, http.MethodPost, api.Versioned("/align/batch"), "application/json", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DocSummary is one document's table-aware summary.
+type DocSummary struct {
+	DocID     string   `json:"doc_id"`
+	Sentences []string `json:"sentences"`
+}
+
+// Summarize summarizes one HTML page: POST /v1/summarize.
+func (c *Client) Summarize(ctx context.Context, html string) ([]DocSummary, error) {
+	var out struct {
+		Summaries []DocSummary `json:"summaries"`
+	}
+	if err := c.call(ctx, http.MethodPost, api.Versioned("/summarize"), "text/html", []byte(html), &out); err != nil {
+		return nil, err
+	}
+	return out.Summaries, nil
+}
+
+// ServingCounters is the serving-layer slice of GET /metrics: the stable
+// event-counter schema of internal/serve, the record load harnesses
+// cross-check their client-side accounting against.
+type ServingCounters struct {
+	Hits           int64 `json:"hits"`
+	Misses         int64 `json:"misses"`
+	Coalesced      int64 `json:"coalesced"`
+	Stores         int64 `json:"stores"`
+	ShedOverloaded int64 `json:"shed_overloaded"`
+	ShedDeadline   int64 `json:"shed_deadline"`
+}
+
+// Sub returns the counter-by-counter delta c - prev.
+func (c ServingCounters) Sub(prev ServingCounters) ServingCounters {
+	return ServingCounters{
+		Hits:           c.Hits - prev.Hits,
+		Misses:         c.Misses - prev.Misses,
+		Coalesced:      c.Coalesced - prev.Coalesced,
+		Stores:         c.Stores - prev.Stores,
+		ShedOverloaded: c.ShedOverloaded - prev.ShedOverloaded,
+		ShedDeadline:   c.ShedDeadline - prev.ShedDeadline,
+	}
+}
+
+// Monotone reports whether every counter is non-negative. A before/after
+// delta over an aggregated fleet scrape fails this when the scraped
+// population shrank mid-window (a replica died and dropped out of the
+// gateway's aggregate): the delta then subtracts counts the end scrape no
+// longer includes and is not a valid record of the window.
+func (c ServingCounters) Monotone() bool {
+	return c.Hits >= 0 && c.Misses >= 0 && c.Coalesced >= 0 &&
+		c.Stores >= 0 && c.ShedOverloaded >= 0 && c.ShedDeadline >= 0
+}
+
+// HitRate is hits / (hits + misses) over whatever window the counters
+// cover; 0 when the cache saw no traffic.
+func (c ServingCounters) HitRate() float64 {
+	if c.Hits+c.Misses == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Hits+c.Misses)
+}
+
+// Metrics is one GET /v1/metrics scrape: the typed serving counters plus
+// the raw top-level sections for aggregators (the gateway merges replica
+// scrapes section by section).
+type Metrics struct {
+	Serving ServingCounters
+	Raw     map[string]json.RawMessage
+}
+
+// Metrics fetches and decodes GET /v1/metrics. The metrics endpoint answers
+// a bare JSON object, not the result envelope.
+func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
+	resp, err := c.Do(ctx, http.MethodGet, api.Versioned("/metrics"), "", nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: metrics: %w", err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorFromResponse(resp, mustRead(resp))
+	}
+	m := &Metrics{}
+	if err := json.NewDecoder(resp.Body).Decode(&m.Raw); err != nil {
+		return nil, fmt.Errorf("client: metrics: decode: %w", err)
+	}
+	if raw, ok := m.Raw["serving"]; ok {
+		if err := json.Unmarshal(raw, &m.Serving); err != nil {
+			return nil, fmt.Errorf("client: metrics: decode serving: %w", err)
+		}
+	}
+	return m, nil
+}
+
+// Healthz probes GET /healthz; nil means the server answered 200.
+func (c *Client) Healthz(ctx context.Context) error {
+	resp, err := c.Do(ctx, http.MethodGet, api.Versioned("/healthz"), "", nil)
+	if err != nil {
+		return fmt.Errorf("client: healthz: %w", err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: healthz: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// WaitHealthy polls Healthz every 100ms until it succeeds or the window
+// closes — the scripted-run helper that starts a server and a driver
+// together.
+func (c *Client) WaitHealthy(ctx context.Context, window time.Duration) error {
+	deadline := time.Now().Add(window)
+	var lastErr error
+	for {
+		probeCtx, cancel := context.WithTimeout(ctx, time.Second)
+		lastErr = c.Healthz(probeCtx)
+		cancel()
+		if lastErr == nil {
+			return nil
+		}
+		if time.Now().After(deadline) || ctx.Err() != nil {
+			return fmt.Errorf("client: server at %s not healthy after %v: %w", c.BaseURL(), window, lastErr)
+		}
+		select {
+		case <-time.After(100 * time.Millisecond):
+		case <-ctx.Done():
+		}
+	}
+}
+
+// call issues one enveloped request, decoding result into out on success and
+// returning a typed *Error otherwise. With WithRetries, 429/503 responses
+// are retried honoring Retry-After.
+func (c *Client) call(ctx context.Context, method, path, contentType string, body []byte, out any) error {
+	for attempt := 0; ; attempt++ {
+		err := c.callOnce(ctx, method, path, contentType, body, out)
+		if err == nil || attempt >= c.retries || !retryable(err) {
+			return err
+		}
+		if sleepErr := sleepRetryAfter(ctx, err, c.retryAfterCap); sleepErr != nil {
+			return err
+		}
+	}
+}
+
+func retryable(err error) bool {
+	var apiErr *Error
+	if !asError(err, &apiErr) {
+		return false
+	}
+	return apiErr.Status == http.StatusTooManyRequests || apiErr.Status == http.StatusServiceUnavailable
+}
+
+// sleepRetryAfter honors the server's Retry-After hint (capped, defaulting
+// to a short pause when the server gave none), aborting early if ctx dies.
+func sleepRetryAfter(ctx context.Context, err error, cap time.Duration) error {
+	var apiErr *Error
+	d := 100 * time.Millisecond
+	if asError(err, &apiErr) && apiErr.RetryAfter > 0 {
+		d = apiErr.RetryAfter
+	}
+	if d > cap {
+		d = cap
+	}
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (c *Client) callOnce(ctx context.Context, method, path, contentType string, body []byte, out any) error {
+	resp, err := c.Do(ctx, method, path, contentType, body)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer drain(resp)
+
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: read response: %w", method, path, err)
+	}
+	var env struct {
+		Result json.RawMessage `json:"result"`
+		Error  *api.Error      `json:"error"`
+	}
+	if err := json.Unmarshal(payload, &env); err != nil {
+		// Not an envelope at all — an intermediary's error page, a
+		// truncated body. Surface the status and a snippet.
+		return errorFromResponse(resp, payload)
+	}
+	if env.Error != nil {
+		return &Error{
+			Code:       env.Error.Code,
+			Message:    env.Error.Message,
+			Status:     resp.StatusCode,
+			RetryAfter: parseRetryAfter(resp),
+		}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return errorFromResponse(resp, payload)
+	}
+	if out != nil && len(env.Result) > 0 {
+		if err := json.Unmarshal(env.Result, out); err != nil {
+			return fmt.Errorf("client: %s %s: decode result: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+// Drain consumes and closes a response body so the connection returns to the
+// transport's idle pool — the companion of Do for callers that only need the
+// status.
+func Drain(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+func drain(resp *http.Response) { Drain(resp) }
+
+func mustRead(resp *http.Response) []byte {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
+	return data
+}
+
+func parseRetryAfter(resp *http.Response) time.Duration {
+	s := resp.Header.Get("Retry-After")
+	if s == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(s); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}

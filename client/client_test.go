@@ -1,0 +1,307 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"briq"
+	"briq/internal/api"
+)
+
+// TestNormalizeBase is the table the loadgen URL-concatenation fix hangs on:
+// every base-URL spelling operators actually type must compose to the same
+// clean request URL, and malformed bases must fail at New, not at send time.
+func TestNormalizeBase(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    string // expected url("/v1/align"); "" means New must fail
+		wantErr bool
+	}{
+		{in: "http://127.0.0.1:8080", want: "http://127.0.0.1:8080/v1/align"},
+		{in: "http://127.0.0.1:8080/", want: "http://127.0.0.1:8080/v1/align"},
+		{in: "http://127.0.0.1:8080///", want: "http://127.0.0.1:8080/v1/align"},
+		{in: "127.0.0.1:8080", want: "http://127.0.0.1:8080/v1/align"},
+		{in: "localhost:9", want: "http://localhost:9/v1/align"},
+		{in: "  http://h:1/  ", want: "http://h:1/v1/align"},
+		{in: "https://edge.example/briq", want: "https://edge.example/briq/v1/align"},
+		{in: "https://edge.example/briq/", want: "https://edge.example/briq/v1/align"},
+		{in: "", wantErr: true},
+		{in: "ftp://h:1", wantErr: true},
+		{in: "http://", wantErr: true},
+		{in: "http://h:1/?x=1", wantErr: true},
+		{in: "http://h:1/#frag", wantErr: true},
+		{in: "http://user:pw@h:1", wantErr: true},
+	}
+	for _, tc := range tests {
+		c, err := New(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("New(%q): expected error, got base %q", tc.in, c.BaseURL())
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("New(%q): %v", tc.in, err)
+			continue
+		}
+		if got := c.url(api.Versioned("/align")); got != tc.want {
+			t.Errorf("New(%q).url(/v1/align) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// stubServer answers scripted envelopes on the /v1 surface.
+func stubServer(t *testing.T, handler http.HandlerFunc) (*Client, *httptest.Server) {
+	t.Helper()
+	ts := httptest.NewServer(handler)
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ts
+}
+
+func TestAlignDecodesResult(t *testing.T) {
+	c, _ := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/align" || r.Method != http.MethodPost {
+			t.Errorf("request hit %s %s, want POST /v1/align", r.Method, r.URL.Path)
+		}
+		if ct := r.Header.Get("Content-Type"); ct != "text/html" {
+			t.Errorf("Content-Type = %q", ct)
+		}
+		api.WriteResult(w, map[string]any{"alignments": []briq.Alignment{
+			{DocID: "d0", Value: 123},
+		}})
+	})
+	als, err := c.Align(context.Background(), "<p>123</p>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(als) != 1 || als[0].DocID != "d0" || als[0].Value != 123 {
+		t.Fatalf("alignments = %+v", als)
+	}
+}
+
+func TestAlignBatchRoundTrip(t *testing.T) {
+	c, _ := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/align/batch" {
+			t.Errorf("path = %s", r.URL.Path)
+		}
+		var req struct {
+			Pages []Page `json:"pages"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("decode request: %v", err)
+		}
+		if len(req.Pages) != 2 || req.Pages[0].ID != "a" {
+			t.Errorf("pages = %+v", req.Pages)
+		}
+		api.WriteResult(w, BatchResult{
+			Pages:      []PageResult{{ID: "a", Documents: 1, Alignments: []briq.Alignment{}}, {ID: "b"}},
+			Documents:  1,
+			Alignments: 0,
+		})
+	})
+	res, err := c.AlignBatch(context.Background(), []Page{{ID: "a", HTML: "<p>1</p>"}, {ID: "b", HTML: "<p>2</p>"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pages) != 2 || res.Documents != 1 {
+		t.Fatalf("batch result = %+v", res)
+	}
+}
+
+// TestErrorTaxonomy: every envelope error code the facade taxonomy covers
+// must errors.Is-match its sentinel through the client.
+func TestErrorTaxonomy(t *testing.T) {
+	tests := []struct {
+		code     string
+		sentinel error
+	}{
+		{api.CodeOverloaded, briq.ErrOverloaded},
+		{api.CodeDeadline, briq.ErrDeadlineBudget},
+		{api.CodeNoTables, briq.ErrNoTables},
+		{api.CodeNoMentions, briq.ErrNoMentions},
+	}
+	for _, tc := range tests {
+		c, _ := stubServer(t, func(w http.ResponseWriter, _ *http.Request) {
+			api.WriteError(w, tc.code, "scripted failure")
+		})
+		_, err := c.Align(context.Background(), "<p/>")
+		if err == nil {
+			t.Fatalf("%s: no error", tc.code)
+		}
+		if !errors.Is(err, tc.sentinel) {
+			t.Errorf("%s: errors.Is(%v, sentinel) = false", tc.code, err)
+		}
+		var apiErr *Error
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("%s: not a *client.Error: %v", tc.code, err)
+		}
+		if apiErr.Code != tc.code || apiErr.Status != api.StatusByCode[tc.code] {
+			t.Errorf("%s: decoded %+v", tc.code, apiErr)
+		}
+		// Codes must not cross-match other sentinels.
+		for _, other := range tests {
+			if other.code != tc.code && errors.Is(err, other.sentinel) {
+				t.Errorf("%s: also matches %v", tc.code, other.sentinel)
+			}
+		}
+	}
+}
+
+func TestRetryAfterParsed(t *testing.T) {
+	c, _ := stubServer(t, func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Retry-After", "3")
+		api.WriteJSON(w, http.StatusTooManyRequests,
+			api.Envelope{Error: &api.Error{Code: api.CodeOverloaded, Message: "full"}})
+	})
+	_, err := c.Align(context.Background(), "<p/>")
+	var apiErr *Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v", err)
+	}
+	if apiErr.RetryAfter != 3*time.Second {
+		t.Errorf("RetryAfter = %v, want 3s", apiErr.RetryAfter)
+	}
+}
+
+// TestWithRetriesHonorsRetryAfter: a 429 with a hint is retried after the
+// hinted pause; the succeeding attempt's result comes back.
+func TestWithRetriesHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var firstRetryAt atomic.Int64
+	start := time.Now()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			api.WriteJSON(w, http.StatusTooManyRequests,
+				api.Envelope{Error: &api.Error{Code: api.CodeOverloaded, Message: "full"}})
+			return
+		}
+		firstRetryAt.Store(int64(time.Since(start)))
+		api.WriteResult(w, map[string]any{"alignments": []briq.Alignment{}})
+	}))
+	defer ts.Close()
+
+	c, err := New(ts.URL, WithRetries(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Align(context.Background(), "<p/>"); err != nil {
+		t.Fatalf("retried call failed: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d calls, want 2", got)
+	}
+	if waited := time.Duration(firstRetryAt.Load()); waited < 900*time.Millisecond {
+		t.Errorf("retry fired after %v, want ≥ the 1s Retry-After hint", waited)
+	}
+}
+
+// TestRetriesExhaustedSurfaceError: when every attempt sheds, the caller
+// sees the typed overload error, not a silent success.
+func TestRetriesExhaustedSurfaceError(t *testing.T) {
+	var calls atomic.Int64
+	c, _ := stubServer(t, func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "0")
+		api.WriteJSON(w, http.StatusTooManyRequests,
+			api.Envelope{Error: &api.Error{Code: api.CodeOverloaded, Message: "full"}})
+	})
+	c.retries = 2
+	_, err := c.Align(context.Background(), "<p/>")
+	if !errors.Is(err, briq.ErrOverloaded) {
+		t.Fatalf("err = %v, want overloaded", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3 (1 + 2 retries)", got)
+	}
+}
+
+func TestMetricsExtractsServing(t *testing.T) {
+	c, _ := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/metrics" {
+			t.Errorf("path = %s", r.URL.Path)
+		}
+		fmt.Fprint(w, `{"uptime_seconds": 5, "serving": {"hits": 7, "misses": 3, "coalesced": 1, "stores": 3, "shed_overloaded": 2, "shed_deadline": 0}}`)
+	})
+	m, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Serving.Hits != 7 || m.Serving.ShedOverloaded != 2 {
+		t.Errorf("serving = %+v", m.Serving)
+	}
+	if m.Serving.HitRate() != 0.7 {
+		t.Errorf("hit rate = %v, want 0.7", m.Serving.HitRate())
+	}
+	if _, ok := m.Raw["uptime_seconds"]; !ok {
+		t.Error("raw sections not retained")
+	}
+}
+
+// TestNonEnvelopeResponse: a body no briq binary produced (an intermediary's
+// error page) still yields a typed error keyed to the status.
+func TestNonEnvelopeResponse(t *testing.T) {
+	c, _ := stubServer(t, func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "<html>bad gateway</html>", http.StatusGatewayTimeout)
+	})
+	_, err := c.Align(context.Background(), "<p/>")
+	var apiErr *Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v", err)
+	}
+	if apiErr.Status != http.StatusGatewayTimeout || apiErr.Code != api.CodeDeadline {
+		t.Errorf("synthesized error = %+v", apiErr)
+	}
+	if !errors.Is(err, briq.ErrDeadlineBudget) {
+		t.Error("synthesized 504 does not match the deadline sentinel")
+	}
+}
+
+func TestStatusOf(t *testing.T) {
+	if got := StatusOf(nil); got != http.StatusOK {
+		t.Errorf("StatusOf(nil) = %d", got)
+	}
+	if got := StatusOf(&Error{Status: 429}); got != 429 {
+		t.Errorf("StatusOf(429) = %d", got)
+	}
+	if got := StatusOf(fmt.Errorf("wrapped: %w", &Error{Status: 504})); got != 504 {
+		t.Errorf("StatusOf(wrapped 504) = %d", got)
+	}
+	if got := StatusOf(errors.New("dial tcp: connection refused")); got != 0 {
+		t.Errorf("StatusOf(transport) = %d, want 0", got)
+	}
+}
+
+func TestWaitHealthy(t *testing.T) {
+	var up atomic.Bool
+	c, _ := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/healthz" && up.Load() {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	time.AfterFunc(250*time.Millisecond, func() { up.Store(true) })
+	if err := c.WaitHealthy(context.Background(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// An unreachable server fails within the window, with the cause chained.
+	bad, err := New("http://127.0.0.1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.WaitHealthy(context.Background(), 200*time.Millisecond); err == nil {
+		t.Error("unreachable server reported healthy")
+	}
+}

@@ -1,0 +1,93 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"briq"
+	"briq/internal/api"
+)
+
+// Error is one API failure, decoded from the response envelope (or, for a
+// non-envelope body such as an intermediary's error page, synthesized from
+// the HTTP status). It errors.Is-matches the facade taxonomy, so callers
+// branch the same way against a remote server as against an in-process
+// pipeline:
+//
+//	_, err := c.Align(ctx, html)
+//	if errors.Is(err, briq.ErrOverloaded) { backoff(err) }
+type Error struct {
+	Code       string        // stable envelope code, e.g. "overloaded"
+	Message    string        // human-readable detail from the server
+	Status     int           // HTTP status of the response
+	RetryAfter time.Duration // parsed Retry-After hint; 0 when absent
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("briq api: %s (%d): %s", e.Code, e.Status, e.Message)
+}
+
+// Is maps envelope codes onto the facade's sentinel errors, making the
+// taxonomy transparent across the wire.
+func (e *Error) Is(target error) bool {
+	switch target {
+	case briq.ErrOverloaded:
+		return e.Code == api.CodeOverloaded
+	case briq.ErrDeadlineBudget:
+		return e.Code == api.CodeDeadline
+	case briq.ErrNoTables:
+		return e.Code == api.CodeNoTables
+	case briq.ErrNoMentions:
+		return e.Code == api.CodeNoMentions
+	}
+	return false
+}
+
+// asError is errors.As with the package's own pointer type, pulled out so
+// call sites read as a predicate.
+func asError(err error, out **Error) bool { return errors.As(err, out) }
+
+// StatusOf classifies an error from this package for accounting: the HTTP
+// status behind a typed API error, 0 for transport failures (no response
+// arrived), and 200 for nil.
+func StatusOf(err error) int {
+	if err == nil {
+		return http.StatusOK
+	}
+	var apiErr *Error
+	if asError(err, &apiErr) {
+		return apiErr.Status
+	}
+	return 0
+}
+
+// errorFromResponse synthesizes a typed error from a non-envelope response:
+// the status picks the nearest stable code so errors.Is keeps working even
+// when the body was produced by something other than a briq binary.
+func errorFromResponse(resp *http.Response, body []byte) error {
+	code := api.CodeUnavailable
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		code = api.CodeOverloaded
+	case http.StatusGatewayTimeout:
+		code = api.CodeDeadline
+	case http.StatusBadRequest:
+		code = api.CodeBadRequest
+	case http.StatusUnprocessableEntity:
+		code = api.CodeUnprocessable
+	case http.StatusInternalServerError:
+		code = api.CodeInternal
+	}
+	msg := string(body)
+	if len(msg) > maxErrorBody {
+		msg = msg[:maxErrorBody]
+	}
+	return &Error{
+		Code:       code,
+		Message:    fmt.Sprintf("non-envelope response: %.200s", msg),
+		Status:     resp.StatusCode,
+		RetryAfter: parseRetryAfter(resp),
+	}
+}

@@ -6,8 +6,9 @@
 //	briq-loadgen -target http://127.0.0.1:8080 -corpus DIR
 //	             [-qps 50] [-duration 10s] [-warmup 0s] [-seed 1]
 //	             [-zipf 1.2] [-mix align=0.7,batch=0.15,summarize=0.15]
-//	             [-batch-pages 8] [-timeout 30s] [-wait 0s]
-//	             [-out BENCH_serve.json]
+//	             [-batch-pages 8] [-batch-blocks] [-timeout 30s] [-wait 0s]
+//	             [-out BENCH_serve.json] [-scaling replicas_1|replicas_2|chaos]
+//	             [-min-hit-rate 0.5] [-max-error-rate 0.01]
 //
 // -corpus points at a corpusgen-produced directory (see corpusgen -tot-size);
 // pages are posted with Zipf-distributed popularity, rank 0 = the first
@@ -26,7 +27,12 @@
 // 429/504 shed rates, and the server's cache hit rate over the measured
 // window (scraped from /metrics) — prints as a summary and, with -out, is
 // written as the committed BENCH_serve.json (schema-tested in
-// internal/loadgen).
+// internal/loadgen). With -scaling, the run is instead merged into -out's
+// scaling section under the given slot — how make bench-gateway records its
+// 1-vs-2-replica comparison without disturbing the single-server sections.
+// -min-hit-rate and -max-error-rate turn the run into an assertion for smoke
+// scripts: the process exits nonzero when the measured run misses either
+// bound.
 package main
 
 import (
@@ -34,12 +40,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"briq/client"
 	"briq/internal/loadgen"
 )
 
@@ -56,9 +62,15 @@ func main() {
 	zipfS := flag.Float64("zipf", 1.2, "Zipf popularity exponent (> 1; higher = hotter head)")
 	mixFlag := flag.String("mix", "", "endpoint weights, e.g. align=0.7,batch=0.15,summarize=0.15")
 	batchPages := flag.Int("batch-pages", 8, "pages per /align/batch request")
+	batchBlocks := flag.Bool("batch-blocks", false,
+		"draw batches from fixed non-overlapping page blocks (recurring bodies, shardable by a consistent-hash gateway) instead of fresh Zipf combinations")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request client timeout")
 	wait := flag.Duration("wait", 0, "poll /healthz this long for the server to come up")
 	out := flag.String("out", "", "write the JSON report here (e.g. BENCH_serve.json)")
+	scaling := flag.String("scaling", "",
+		fmt.Sprintf("merge this run into -out's scaling section under the given slot %v instead of overwriting the report", loadgen.ScalingSlots()))
+	minHitRate := flag.Float64("min-hit-rate", 0, "exit nonzero if the measured cache hit rate falls below this")
+	maxErrorRate := flag.Float64("max-error-rate", -1, "exit nonzero if the error rate (non-HTTP + unexpected statuses) exceeds this (-1 disables)")
 	flag.Parse()
 
 	if *corpusDir == "" {
@@ -80,7 +92,11 @@ func main() {
 	log.Printf("loaded %d pages from %s", len(pages), *corpusDir)
 
 	if *wait > 0 {
-		if err := waitHealthy(*target, *wait); err != nil {
+		c, err := client.New(*target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := c.WaitHealthy(context.Background(), *wait); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -89,15 +105,16 @@ func main() {
 	defer stop()
 
 	cfg := loadgen.Config{
-		BaseURL:    *target,
-		QPS:        *qps,
-		Duration:   *duration,
-		Warmup:     *warmup,
-		Seed:       *seed,
-		ZipfS:      *zipfS,
-		Mix:        mix,
-		BatchPages: *batchPages,
-		Timeout:    *timeout,
+		BaseURL:     *target,
+		QPS:         *qps,
+		Duration:    *duration,
+		Warmup:      *warmup,
+		Seed:        *seed,
+		ZipfS:       *zipfS,
+		Mix:         mix,
+		BatchPages:  *batchPages,
+		BatchBlocks: *batchBlocks,
+		Timeout:     *timeout,
 	}
 	log.Printf("driving %s at %.1f qps for %v (warmup %v, seed %d)", *target, *qps, *duration, *warmup, *seed)
 	report, err := loadgen.Run(ctx, cfg, pages)
@@ -106,32 +123,27 @@ func main() {
 	}
 
 	fmt.Println(report)
-	if *out != "" {
+	switch {
+	case *out != "" && *scaling != "":
+		if err := loadgen.MergeScalingInto(*out, *scaling, report, report.AsScalingRun()); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("merged scaling slot %q into %s", *scaling, *out)
+	case *out != "":
 		if err := report.WriteFile(*out); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("wrote %s", *out)
+	case *scaling != "":
+		log.Fatal("-scaling requires -out")
 	}
 	if report.Requests.OK == 0 {
 		log.Fatal("no successful responses — is the server trained and reachable?")
 	}
-}
-
-// waitHealthy polls GET /healthz until it answers 200 or the window closes.
-func waitHealthy(target string, window time.Duration) error {
-	client := &http.Client{Timeout: time.Second}
-	deadline := time.Now().Add(window)
-	for {
-		resp, err := client.Get(target + "/healthz")
-		if err == nil {
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				return nil
-			}
-		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("server at %s not healthy after %v: %v", target, window, err)
-		}
-		time.Sleep(100 * time.Millisecond)
+	if *minHitRate > 0 && report.Serving.CacheHitRate < *minHitRate {
+		log.Fatalf("cache hit rate %.3f below -min-hit-rate %.3f", report.Serving.CacheHitRate, *minHitRate)
+	}
+	if *maxErrorRate >= 0 && report.Rates.Error > *maxErrorRate {
+		log.Fatalf("error rate %.3f above -max-error-rate %.3f", report.Rates.Error, *maxErrorRate)
 	}
 }

@@ -1,22 +1,28 @@
 // Command briq-server exposes quantity alignment as a production HTTP
 // service.
 //
-//	briq-server [-addr :8080] [-trained] [-seed N] [-workers N]
+//	briq-server [-addr :8080] [-trained] [-seed N] [-model file] [-workers N]
 //	            [-resolver rwr|ilp|greedy] [-ilp-budget 200ms]
 //	            [-cache-bytes N] [-max-inflight N]
 //	            [-request-timeout 30s] [-shutdown-timeout 15s] [-pprof] [-quiet]
 //
-// Endpoints:
+// Endpoints (served under /v1; the bare legacy paths remain as deprecated
+// aliases that answer identically but carry an X-Briq-Deprecated-Path header):
 //
-//	POST /align         HTML page body → JSON alignments
-//	POST /align/batch   JSON {"pages": [{"id", "html"}]} → per-page alignments,
-//	                    fanned out over the pipeline worker pool
-//	POST /summarize     HTML page body → JSON table-aware summary
-//	GET  /metrics       JSON snapshot: request/error counters, per-stage and
-//	                    per-endpoint latency histograms, batch volume, and the
-//	                    serving layer (cache hits/misses/evictions, sheds)
-//	GET  /healthz       liveness probe
-//	GET  /debug/pprof/  runtime profiles (only with -pprof)
+//	POST /v1/align         HTML page body → JSON alignments
+//	POST /v1/align/batch   JSON {"pages": [{"id", "html"}]} → per-page alignments,
+//	                       fanned out over the pipeline worker pool
+//	POST /v1/summarize     HTML page body → JSON table-aware summary
+//	GET  /v1/metrics       JSON snapshot: request/error counters, per-stage and
+//	                       per-endpoint latency histograms, batch volume, the
+//	                       serving layer (cache hits/misses/evictions, sheds),
+//	                       and the model fingerprint
+//	GET  /v1/healthz       liveness probe
+//	GET  /debug/pprof/     runtime profiles (only with -pprof)
+//
+// With -model, the server boots from a briq-train bundle instead of training;
+// a replica fleet booted from one bundle shares a model fingerprint, which is
+// what lets briq-gateway shard the content-addressed cache across it.
 //
 // The alignment endpoints answer with a uniform JSON envelope
 // {"result": …, "error": null} / {"result": null, "error": {"code", "message"}}
@@ -57,6 +63,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	trained := flag.Bool("trained", false, "train models on a synthetic corpus at startup")
 	seed := flag.Int64("seed", 42, "training seed (with -trained)")
+	model := flag.String("model", "", "load models from a briq-train file instead of training (replica fleet boot)")
 	workers := flag.Int("workers", 0, "batch alignment workers (0 = all cores)")
 	resolver := flag.String("resolver", "rwr",
 		fmt.Sprintf("global-resolution strategy %v", briq.ResolverNames()))
@@ -91,13 +98,27 @@ func main() {
 	if *maxInFlight > 0 {
 		pipelineOpts = append(pipelineOpts, briq.WithMaxInFlight(*maxInFlight))
 	}
-	if *trained {
-		pipelineOpts = append(pipelineOpts, briq.WithTrainedSeed(*seed))
-	}
 	start := time.Now()
-	pipeline := briq.New(pipelineOpts...)
-	if *trained {
+	var pipeline *briq.Pipeline
+	switch {
+	case *model != "":
+		// Fleet boot: every replica loads the same briq-train bundle, so the
+		// fleet shares one model fingerprint and a gateway can shard the
+		// content-addressed cache across it.
+		if *trained {
+			log.Fatal("-model and -trained are mutually exclusive")
+		}
+		var err error
+		pipeline, err = briq.NewFromModelFile(*model, pipelineOpts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded models from %s in %v", *model, time.Since(start).Round(time.Millisecond))
+	case *trained:
+		pipeline = briq.New(append(pipelineOpts, briq.WithTrainedSeed(*seed))...)
 		log.Printf("trained models in %v", time.Since(start).Round(time.Millisecond))
+	default:
+		pipeline = briq.New(pipelineOpts...)
 	}
 
 	opts := serverOptions{

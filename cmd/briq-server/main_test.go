@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"briq"
+	"briq/client"
 	"briq/internal/core"
 )
 
@@ -187,17 +189,24 @@ func TestMetricsChangeAfterBatch(t *testing.T) {
 	ts := httptest.NewServer(srv.routes())
 	defer ts.Close()
 
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
 	snapshot := func() map[string]any {
-		resp, err := http.Get(ts.URL + "/metrics")
+		m, err := c.Metrics(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
-		defer resp.Body.Close()
-		var m map[string]any
-		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
-			t.Fatal(err)
+		out := make(map[string]any, len(m.Raw))
+		for section, raw := range m.Raw {
+			var v any
+			if err := json.Unmarshal(raw, &v); err != nil {
+				t.Fatal(err)
+			}
+			out[section] = v
 		}
-		return m
+		return out
 	}
 
 	before := snapshot()
@@ -205,16 +214,10 @@ func TestMetricsChangeAfterBatch(t *testing.T) {
 		t.Fatalf("cold server align_batch count = %v", n)
 	}
 
-	body, _ := json.Marshal(batchRequest{Pages: []batchPage{
+	if _, err := c.AlignBatch(context.Background(), []client.Page{
 		{ID: "a", HTML: testPage}, {ID: "b", HTML: testPage}, {ID: "c", HTML: testPage},
-	}})
-	resp, err := http.Post(ts.URL+"/align/batch", "application/json", strings.NewReader(string(body)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("batch status = %d", resp.StatusCode)
+	}); err != nil {
+		t.Fatalf("batch failed: %v", err)
 	}
 
 	after := snapshot()

@@ -3,6 +3,7 @@ package main
 import (
 	"time"
 
+	"briq/internal/api"
 	"briq/internal/core"
 	"briq/internal/obs"
 )
@@ -21,13 +22,14 @@ type metrics struct {
 }
 
 func newMetrics() *metrics {
+	routes := api.RouteNames()
 	return &metrics{
 		start:    time.Now(),
-		requests: obs.NewCounterSet("align", "align_batch", "summarize", "metrics", "healthz", "total"),
+		requests: obs.NewCounterSet(append(routes, "total")...),
 		errors:   obs.NewCounterSet("http_4xx", "http_5xx", "panics"),
 		batch:    obs.NewCounterSet("pages", "documents", "alignments"),
 		stages:   obs.NewRecorder(core.StageNames()...),
-		handlers: obs.NewRecorder("align", "align_batch", "summarize", "metrics", "healthz"),
+		handlers: obs.NewRecorder(routes...),
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"unicode/utf8"
 
 	"briq"
+	"briq/internal/api"
 	"briq/internal/core"
 	"briq/internal/document"
 	"briq/internal/htmlx"
@@ -27,49 +28,28 @@ const maxBody = 8 << 20
 // across requests so a single call cannot monopolize the worker pool.
 const maxBatchPages = 256
 
-// The stable error-code table. Every error leaving /align, /align/batch or
-// /summarize carries one of these codes in the envelope's error.code field;
-// the HTTP status is derived from the code, never chosen ad hoc, so clients
-// can branch on either. Codes are append-only: changing a name or a status
-// breaks clients and the table-driven test in envelope_test.go.
+// The error-code table, the envelope shape, and the route list all live in
+// internal/api now — shared verbatim with briq-gateway and package client.
+// These aliases keep the server's handlers and tests reading in local terms.
 const (
-	codeBadRequest       = "bad_request"        // malformed body, bad encoding, bad JSON
-	codeMethodNotAllowed = "method_not_allowed" // wrong HTTP verb
-	codePayloadTooLarge  = "payload_too_large"  // body or page count over the cap
-	codeNoTables         = "no_tables"          // page has no table with numeric cells
-	codeNoMentions       = "no_mentions"        // page text has no alignable quantities
-	codeUnprocessable    = "unprocessable"      // page parsed but could not be aligned
-	codeOverloaded       = "overloaded"         // shed by admission control; retry later
-	codeInternal         = "internal"           // bug: handler panic or encode failure
-	codeUnavailable      = "unavailable"        // transient server-side failure
-	codeDeadline         = "deadline"           // request deadline exhausted mid-flight
+	codeBadRequest       = api.CodeBadRequest
+	codeMethodNotAllowed = api.CodeMethodNotAllowed
+	codePayloadTooLarge  = api.CodePayloadTooLarge
+	codeNoTables         = api.CodeNoTables
+	codeNoMentions       = api.CodeNoMentions
+	codeUnprocessable    = api.CodeUnprocessable
+	codeOverloaded       = api.CodeOverloaded
+	codeInternal         = api.CodeInternal
+	codeUnavailable      = api.CodeUnavailable
+	codeDeadline         = api.CodeDeadline
 )
 
-var errorStatus = map[string]int{
-	codeBadRequest:       http.StatusBadRequest,            // 400
-	codeMethodNotAllowed: http.StatusMethodNotAllowed,      // 405
-	codePayloadTooLarge:  http.StatusRequestEntityTooLarge, // 413
-	codeNoTables:         http.StatusUnprocessableEntity,   // 422
-	codeNoMentions:       http.StatusUnprocessableEntity,   // 422
-	codeUnprocessable:    http.StatusUnprocessableEntity,   // 422
-	codeOverloaded:       http.StatusTooManyRequests,       // 429
-	codeInternal:         http.StatusInternalServerError,   // 500
-	codeUnavailable:      http.StatusServiceUnavailable,    // 503
-	codeDeadline:         http.StatusGatewayTimeout,        // 504
-}
+var errorStatus = api.StatusByCode
 
-// envelope is the uniform response shape of the alignment endpoints: exactly
-// one of result and error is non-null. Both keys are always present, so the
-// response schema does not change between success and failure.
-type envelope struct {
-	Result any       `json:"result"`
-	Error  *apiError `json:"error"`
-}
-
-type apiError struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-}
+type (
+	envelope = api.Envelope
+	apiError = api.Error
+)
 
 // serverOptions configure the HTTP layer around the pipeline.
 type serverOptions struct {
@@ -104,15 +84,25 @@ func newServer(pipeline *briq.Pipeline, opts serverOptions) *server {
 	return &server{pipeline: pipeline, metrics: m, opts: opts}
 }
 
-// routes builds the full handler tree, every endpoint wrapped in the
-// logging/recovery/metrics middleware.
+// routes builds the full handler tree from the shared route table: every
+// endpoint wrapped in the logging/recovery/metrics middleware, served under
+// /v1 with the legacy unversioned path kept as a deprecated alias.
 func (s *server) routes() http.Handler {
+	handlers := map[string]http.HandlerFunc{
+		"align":       s.handleAlign,
+		"align_batch": s.handleAlignBatch,
+		"summarize":   s.handleSummarize,
+		"metrics":     s.handleMetrics,
+		"healthz":     s.handleHealthz,
+	}
 	mux := http.NewServeMux()
-	mux.Handle("/align", s.instrument("align", s.handleAlign))
-	mux.Handle("/align/batch", s.instrument("align_batch", s.handleAlignBatch))
-	mux.Handle("/summarize", s.instrument("summarize", s.handleSummarize))
-	mux.Handle("/metrics", s.instrument("metrics", s.handleMetrics))
-	mux.Handle("/healthz", s.instrument("healthz", s.handleHealthz))
+	for _, r := range api.Surface() {
+		h, ok := handlers[r.Name]
+		if !ok {
+			panic("no handler for route " + r.Name)
+		}
+		api.Mount(mux, r, s.instrument(r.Name, h))
+	}
 	if s.opts.enablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -379,6 +369,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	snap := s.metrics.snapshot()
 	snap["serving"] = s.pipeline.Gate.Counters() // nil-safe: full zeroed schema without a gate
+	snap["model"] = map[string]string{"fingerprint": s.pipeline.Fingerprint()}
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -387,23 +378,12 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // writeResult answers 200 with the success half of the envelope.
-func writeResult(w http.ResponseWriter, v any) {
-	writeJSON(w, http.StatusOK, envelope{Result: v})
-}
+func writeResult(w http.ResponseWriter, v any) { api.WriteResult(w, v) }
 
 // writeError answers with the error half of the envelope; the HTTP status
 // comes from the error-code table. An overloaded response carries a
 // Retry-After hint, the contract clients' backoff loops key on.
-func writeError(w http.ResponseWriter, code, message string) {
-	status, ok := errorStatus[code]
-	if !ok {
-		status, code = http.StatusInternalServerError, codeInternal
-	}
-	if code == codeOverloaded {
-		w.Header().Set("Retry-After", "1")
-	}
-	writeJSON(w, status, envelope{Error: &apiError{Code: code, Message: message}})
-}
+func writeError(w http.ResponseWriter, code, message string) { api.WriteError(w, code, message) }
 
 // writeAlignError maps the facade's typed error taxonomy onto the stable
 // error-code table: errors.Is against each sentinel, with a generic 422 for
@@ -443,16 +423,4 @@ func deadlineExceeded(w http.ResponseWriter, ctx context.Context) bool {
 // writeJSON encodes v to a buffer first, so an encoding failure can still
 // produce a clean 500 — once WriteHeader has fired the status is committed
 // and a half-written body is all the client would get.
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	data, err := json.MarshalIndent(v, "", "  ")
-	if err != nil {
-		http.Error(w, fmt.Sprintf("encode response: %v", err), http.StatusInternalServerError)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if _, err := w.Write(append(data, '\n')); err != nil {
-		// Headers are gone; nothing to do but note the broken pipe.
-		log.Printf("write response: %v", err)
-	}
-}
+func writeJSON(w http.ResponseWriter, status int, v any) { api.WriteJSON(w, status, v) }

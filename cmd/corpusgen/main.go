@@ -36,6 +36,8 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed")
 	profile := flag.String("profile", "tableS", "corpus profile: tableS or tableL")
 	totSize := flag.String("tot-size", "", "approximate total corpus size (e.g. 256KB, 100MB, 1GB); overrides -pages")
+	paras := flag.Int("paras", 0, "paragraphs per page (0 = profile default); higher = heavier pages")
+	refs := flag.Int("refs", 0, "table references per paragraph (0 = profile default)")
 	flag.Parse()
 
 	if *out == "" {
@@ -60,6 +62,14 @@ func main() {
 		cfg = corpus.TableLConfig(*seed, *pages)
 	default:
 		log.Fatalf("unknown profile %q", *profile)
+	}
+	// Page-weight overrides: the serving benches use these to make a corpus
+	// of heavyweight pages whose alignment cost dominates cache hits.
+	if *paras > 0 {
+		cfg.ParasPerPage = *paras
+	}
+	if *refs > 0 {
+		cfg.RefsPerPara = *refs
 	}
 
 	stats, err := corpus.WriteDir(*out, cfg, sizeTarget)

@@ -1,0 +1,102 @@
+// Package api is the shared HTTP surface of the briq serving binaries:
+// the response envelope, the stable error-code table, and the versioned
+// route table that briq-server and briq-gateway both mount.
+//
+// Everything here is contract, not mechanism. The envelope shape
+// {"result": …, "error": {"code", "message"}} and the code → status table
+// are what clients (package client, dashboards, proxies) branch on; the
+// route table is what keeps the server and the gateway exposing the same
+// paths, golden-tested in both packages. Changing anything in this package
+// is an API change and must move the goldens in the same commit.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+)
+
+// The stable error-code table. Every error leaving an alignment endpoint
+// carries one of these codes in the envelope's error.code field; the HTTP
+// status is derived from the code, never chosen ad hoc, so clients can
+// branch on either. Codes are append-only: changing a name or a status
+// breaks clients and the table-driven tests in cmd/briq-server.
+const (
+	CodeBadRequest       = "bad_request"        // malformed body, bad encoding, bad JSON
+	CodeMethodNotAllowed = "method_not_allowed" // wrong HTTP verb
+	CodePayloadTooLarge  = "payload_too_large"  // body or page count over the cap
+	CodeNoTables         = "no_tables"          // page has no table with numeric cells
+	CodeNoMentions       = "no_mentions"        // page text has no alignable quantities
+	CodeUnprocessable    = "unprocessable"      // page parsed but could not be aligned
+	CodeOverloaded       = "overloaded"         // shed by admission control; retry later
+	CodeInternal         = "internal"           // bug: handler panic or encode failure
+	CodeUnavailable      = "unavailable"        // transient server-side failure (no healthy replica)
+	CodeDeadline         = "deadline"           // request deadline exhausted mid-flight
+)
+
+// StatusByCode maps every error code to its HTTP status.
+var StatusByCode = map[string]int{
+	CodeBadRequest:       http.StatusBadRequest,            // 400
+	CodeMethodNotAllowed: http.StatusMethodNotAllowed,      // 405
+	CodePayloadTooLarge:  http.StatusRequestEntityTooLarge, // 413
+	CodeNoTables:         http.StatusUnprocessableEntity,   // 422
+	CodeNoMentions:       http.StatusUnprocessableEntity,   // 422
+	CodeUnprocessable:    http.StatusUnprocessableEntity,   // 422
+	CodeOverloaded:       http.StatusTooManyRequests,       // 429
+	CodeInternal:         http.StatusInternalServerError,   // 500
+	CodeUnavailable:      http.StatusServiceUnavailable,    // 503
+	CodeDeadline:         http.StatusGatewayTimeout,        // 504
+}
+
+// Envelope is the uniform response shape of the alignment endpoints: exactly
+// one of Result and Error is non-null. Both keys are always present, so the
+// response schema does not change between success and failure.
+type Envelope struct {
+	Result any    `json:"result"`
+	Error  *Error `json:"error"`
+}
+
+// Error is the wire form of one envelope error.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// WriteResult answers 200 with the success half of the envelope.
+func WriteResult(w http.ResponseWriter, v any) {
+	WriteJSON(w, http.StatusOK, Envelope{Result: v})
+}
+
+// WriteError answers with the error half of the envelope; the HTTP status
+// comes from the error-code table (unknown codes degrade to 500 internal
+// rather than leaking an unregistered code). An overloaded or unavailable
+// response carries a Retry-After hint, the contract clients' backoff loops
+// key on.
+func WriteError(w http.ResponseWriter, code, message string) {
+	status, ok := StatusByCode[code]
+	if !ok {
+		status, code = http.StatusInternalServerError, CodeInternal
+	}
+	if code == CodeOverloaded || code == CodeUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	WriteJSON(w, status, Envelope{Error: &Error{Code: code, Message: message}})
+}
+
+// WriteJSON encodes v to a buffer first, so an encoding failure can still
+// produce a clean 500 — once WriteHeader has fired the status is committed
+// and a half-written body is all the client would get.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, fmt.Sprintf("encode response: %v", err), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		// Headers are gone; nothing to do but note the broken pipe.
+		log.Printf("write response: %v", err)
+	}
+}

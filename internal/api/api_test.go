@@ -1,0 +1,137 @@
+package api
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestRouteTableGolden locks the public route table — the one surface both
+// briq-server and briq-gateway mount. A drift here is an API change: move
+// the golden, the server and gateway route tests, and the client in the
+// same commit. Regenerate deliberately with:
+//
+//	go test ./internal/api -run TestRouteTableGolden -update
+func TestRouteTableGolden(t *testing.T) {
+	var b strings.Builder
+	for _, r := range Surface() {
+		fmt.Fprintf(&b, "%s %s (legacy alias %s)\n", r.Name, Versioned(r.Path), r.Path)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "routes.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("route table drifted from golden.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestStatusByCodeComplete pins the code table: every code constant maps to
+// a status, and the map holds nothing else.
+func TestStatusByCodeComplete(t *testing.T) {
+	want := map[string]int{
+		CodeBadRequest:       400,
+		CodeMethodNotAllowed: 405,
+		CodePayloadTooLarge:  413,
+		CodeNoTables:         422,
+		CodeNoMentions:       422,
+		CodeUnprocessable:    422,
+		CodeOverloaded:       429,
+		CodeInternal:         500,
+		CodeUnavailable:      503,
+		CodeDeadline:         504,
+	}
+	if len(StatusByCode) != len(want) {
+		t.Fatalf("StatusByCode has %d codes, want %d — extend this test with the new code", len(StatusByCode), len(want))
+	}
+	for code, status := range want {
+		if got := StatusByCode[code]; got != status {
+			t.Errorf("code %q → %d, want %d", code, got, status)
+		}
+	}
+}
+
+// TestMountAliases checks that Mount serves the handler on both path forms
+// and stamps the deprecation header only on the legacy alias.
+func TestMountAliases(t *testing.T) {
+	mux := http.NewServeMux()
+	r := Route{Name: "align", Path: "/align"}
+	Mount(mux, r, http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		WriteResult(w, map[string]any{"ok": true})
+	}))
+
+	for _, tc := range []struct {
+		path           string
+		wantDeprecated bool
+	}{
+		{"/v1/align", false},
+		{"/align", true},
+	} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, tc.path, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status = %d", tc.path, rec.Code)
+		}
+		dep := rec.Header().Get(DeprecationHeader)
+		if tc.wantDeprecated && dep != "use /v1/align" {
+			t.Errorf("%s: deprecation header = %q, want pointer to /v1/align", tc.path, dep)
+		}
+		if !tc.wantDeprecated && dep != "" {
+			t.Errorf("%s: unexpected deprecation header %q on versioned path", tc.path, dep)
+		}
+	}
+}
+
+// TestWriteErrorContract checks status derivation, the Retry-After hint on
+// backpressure codes, and that an unknown code degrades to 500 internal.
+func TestWriteErrorContract(t *testing.T) {
+	for _, tc := range []struct {
+		code           string
+		wantStatus     int
+		wantCode       string
+		wantRetryAfter bool
+	}{
+		{CodeOverloaded, 429, CodeOverloaded, true},
+		{CodeUnavailable, 503, CodeUnavailable, true},
+		{CodeDeadline, 504, CodeDeadline, false},
+		{"no_such_code", 500, CodeInternal, false},
+	} {
+		rec := httptest.NewRecorder()
+		WriteError(rec, tc.code, "boom")
+		if rec.Code != tc.wantStatus {
+			t.Errorf("%s: status = %d, want %d", tc.code, rec.Code, tc.wantStatus)
+		}
+		if got := rec.Header().Get("Retry-After") != ""; got != tc.wantRetryAfter {
+			t.Errorf("%s: Retry-After present = %v, want %v", tc.code, got, tc.wantRetryAfter)
+		}
+		var env Envelope
+		if err := json.NewDecoder(rec.Body).Decode(&env); err != nil {
+			t.Fatal(err)
+		}
+		if env.Error == nil || env.Error.Code != tc.wantCode {
+			t.Errorf("%s: error = %+v, want code %q", tc.code, env.Error, tc.wantCode)
+		}
+		if env.Result != nil {
+			t.Errorf("%s: error envelope carries a result", tc.code)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package gateway
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"briq/client"
+)
+
+// replicaState tracks one replica's liveness as the prober sees it.
+// Transitions are hysteretic: FailThreshold consecutive probe failures eject
+// a replica, ReviveThreshold consecutive successes readmit it — a single
+// dropped probe must not reshuffle an arc of the key space.
+type replicaState struct {
+	healthy    atomic.Bool
+	consecFail atomic.Int64
+	consecOK   atomic.Int64
+	ejections  atomic.Int64
+}
+
+// prober periodically probes every replica's /healthz and maintains the
+// healthy flags the router reads. In-band signals feed it too: a transport
+// error on a proxied request counts as a probe failure (ReportFailure), so a
+// crashed replica is ejected at the next request rather than the next tick.
+type prober struct {
+	clients  []*client.Client
+	states   []*replicaState
+	interval time.Duration
+	fail     int
+	revive   int
+	probes   atomic.Int64 // total probes issued, for the metrics section
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+const (
+	// DefaultProbeInterval is how often each replica's /healthz is probed.
+	DefaultProbeInterval = 500 * time.Millisecond
+	// DefaultFailThreshold ejects a replica after this many consecutive
+	// failed probes (or in-band transport failures).
+	DefaultFailThreshold = 2
+	// DefaultReviveThreshold readmits an ejected replica after this many
+	// consecutive successful probes.
+	DefaultReviveThreshold = 2
+	// probeTimeout bounds one /healthz round trip.
+	probeTimeout = time.Second
+)
+
+func newProber(clients []*client.Client, interval time.Duration, fail, revive int) *prober {
+	if interval <= 0 {
+		interval = DefaultProbeInterval
+	}
+	if fail <= 0 {
+		fail = DefaultFailThreshold
+	}
+	if revive <= 0 {
+		revive = DefaultReviveThreshold
+	}
+	states := make([]*replicaState, len(clients))
+	for i := range states {
+		// Verdicts start pessimistic; bootProbe seeds them before the gateway
+		// serves traffic.
+		states[i] = &replicaState{}
+	}
+	return &prober{
+		clients:  clients,
+		states:   states,
+		interval: interval,
+		fail:     fail,
+		revive:   revive,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// bootProbe seeds every replica's verdict synchronously, before the gateway
+// serves traffic: healthy exactly when the boot probe succeeds, no
+// hysteresis — there is no history to damp yet. This keeps the gateway's own
+// /healthz honest from its first request: a fleet booting together reports
+// unavailable until a replica actually answers, rather than optimistically
+// routing into connection refusals.
+func (p *prober) bootProbe() {
+	var wg sync.WaitGroup
+	for i := range p.clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p.probes.Add(1)
+			ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+			defer cancel()
+			p.states[i].healthy.Store(p.clients[i].Healthz(ctx) == nil)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// run probes until Stop; call in a goroutine.
+func (p *prober) run() {
+	defer close(p.done)
+	ticker := time.NewTicker(p.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-ticker.C:
+			p.probeAll()
+		}
+	}
+}
+
+// probeAll probes every replica once, concurrently — a hung replica must not
+// delay the others' verdicts.
+func (p *prober) probeAll() {
+	var wg sync.WaitGroup
+	for i := range p.clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p.probes.Add(1)
+			ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+			defer cancel()
+			if err := p.clients[i].Healthz(ctx); err != nil {
+				p.ReportFailure(i)
+			} else {
+				p.reportSuccess(i)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func (p *prober) Stop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	<-p.done
+}
+
+// Alive reports replica i's current verdict; this is the predicate the ring
+// routes through.
+func (p *prober) Alive(i int) bool { return p.states[i].healthy.Load() }
+
+// ReportFailure records a failed probe or an in-band transport failure
+// against replica i, ejecting it once the failure threshold is met.
+func (p *prober) ReportFailure(i int) {
+	s := p.states[i]
+	s.consecOK.Store(0)
+	if s.consecFail.Add(1) >= int64(p.fail) && s.healthy.CompareAndSwap(true, false) {
+		s.ejections.Add(1)
+	}
+}
+
+// reportSuccess records a successful probe, readmitting an ejected replica
+// once the revive threshold is met. Only probes readmit: a replica that
+// happens to answer one proxied request is not yet trusted with its arc.
+func (p *prober) reportSuccess(i int) {
+	s := p.states[i]
+	s.consecFail.Store(0)
+	if !s.healthy.Load() {
+		if s.consecOK.Add(1) >= int64(p.revive) {
+			s.healthy.Store(true)
+		}
+		return
+	}
+	s.consecOK.Add(1)
+}

@@ -1,0 +1,222 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"briq/client"
+	"briq/internal/api"
+	"briq/internal/core"
+	"briq/internal/obs"
+	"briq/internal/serve"
+)
+
+// metrics is the gateway's own instrumentation: per-route request counters
+// and latencies, proxy-path events, and per-replica forwarding counters.
+// Replica-side sections are not stored here — they are scraped and merged at
+// snapshot time, so /metrics is always the live fleet view.
+type metrics struct {
+	requests   *obs.CounterSet
+	errors     *obs.CounterSet
+	gw         *obs.CounterSet
+	handlers   *obs.Recorder
+	perReplica []*replicaCounters
+}
+
+type replicaCounters struct {
+	forwarded atomic.Int64 // responses received from this replica
+	errors    atomic.Int64 // transport failures against this replica
+	sheds     atomic.Int64 // 429/504 answers that were retried past it
+}
+
+func newMetrics(replicas int) *metrics {
+	per := make([]*replicaCounters, replicas)
+	for i := range per {
+		per[i] = &replicaCounters{}
+	}
+	routes := api.RouteNames()
+	return &metrics{
+		requests: obs.NewCounterSet(append(routes, "total")...),
+		errors:   obs.NewCounterSet("panics"),
+		gw: obs.NewCounterSet("proxied", "retries", "retry_budget_exhausted",
+			"no_healthy_replica", "upstream_transport_errors", "upstream_unavailable"),
+		handlers:   obs.NewRecorder(routes...),
+		perReplica: per,
+	}
+}
+
+// scrapeTimeout bounds the whole replica metrics fan-out; a hung replica
+// must not hang the fleet's dashboard.
+const scrapeTimeout = 2 * time.Second
+
+// handleMetrics answers the aggregated fleet snapshot. The top-level schema
+// is briq-server's — requests, errors, batch, stages, handlers, serving,
+// model, uptime_seconds — with counters summed and histograms merged across
+// replica scrapes, so anything that reads a single server's /metrics (the
+// load harness's serving cross-check above all) reads the gateway
+// unchanged. A "gateway" section carries what only the gateway knows:
+// routing, health, retry-budget and per-replica detail.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		api.WriteError(w, api.CodeMethodNotAllowed, "GET only")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), scrapeTimeout)
+	defer cancel()
+
+	scrapes := make([]*client.Metrics, len(g.clients))
+	var wg sync.WaitGroup
+	for i := range g.clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if m, err := g.clients[i].Metrics(ctx); err == nil {
+				scrapes[i] = m
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	snap := map[string]any{
+		"uptime_seconds": time.Since(g.start).Seconds(),
+		"requests":       g.metrics.requests.Snapshot(),
+		"errors":         g.metrics.errors.Snapshot(),
+		"handlers":       g.metrics.handlers.Snapshot(),
+		"batch":          sumSections(scrapes, "batch", map[string]int64{"pages": 0, "documents": 0, "alignments": 0}),
+		"stages":         mergeHistogramSections(scrapes, "stages"),
+		"serving":        sumSections(scrapes, "serving", (*serve.Engine)(nil).Counters()),
+		"model":          g.modelSection(scrapes),
+		"gateway":        g.gatewaySection(scrapes),
+	}
+	api.WriteJSON(w, http.StatusOK, snap)
+}
+
+// sumSections key-wise sums a flat map[string]number section across the
+// replica scrapes that answered, on top of a zeroed seed carrying the
+// section's stable schema — the aggregate keeps its full shape even while
+// every scrape fails. A replica that failed its scrape contributes nothing,
+// visible via gateway.replicas[].scrape_ok.
+func sumSections(scrapes []*client.Metrics, section string, seed map[string]int64) map[string]int64 {
+	out := seed
+	if out == nil {
+		out = map[string]int64{}
+	}
+	for _, m := range scrapes {
+		if m == nil {
+			continue
+		}
+		raw, ok := m.Raw[section]
+		if !ok {
+			continue
+		}
+		var part map[string]int64
+		if err := json.Unmarshal(raw, &part); err != nil {
+			continue
+		}
+		for k, v := range part {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// mergeHistogramSections merges a map[string]HistogramSnapshot section
+// across replica scrapes via obs.MergeSnapshots — cross-process histogram
+// aggregation with the same layout rules as in-process Recorder merging.
+// The pipeline stages are pre-registered cold, so the section keeps its
+// schema when every scrape fails.
+func mergeHistogramSections(scrapes []*client.Metrics, section string) map[string]obs.HistogramSnapshot {
+	out := obs.NewRecorder(core.StageNames()...).Snapshot()
+	for _, m := range scrapes {
+		if m == nil {
+			continue
+		}
+		raw, ok := m.Raw[section]
+		if !ok {
+			continue
+		}
+		var part map[string]obs.HistogramSnapshot
+		if err := json.Unmarshal(raw, &part); err != nil {
+			continue
+		}
+		for k, snap := range part {
+			merged, err := obs.MergeSnapshots(out[k], snap)
+			if err != nil {
+				// Mismatched layouts across replica versions: keep the
+				// first layout seen rather than corrupting the merge.
+				continue
+			}
+			out[k] = merged
+		}
+	}
+	return out
+}
+
+// modelSection reports the fleet's model fingerprint: the consensus value
+// when every scraped replica agrees (the invariant a bundle-booted fleet
+// maintains), with a consistent=false flag the moment they diverge —
+// divergence means cache shards are computing different answers for the
+// same keys, which operators must see.
+func (g *Gateway) modelSection(scrapes []*client.Metrics) map[string]any {
+	fingerprint, consistent := "", true
+	for _, m := range scrapes {
+		if m == nil {
+			continue
+		}
+		raw, ok := m.Raw["model"]
+		if !ok {
+			continue
+		}
+		var part struct {
+			Fingerprint string `json:"fingerprint"`
+		}
+		if err := json.Unmarshal(raw, &part); err != nil {
+			continue
+		}
+		switch fingerprint {
+		case "":
+			fingerprint = part.Fingerprint
+		case part.Fingerprint:
+		default:
+			consistent = false
+		}
+	}
+	return map[string]any{"fingerprint": fingerprint, "consistent": consistent}
+}
+
+// gatewaySection is the fleet view only the gateway has.
+func (g *Gateway) gatewaySection(scrapes []*client.Metrics) map[string]any {
+	replicas := make([]map[string]any, len(g.clients))
+	for i, c := range g.clients {
+		s := g.prober.states[i]
+		replicas[i] = map[string]any{
+			"url":       c.BaseURL(),
+			"healthy":   s.healthy.Load(),
+			"ejections": s.ejections.Load(),
+			"forwarded": g.metrics.perReplica[i].forwarded.Load(),
+			"errors":    g.metrics.perReplica[i].errors.Load(),
+			"sheds":     g.metrics.perReplica[i].sheds.Load(),
+			"scrape_ok": scrapes[i] != nil,
+		}
+	}
+	g.budgetMu.Lock()
+	budget := g.budget
+	g.budgetMu.Unlock()
+	return map[string]any{
+		"ring": map[string]any{
+			"replicas": len(g.clients),
+			"vnodes":   g.ring.vnodes,
+		},
+		"proxy": g.metrics.gw.Snapshot(),
+		"retry_budget": map[string]any{
+			"ratio":  g.ratio,
+			"tokens": budget,
+		},
+		"probes":   g.prober.probes.Load(),
+		"replicas": replicas,
+	}
+}

@@ -1,0 +1,134 @@
+package gateway
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over a fixed replica set. Each replica owns
+// DefaultVNodes points on the ring (derived from its URL, so the layout is a
+// pure function of the configuration — every gateway process fronting the
+// same fleet routes identically, and a restart changes nothing). A request
+// key is routed to the first point clockwise from its hash.
+//
+// Consistent hashing is what makes a replica fleet a *sharded cache* rather
+// than N copies of the same cache: each replica's LRU holds only its slice
+// of the key space, so the fleet's aggregate cache capacity scales with N,
+// and ejecting a replica moves only that replica's arc to its successors
+// instead of reshuffling every key.
+//
+// The ring itself is immutable after New; liveness is layered on top by the
+// caller passing an alive() predicate to Owner/Walk, so health flaps never
+// rebuild the ring (and keys owned by healthy replicas never move when an
+// unrelated replica is ejected).
+type Ring struct {
+	replicas []string
+	points   []ringPoint // sorted by hash
+	vnodes   int
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+// DefaultVNodes is the per-replica virtual-node count: enough points that
+// arcs even out (the largest replica share stays within a few percent of
+// 1/N) while keeping the ring binary-search small.
+const DefaultVNodes = 128
+
+// NewRing builds the ring for an ordered replica list. The replica list is
+// part of the fleet configuration: same list (in any order) plus same vnode
+// count ⇒ same routing.
+func NewRing(replicas []string, vnodes int) (*Ring, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("gateway: ring needs at least one replica")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(replicas))
+	r := &Ring{
+		replicas: append([]string(nil), replicas...),
+		points:   make([]ringPoint, 0, len(replicas)*vnodes),
+		vnodes:   vnodes,
+	}
+	for i, rep := range replicas {
+		if seen[rep] {
+			return nil, fmt.Errorf("gateway: duplicate replica %q", rep)
+		}
+		seen[rep] = true
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:    pointHash(rep, v),
+				replica: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// A 64-bit collision between two replicas' points is astronomically
+		// unlikely but must still order deterministically.
+		return r.points[a].replica < r.points[b].replica
+	})
+	return r, nil
+}
+
+// pointHash derives a ring position for one virtual node from the replica
+// URL — stable across processes and restarts.
+func pointHash(replica string, vnode int) uint64 {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%d", replica, vnode)
+	return binary.BigEndian.Uint64(h.Sum(nil))
+}
+
+// KeyHash positions a request key on the ring: SHA-256 of the routing
+// identity (endpoint + body), truncated to the ring's 64-bit space.
+func KeyHash(key []byte) uint64 {
+	sum := sha256.Sum256(key)
+	return binary.BigEndian.Uint64(sum[:])
+}
+
+// Replicas returns the configured replica list in ring order (configuration
+// order, not hash order).
+func (r *Ring) Replicas() []string { return r.replicas }
+
+// Owner returns the index of the replica owning hash among those for which
+// alive returns true, or -1 when none is alive. A nil alive means all
+// replicas count.
+func (r *Ring) Owner(hash uint64, alive func(int) bool) int {
+	owners := r.Walk(hash, 1, alive)
+	if len(owners) == 0 {
+		return -1
+	}
+	return owners[0]
+}
+
+// Walk returns up to n distinct alive replicas in ring order starting at the
+// owner of hash: the owner first, then the successors a retry should fall
+// through to. Successor order is a property of the ring, so every gateway
+// retries toward the same sibling and the sibling's cache shard warms
+// deterministically under a replica outage.
+func (r *Ring) Walk(hash uint64, n int, alive func(int) bool) []int {
+	if n <= 0 || len(r.points) == 0 {
+		return nil
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= hash })
+	var out []int
+	seen := make(map[int]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.replica] {
+			continue
+		}
+		seen[p.replica] = true
+		if alive == nil || alive(p.replica) {
+			out = append(out, p.replica)
+		}
+	}
+	return out
+}

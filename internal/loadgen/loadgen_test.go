@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -100,6 +101,48 @@ func TestBuildScheduleDeterministic(t *testing.T) {
 	}
 }
 
+func TestBuildScheduleBatchBlocks(t *testing.T) {
+	cfg := Config{QPS: 300, Duration: 2 * time.Second, Seed: 9, BatchPages: 4,
+		BatchBlocks: true, Mix: Mix{Batch: 1}}
+	const npages = 22 // 5 whole blocks + 2 tail pages
+	sched := BuildSchedule(cfg, npages)
+	if !reflect.DeepEqual(sched, BuildSchedule(cfg, npages)) {
+		t.Fatal("same config produced different schedules")
+	}
+	blockHits := map[int]int{}
+	for _, r := range sched {
+		if r.Endpoint != EndpointBatch {
+			t.Fatalf("batch-only mix scheduled %s", r.Endpoint)
+		}
+		if len(r.Pages) != 4 {
+			t.Fatalf("batch with %d pages, want 4", len(r.Pages))
+		}
+		// Every batch must be one aligned block: pages [4b, 4b+4), so the
+		// request body is identical on every recurrence and a consistent-hash
+		// gateway routes the block to one replica.
+		b := r.Pages[0] / 4
+		for j, p := range r.Pages {
+			if p != b*4+j {
+				t.Fatalf("batch pages %v are not aligned block %d", r.Pages, b)
+			}
+		}
+		if b >= npages/4 {
+			t.Fatalf("block %d reaches into the partial tail (npages=%d)", b, npages)
+		}
+		blockHits[b]++
+	}
+	if len(sched) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if len(blockHits) < 2 {
+		t.Fatalf("only %d distinct blocks scheduled", len(blockHits))
+	}
+	// Same Zipf skew over block ranks as over page ranks.
+	if blockHits[0] <= blockHits[4] {
+		t.Errorf("no block popularity skew: block0=%d block4=%d", blockHits[0], blockHits[4])
+	}
+}
+
 // fakeServer mimics the slice of briq-server the harness touches: the three
 // POST endpoints answering a scripted status sequence, and GET /metrics with
 // live serving counters — so the test controls exactly which outcomes occur
@@ -114,12 +157,15 @@ type fakeServer struct {
 }
 
 func (f *fakeServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path == "/metrics" {
+	// The harness speaks the versioned surface; the legacy alias serves the
+	// same handlers, so the fake accepts both.
+	path := strings.TrimPrefix(r.URL.Path, "/v1")
+	if path == "/metrics" {
 		fmt.Fprintf(w, `{"serving":{"hits":%d,"misses":%d,"coalesced":0,"stores":%d,"shed_overloaded":%d,"shed_deadline":0}}`,
 			f.hits.Load(), f.misses.Load(), f.misses.Load(), f.shed.Load())
 		return
 	}
-	if r.URL.Path == "/healthz" {
+	if path == "/healthz" {
 		fmt.Fprintln(w, "ok")
 		return
 	}

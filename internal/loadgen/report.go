@@ -19,6 +19,7 @@ type Report struct {
 	Rates      Rates          `json:"rates"`
 	LatencyMs  LatencyByClass `json:"latency_ms"`
 	Serving    ServingReport  `json:"serving"`
+	Scaling    Scaling        `json:"scaling"`
 }
 
 // ReportConfig echoes the run parameters, so a committed BENCH_serve.json
@@ -31,6 +32,7 @@ type ReportConfig struct {
 	Seed            int64   `json:"seed"`
 	ZipfS           float64 `json:"zipf_s"`
 	BatchPages      int     `json:"batch_pages"`
+	BatchBlocks     bool    `json:"batch_blocks"`
 	CorpusPages     int     `json:"corpus_pages"`
 	Mix             Mix     `json:"mix"`
 }
@@ -52,11 +54,17 @@ func (c RequestCounts) completed() int64 {
 	return c.OK + c.Unprocessable + c.Shed429 + c.Deadline504 + c.OtherHTTP
 }
 
-// Throughput compares what was offered with what came back.
+// Throughput compares what was offered with what came back. Docs/sec weights
+// each request by the documents it carries (align and summarize move one
+// page, a batch moves BatchPages pages) — the fleet-scaling comparisons are
+// about delivered documents, not HTTP round trips, because shedding one
+// batch loses BatchPages pages of work.
 type Throughput struct {
-	OfferedQPS  float64 `json:"offered_qps"`  // scheduled arrivals / schedule window
-	AchievedQPS float64 `json:"achieved_qps"` // completed HTTP responses / wall clock incl. drain
-	GoodputQPS  float64 `json:"goodput_qps"`  // 200s / wall clock incl. drain
+	OfferedQPS        float64 `json:"offered_qps"`          // scheduled arrivals / schedule window
+	AchievedQPS       float64 `json:"achieved_qps"`         // completed HTTP responses / wall clock incl. drain
+	GoodputQPS        float64 `json:"goodput_qps"`          // 200s / wall clock incl. drain
+	OfferedDocsPerSec float64 `json:"offered_docs_per_sec"` // scheduled page-weighted arrivals / schedule window
+	GoodputDocsPerSec float64 `json:"goodput_docs_per_sec"` // pages delivered in 200s / wall clock incl. drain
 }
 
 // Rates are the outcome counts as fractions of sent requests — the
@@ -103,8 +111,10 @@ type LatencyByClass struct {
 
 // ServingReport is the server's own view of the measured window: the
 // /metrics serving-counter deltas plus the derived cache hit rate. ScrapeOK
-// is false when either scrape failed (the deltas are then zero, and the
-// client-side counts are the only record of the run).
+// is false when either scrape failed, or when the deltas went negative
+// because the scraped population shrank mid-window — a chaos run killing a
+// replica out of the gateway's aggregate. The deltas are then zero, and the
+// client-side counts are the only record of the run.
 type ServingReport struct {
 	ScrapeOK       bool    `json:"scrape_ok"`
 	Hits           int64   `json:"hits"`
@@ -114,6 +124,103 @@ type ServingReport struct {
 	ShedOverloaded int64   `json:"shed_overloaded"`
 	ShedDeadline   int64   `json:"shed_deadline"`
 	CacheHitRate   float64 `json:"cache_hit_rate"`
+}
+
+// Scaling is the gateway replica-scaling section of BENCH_serve.json,
+// filled in by `briq-loadgen -scaling <slot>` merge runs (make bench-gateway):
+// the same offered load against one replica, against two gateway-sharded
+// replicas, and with a replica killed mid-run. Every slot is always present
+// — Present=false with zeros on reports that never ran the comparison — so
+// the schema golden sees one shape regardless.
+type Scaling struct {
+	Replicas1 ScalingRun `json:"replicas_1"` // gateway fronting one replica
+	Replicas2 ScalingRun `json:"replicas_2"` // gateway sharding two replicas
+	Chaos     ScalingRun `json:"chaos"`      // two replicas, one killed mid-run
+	// Speedups are replicas_2 over replicas_1 at equal offered QPS; zero
+	// until both runs are recorded. DocsSpeedup — delivered documents per
+	// second — is the headline number: it charges a shed batch for every page
+	// it carried.
+	GoodputSpeedup  float64 `json:"goodput_speedup"`
+	AchievedSpeedup float64 `json:"achieved_speedup"`
+	DocsSpeedup     float64 `json:"docs_speedup"`
+}
+
+// ScalingRun condenses one load run into the numbers the scaling comparison
+// is about.
+type ScalingRun struct {
+	Present           bool    `json:"present"`
+	Target            string  `json:"target"`
+	OfferedQPS        float64 `json:"offered_qps"`
+	AchievedQPS       float64 `json:"achieved_qps"`
+	GoodputQPS        float64 `json:"goodput_qps"`
+	GoodputDocsPerSec float64 `json:"goodput_docs_per_sec"`
+	CacheHitRate      float64 `json:"cache_hit_rate"`
+	ShedRate429       float64 `json:"shed_429_rate"`
+	ErrorRate         float64 `json:"error_rate"` // other_http + transport_errors
+	P50Ms             float64 `json:"p50_ms"`
+	P99Ms             float64 `json:"p99_ms"`
+	Sent              int64   `json:"sent"`
+	OK                int64   `json:"ok"`
+}
+
+// ScalingSlots names the Scaling fields a merge run may target.
+func ScalingSlots() []string { return []string{"replicas_1", "replicas_2", "chaos"} }
+
+// AsScalingRun condenses this report into a scaling slot entry.
+func (r *Report) AsScalingRun() ScalingRun {
+	return ScalingRun{
+		Present:           true,
+		Target:            r.Config.Target,
+		OfferedQPS:        r.Throughput.OfferedQPS,
+		AchievedQPS:       r.Throughput.AchievedQPS,
+		GoodputQPS:        r.Throughput.GoodputQPS,
+		GoodputDocsPerSec: r.Throughput.GoodputDocsPerSec,
+		CacheHitRate:      r.Serving.CacheHitRate,
+		ShedRate429:       r.Rates.Shed429,
+		ErrorRate:         r.Rates.Error,
+		P50Ms:             r.LatencyMs.Overall.P50Ms,
+		P99Ms:             r.LatencyMs.Overall.P99Ms,
+		Sent:              r.Requests.Sent,
+		OK:                r.Requests.OK,
+	}
+}
+
+// MergeScalingInto records run under slot in the report file at path —
+// creating the file from base when it does not exist yet — and recomputes
+// the speedups when both replica runs are present. This is how bench-gateway
+// folds its comparison runs into the committed BENCH_serve.json without
+// disturbing the single-server sections bench-serve wrote.
+func MergeScalingInto(path, slot string, base *Report, run ScalingRun) error {
+	rep := base
+	if data, err := os.ReadFile(path); err == nil {
+		var onDisk Report
+		if err := json.Unmarshal(data, &onDisk); err != nil {
+			return fmt.Errorf("loadgen: merge scaling: decode %s: %w", path, err)
+		}
+		rep = &onDisk
+	} else if base == nil {
+		return fmt.Errorf("loadgen: merge scaling: read %s: %w", path, err)
+	}
+	switch slot {
+	case "replicas_1":
+		rep.Scaling.Replicas1 = run
+	case "replicas_2":
+		rep.Scaling.Replicas2 = run
+	case "chaos":
+		rep.Scaling.Chaos = run
+	default:
+		return fmt.Errorf("loadgen: merge scaling: unknown slot %q (known: %v)", slot, ScalingSlots())
+	}
+	if r1, r2 := rep.Scaling.Replicas1, rep.Scaling.Replicas2; r1.Present && r2.Present && r1.GoodputQPS > 0 {
+		rep.Scaling.GoodputSpeedup = r2.GoodputQPS / r1.GoodputQPS
+		if r1.AchievedQPS > 0 {
+			rep.Scaling.AchievedSpeedup = r2.AchievedQPS / r1.AchievedQPS
+		}
+		if r1.GoodputDocsPerSec > 0 {
+			rep.Scaling.DocsSpeedup = r2.GoodputDocsPerSec / r1.GoodputDocsPerSec
+		}
+	}
+	return rep.WriteFile(path)
 }
 
 // WriteFile writes the report as indented JSON, the committed
@@ -129,11 +236,12 @@ func (r *Report) WriteFile(path string) error {
 // String renders the one-screen operator summary briq-loadgen prints.
 func (r *Report) String() string {
 	return fmt.Sprintf(
-		"offered %.1f qps → achieved %.1f qps (goodput %.1f) over %.1fs\n"+
+		"offered %.1f qps → achieved %.1f qps (goodput %.1f, %.1f docs/s) over %.1fs\n"+
 			"requests: %d sent / %d ok / %d unprocessable / %d shed(429) / %d deadline(504) / %d other / %d transport\n"+
 			"latency ms (from scheduled arrival): p50 %.2f  p90 %.2f  p95 %.2f  p99 %.2f  max %.2f\n"+
 			"serving: hit rate %.1f%% (%d hits / %d misses, %d coalesced), shed %d overloaded / %d deadline",
-		r.Throughput.OfferedQPS, r.Throughput.AchievedQPS, r.Throughput.GoodputQPS, r.Config.DurationSeconds,
+		r.Throughput.OfferedQPS, r.Throughput.AchievedQPS, r.Throughput.GoodputQPS,
+		r.Throughput.GoodputDocsPerSec, r.Config.DurationSeconds,
 		r.Requests.Sent, r.Requests.OK, r.Requests.Unprocessable, r.Requests.Shed429,
 		r.Requests.Deadline504, r.Requests.OtherHTTP, r.Requests.TransportErrs,
 		r.LatencyMs.Overall.P50Ms, r.LatencyMs.Overall.P90Ms, r.LatencyMs.Overall.P95Ms,

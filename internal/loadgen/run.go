@@ -1,16 +1,15 @@
 package loadgen
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
-	"strings"
 	"sync"
 	"time"
 
+	"briq/client"
+	"briq/internal/api"
 	"briq/internal/obs"
 )
 
@@ -37,20 +36,26 @@ func Run(ctx context.Context, cfg Config, pages []Page) (*Report, error) {
 	if cfg.BaseURL == "" {
 		return nil, fmt.Errorf("loadgen: no base URL")
 	}
-	base := strings.TrimRight(cfg.BaseURL, "/")
 	sched := BuildSchedule(cfg, len(pages))
 
 	// The open loop needs one connection per concurrent request; the
 	// transport must not throttle below the offered concurrency or the
-	// harness would reintroduce the coordination it exists to avoid.
-	client := &http.Client{
+	// harness would reintroduce the coordination it exists to avoid. Base-URL
+	// normalization (scheme default, trailing slashes, reverse-proxy base
+	// paths) is the client's job; retries stay off so every shed response is
+	// seen — and counted — exactly once.
+	c, err := client.New(cfg.BaseURL, client.WithHTTPClient(&http.Client{
 		Timeout: cfg.Timeout,
 		Transport: &http.Transport{
 			MaxIdleConns:        1024,
 			MaxIdleConnsPerHost: 1024,
 			IdleConnTimeout:     90 * time.Second,
 		},
+	}))
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
 	}
+	base := c.BaseURL()
 
 	rec := newRecorder()
 
@@ -65,7 +70,7 @@ func Run(ctx context.Context, cfg Config, pages []Page) (*Report, error) {
 	var beforeErr error
 	scraped := make(chan struct{})
 	if cfg.Warmup == 0 {
-		before, beforeErr = ScrapeServing(client, base)
+		before, beforeErr = ScrapeServing(ctx, c)
 		close(scraped)
 	} else {
 		go func() {
@@ -75,7 +80,7 @@ func Run(ctx context.Context, cfg Config, pages []Page) (*Report, error) {
 			case <-ctx.Done():
 				return
 			}
-			before, beforeErr = ScrapeServing(client, base)
+			before, beforeErr = ScrapeServing(ctx, c)
 		}()
 	}
 
@@ -102,9 +107,9 @@ func Run(ctx context.Context, cfg Config, pages []Page) (*Report, error) {
 		wg.Add(1)
 		go func(req Request) {
 			defer wg.Done()
-			status, err := send(client, base, pages, req)
+			status, err := send(ctx, c, pages, req)
 			if measured {
-				rec.record(req.Endpoint, time.Since(start.Add(req.At)), status, err)
+				rec.record(req.Endpoint, len(req.Pages), time.Since(start.Add(req.At)), status, err)
 			}
 		}(req)
 	}
@@ -117,7 +122,11 @@ func Run(ctx context.Context, cfg Config, pages []Page) (*Report, error) {
 	<-scraped
 	serving := ServingReport{}
 	if beforeErr == nil && ctx.Err() == nil {
-		if after, err := ScrapeServing(client, base); err == nil {
+		// A non-monotone delta means the scraped population shrank mid-window
+		// (a chaos run killed a replica out of the gateway's aggregate); the
+		// delta is then not a record of this run, so report the scrape failed
+		// rather than derive a fictional hit rate from it.
+		if after, err := ScrapeServing(ctx, c); err == nil && after.Sub(before).Monotone() {
 			d := after.Sub(before)
 			serving = ServingReport{
 				ScrapeOK:       true,
@@ -135,49 +144,49 @@ func Run(ctx context.Context, cfg Config, pages []Page) (*Report, error) {
 	return rec.report(cfg, base, len(pages), scheduled, sent, wall, serving), nil
 }
 
-// send issues one scheduled request and fully drains the response. It
-// returns the HTTP status, or 0 with an error when no response arrived.
-func send(client *http.Client, base string, pages []Page, req Request) (int, error) {
-	var url, contentType string
+// send issues one scheduled request through the client's raw path — URL
+// composition and transport are the client's, but the response body is
+// drained without decoding (the harness accounts statuses, it does not
+// consume results) — and returns the HTTP status, or 0 with an error when no
+// response arrived.
+func send(ctx context.Context, c *client.Client, pages []Page, req Request) (int, error) {
+	var path, contentType string
 	var body []byte
 	switch req.Endpoint {
 	case EndpointAlign, EndpointSummarize:
-		url = base + "/" + req.Endpoint
+		path = api.Versioned("/" + req.Endpoint)
 		contentType = "text/html"
 		body = []byte(pages[req.Pages[0]].HTML)
 	case EndpointBatch:
-		url = base + "/align/batch"
+		path = api.Versioned("/align/batch")
 		contentType = "application/json"
-		type batchPage struct {
-			ID   string `json:"id"`
-			HTML string `json:"html"`
-		}
 		payload := struct {
-			Pages []batchPage `json:"pages"`
+			Pages []client.Page `json:"pages"`
 		}{}
 		for _, i := range req.Pages {
-			payload.Pages = append(payload.Pages, batchPage{ID: pages[i].ID, HTML: pages[i].HTML})
+			payload.Pages = append(payload.Pages, client.Page{ID: pages[i].ID, HTML: pages[i].HTML})
 		}
 		body, _ = json.Marshal(payload)
 	default:
 		return 0, fmt.Errorf("loadgen: unknown endpoint %q", req.Endpoint)
 	}
-	resp, err := client.Post(url, contentType, bytes.NewReader(body))
+	resp, err := c.Do(ctx, http.MethodPost, path, contentType, body)
 	if err != nil {
 		return 0, err
 	}
-	defer resp.Body.Close()
 	// Latency covers the full response, not just the first header byte.
-	io.Copy(io.Discard, resp.Body)
+	client.Drain(resp)
 	return resp.StatusCode, nil
 }
 
 // recorder accumulates measured outcomes; all methods are goroutine-safe.
 type recorder struct {
-	mu     sync.Mutex
-	counts RequestCounts
-	all    *obs.Histogram
-	byEP   map[string]*obs.Histogram
+	mu       sync.Mutex
+	counts   RequestCounts
+	sentDocs int64 // page-weighted sent requests
+	okDocs   int64 // page-weighted 200s: documents actually delivered
+	all      *obs.Histogram
+	byEP     map[string]*obs.Histogram
 }
 
 func newRecorder() *recorder {
@@ -192,18 +201,20 @@ func newRecorder() *recorder {
 	}
 }
 
-func (r *recorder) record(endpoint string, latency time.Duration, status int, err error) {
+func (r *recorder) record(endpoint string, docs int, latency time.Duration, status int, err error) {
 	r.all.Observe(latency)
 	if h := r.byEP[endpoint]; h != nil {
 		h.Observe(latency)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.sentDocs += int64(docs)
 	switch {
 	case err != nil:
 		r.counts.TransportErrs++
 	case status == http.StatusOK:
 		r.counts.OK++
+		r.okDocs += int64(docs)
 	case status == http.StatusUnprocessableEntity:
 		r.counts.Unprocessable++
 	case status == http.StatusTooManyRequests:
@@ -218,6 +229,7 @@ func (r *recorder) record(endpoint string, latency time.Duration, status int, er
 func (r *recorder) report(cfg Config, base string, npages int, scheduled, sent int64, wall time.Duration, serving ServingReport) *Report {
 	r.mu.Lock()
 	counts := r.counts
+	sentDocs, okDocs := r.sentDocs, r.okDocs
 	r.mu.Unlock()
 	counts.Scheduled = scheduled
 	counts.Sent = sent
@@ -235,14 +247,17 @@ func (r *recorder) report(cfg Config, base string, npages int, scheduled, sent i
 			Seed:            cfg.Seed,
 			ZipfS:           cfg.ZipfS,
 			BatchPages:      cfg.BatchPages,
+			BatchBlocks:     cfg.BatchBlocks,
 			CorpusPages:     npages,
 			Mix:             cfg.Mix,
 		},
 		Requests: counts,
 		Throughput: Throughput{
-			OfferedQPS:  float64(scheduled) / cfg.Duration.Seconds(),
-			AchievedQPS: float64(counts.completed()) / secs,
-			GoodputQPS:  float64(counts.OK) / secs,
+			OfferedQPS:        float64(scheduled) / cfg.Duration.Seconds(),
+			AchievedQPS:       float64(counts.completed()) / secs,
+			GoodputQPS:        float64(counts.OK) / secs,
+			OfferedDocsPerSec: float64(sentDocs) / cfg.Duration.Seconds(),
+			GoodputDocsPerSec: float64(okDocs) / secs,
 		},
 		LatencyMs: LatencyByClass{
 			Overall:   summarize(r.all),

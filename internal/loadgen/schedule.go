@@ -79,7 +79,18 @@ type Config struct {
 	ZipfS      float64       // popularity skew exponent, > 1 (default 1.2)
 	Mix        Mix           // endpoint profile (zero = DefaultMix)
 	BatchPages int           // pages per /align/batch request (default 8)
-	Timeout    time.Duration // per-request client timeout (default 30s)
+	// BatchBlocks switches batch construction from fresh Zipf draws (every
+	// batch a unique page combination — interactive, body never repeats) to a
+	// fixed population of non-overlapping page blocks: block b is always
+	// pages [b·BatchPages, b·BatchPages+BatchPages), drawn with the same Zipf
+	// skew over block ranks. Identical batch bodies recur, which is what
+	// models bulk corpus (re)processing — and what lets a consistent-hash
+	// gateway pin each block, and its documents' cache entries, to exactly
+	// one replica. Without it batch bodies are all distinct, every replica
+	// ends up caching every hot document, and replica scaling measures only
+	// CPU contention.
+	BatchBlocks bool
+	Timeout     time.Duration // per-request client timeout (default 30s)
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +146,14 @@ func BuildSchedule(cfg Config, npages int) []Request {
 		}
 		return int(zipf.Uint64())
 	}
+	// Block mode gets its own Zipf over block ranks, so block popularity has
+	// the same skew as page popularity rather than a folded version of it.
+	var blockZipf *rand.Zipf
+	if cfg.BatchBlocks && cfg.BatchPages < npages {
+		if nblocks := npages / cfg.BatchPages; nblocks > 1 {
+			blockZipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(nblocks-1))
+		}
+	}
 
 	horizon := cfg.Warmup + cfg.Duration
 	total := cfg.Mix.total()
@@ -157,6 +176,22 @@ func BuildSchedule(cfg Config, npages int) []Request {
 			n := cfg.BatchPages
 			if n > npages {
 				n = npages
+			}
+			if cfg.BatchBlocks {
+				// Aligned block: rank 0 is the hottest block. Tail pages that
+				// don't fill a whole block are reached only by single-page
+				// endpoints.
+				b := 0
+				if blockZipf != nil {
+					b = int(blockZipf.Uint64())
+				}
+				pages := make([]int, n)
+				for j := range pages {
+					pages[j] = b*n + j
+				}
+				r.Pages = pages
+				sched = append(sched, r)
+				continue
 			}
 			pages := make([]int, 0, n)
 			seen := map[int]bool{}

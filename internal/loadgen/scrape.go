@@ -1,64 +1,26 @@
 package loadgen
 
 import (
-	"encoding/json"
-	"fmt"
-	"io"
-	"net/http"
+	"context"
+
+	"briq/client"
 )
 
 // ServingCounters is the slice of briq-server's GET /metrics the harness
 // cross-checks its client-side accounting against: the serving-layer event
 // counters (internal/serve's stable schema). Scraped before and after a run,
 // their deltas are the server's own record of what the run did to the cache
-// and the admission gate.
-type ServingCounters struct {
-	Hits           int64 `json:"hits"`
-	Misses         int64 `json:"misses"`
-	Coalesced      int64 `json:"coalesced"`
-	Stores         int64 `json:"stores"`
-	ShedOverloaded int64 `json:"shed_overloaded"`
-	ShedDeadline   int64 `json:"shed_deadline"`
-}
+// and the admission gate. The type lives in package client — the one place
+// in the repo that decodes API responses — and is aliased here for the
+// harness's report schema.
+type ServingCounters = client.ServingCounters
 
-// Sub returns the counter-by-counter delta c - prev.
-func (c ServingCounters) Sub(prev ServingCounters) ServingCounters {
-	return ServingCounters{
-		Hits:           c.Hits - prev.Hits,
-		Misses:         c.Misses - prev.Misses,
-		Coalesced:      c.Coalesced - prev.Coalesced,
-		Stores:         c.Stores - prev.Stores,
-		ShedOverloaded: c.ShedOverloaded - prev.ShedOverloaded,
-		ShedDeadline:   c.ShedDeadline - prev.ShedDeadline,
-	}
-}
-
-// HitRate is hits / (hits + misses), the cache hit rate over whatever window
-// the counters cover; 0 when the cache saw no traffic.
-func (c ServingCounters) HitRate() float64 {
-	if c.Hits+c.Misses == 0 {
-		return 0
-	}
-	return float64(c.Hits) / float64(c.Hits+c.Misses)
-}
-
-// ScrapeServing fetches GET {base}/metrics and extracts the serving
+// ScrapeServing fetches the target's metrics and extracts the serving
 // counters.
-func ScrapeServing(client *http.Client, base string) (ServingCounters, error) {
-	resp, err := client.Get(base + "/metrics")
+func ScrapeServing(ctx context.Context, c *client.Client) (ServingCounters, error) {
+	m, err := c.Metrics(ctx)
 	if err != nil {
-		return ServingCounters{}, fmt.Errorf("scrape metrics: %w", err)
+		return ServingCounters{}, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, resp.Body)
-		return ServingCounters{}, fmt.Errorf("scrape metrics: status %d", resp.StatusCode)
-	}
-	var payload struct {
-		Serving ServingCounters `json:"serving"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
-		return ServingCounters{}, fmt.Errorf("scrape metrics: decode: %w", err)
-	}
-	return payload.Serving, nil
+	return m.Serving, nil
 }

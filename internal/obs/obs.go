@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"sync"
@@ -331,6 +332,61 @@ func quantile(bounds []int64, counts []int64, total int64, q float64) float64 {
 		return (lo + (hi-lo)*frac) / nsPerMs
 	}
 	return float64(bounds[len(bounds)-1]) / nsPerMs
+}
+
+// MergeSnapshots combines two histogram snapshots of the same bucket layout
+// into one, as if every observation behind both had landed in a single
+// histogram: counts, sums and cumulative buckets add, min/max combine, and
+// the quantiles are re-estimated from the merged buckets with the same
+// estimator Snapshot uses. This is the aggregation path for snapshots that
+// crossed a process boundary — briq-gateway merges the /metrics scrapes of
+// its replicas this way, where the live *Histogram (and Histogram.Merge) is
+// out of reach.
+//
+// Unlike Histogram.Merge, a layout mismatch returns an error instead of
+// panicking: scraped payloads are runtime input, not program configuration.
+// An empty side (Count == 0, no buckets) merges to the other side unchanged.
+func MergeSnapshots(a, b HistogramSnapshot) (HistogramSnapshot, error) {
+	if len(a.Buckets) == 0 && a.Count == 0 {
+		return b, nil
+	}
+	if len(b.Buckets) == 0 && b.Count == 0 {
+		return a, nil
+	}
+	if len(a.Buckets) != len(b.Buckets) {
+		return HistogramSnapshot{}, fmt.Errorf("obs: merging snapshots with %d and %d buckets", len(a.Buckets), len(b.Buckets))
+	}
+	out := HistogramSnapshot{
+		Count:     a.Count + b.Count,
+		SumMillis: a.SumMillis + b.SumMillis,
+		Buckets:   make([]Bucket, len(a.Buckets)),
+	}
+	for i := range a.Buckets {
+		if a.Buckets[i].LEMillis != b.Buckets[i].LEMillis {
+			return HistogramSnapshot{}, fmt.Errorf("obs: merging snapshots with different bucket bounds at %d: %g vs %g",
+				i, a.Buckets[i].LEMillis, b.Buckets[i].LEMillis)
+		}
+		out.Buckets[i] = Bucket{
+			LEMillis: a.Buckets[i].LEMillis,
+			Count:    a.Buckets[i].Count + b.Buckets[i].Count,
+		}
+	}
+	switch {
+	case a.Count == 0:
+		out.MinMillis, out.MaxMillis = b.MinMillis, b.MaxMillis
+	case b.Count == 0:
+		out.MinMillis, out.MaxMillis = a.MinMillis, a.MaxMillis
+	default:
+		out.MinMillis, out.MaxMillis = math.Min(a.MinMillis, b.MinMillis), math.Max(a.MaxMillis, b.MaxMillis)
+	}
+	if out.Count > 0 {
+		out.MeanMillis = out.SumMillis / float64(out.Count)
+		out.P50Millis = out.Quantile(0.50)
+		out.P90Millis = out.Quantile(0.90)
+		out.P95Millis = out.Quantile(0.95)
+		out.P99Millis = out.Quantile(0.99)
+	}
+	return out, nil
 }
 
 // Recorder names histograms by stage. The zero value is ready to use; a nil
