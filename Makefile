@@ -1,18 +1,19 @@
 GO ?= go
 
-.PHONY: all check build vet test race bench bench-compare bench-tables bench-serve bench-gateway loadgen-smoke gateway-smoke experiments fmt fmt-check fuzz-smoke cover-check
+.PHONY: all check build vet test race bench bench-compare bench-tables bench-serve bench-gateway loadgen-smoke gateway-smoke store-smoke experiments fmt fmt-check fuzz-smoke cover-check
 
 all: check
 
 # Default verify entry point: formatting, vet, build, the full suite under
 # the race detector, a short fuzz pass over the committed corpora, the
-# coverage gate on the classification-engine packages, and two end-to-end
+# coverage gate on the classification-engine packages, and three end-to-end
 # smokes with the real binaries: the single-server load harness
-# (loadgen-smoke) and the sharded fleet behind briq-gateway including a
-# replica kill (gateway-smoke). The runtime pool, serving layer, server
-# handlers and AlignAll fan-out are concurrency-bearing, so a non-race test
-# run is not a complete check.
-check: fmt-check vet build race fuzz-smoke cover-check loadgen-smoke gateway-smoke
+# (loadgen-smoke), the sharded fleet behind briq-gateway including a
+# replica kill (gateway-smoke), and the persistent aligned-corpus store
+# across a server restart (store-smoke). The runtime pool, serving layer,
+# server handlers and AlignAll fan-out are concurrency-bearing, so a
+# non-race test run is not a complete check.
+check: fmt-check vet build race fuzz-smoke cover-check loadgen-smoke gateway-smoke store-smoke
 
 build:
 	$(GO) build ./...
@@ -93,6 +94,45 @@ gateway-smoke:
 	kill $$r2; \
 	$$tmp/briq-loadgen -target http://127.0.0.1:18577 -corpus $$tmp/corpus \
 		-qps 100 -duration 2s -seed 8 -wait 10s -min-hit-rate 0.3 -max-error-rate 0.05
+
+# End-to-end smoke of the persistent aligned-corpus store with the real
+# binaries: boot a trained briq-server on a fresh -store directory, align a
+# small corpus through it, capture GET /v1/search output with briq-search,
+# then kill the server, boot a second one on the same directory and assert
+# (a) the restart actually replayed documents, (b) the same query answers
+# byte-identically against the warm index, and (c) briq-search -store reads
+# the directory offline to the same bytes. This is the cheap guard that the
+# store contract — append-only log, fingerprint-bound replay, incremental
+# index equivalence, /v1/search surface — holds end to end; the in-process
+# equivalence proofs live in internal/store and cmd/briq-server tests.
+store-smoke:
+	@set -e; tmp=$$(mktemp -d); spid=""; \
+	trap 'test -n "$$spid" && kill $$spid 2>/dev/null; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/ ./cmd/corpusgen ./cmd/briq-train ./cmd/briq-server ./cmd/briq-loadgen ./cmd/briq-search; \
+	$$tmp/corpusgen -out $$tmp/corpus -pages 8 -seed 42 >/dev/null; \
+	$$tmp/briq-train -out $$tmp/briq.model -pages 60 -seed 42 >/dev/null; \
+	$$tmp/briq-server -addr 127.0.0.1:18578 -model $$tmp/briq.model -store $$tmp/store \
+		-cache-bytes 8388608 -max-inflight 8 -quiet 2>$$tmp/server1.log & spid=$$!; \
+	$$tmp/briq-loadgen -target http://127.0.0.1:18578 -corpus $$tmp/corpus \
+		-qps 100 -duration 2s -seed 7 -wait 15s >/dev/null; \
+	$$tmp/briq-search -addr http://127.0.0.1:18578 "revenue above 0" > $$tmp/before.txt; \
+	kill $$spid; wait $$spid 2>/dev/null || true; spid=""; \
+	$$tmp/briq-server -addr 127.0.0.1:18578 -model $$tmp/briq.model -store $$tmp/store \
+		-cache-bytes 8388608 -max-inflight 8 -quiet 2>$$tmp/server2.log & spid=$$!; \
+	for i in $$(seq 1 75); do \
+		$$tmp/briq-search -addr http://127.0.0.1:18578 "revenue above 0" \
+			> $$tmp/after.txt 2>/dev/null && break; sleep 0.2; done; \
+	grep -q '\[pg' $$tmp/before.txt \
+		|| { echo "store-smoke: first query found nothing"; cat $$tmp/before.txt; exit 1; }; \
+	grep -E 'replayed [1-9][0-9]* documents' $$tmp/server2.log >/dev/null \
+		|| { echo "store-smoke: warm restart replayed nothing"; cat $$tmp/server2.log; exit 1; }; \
+	cmp $$tmp/before.txt $$tmp/after.txt \
+		|| { echo "store-smoke: search results diverged across restart"; exit 1; }; \
+	$$tmp/briq-search -store $$tmp/store "revenue above 0" | tail -n +2 > $$tmp/offline.txt; \
+	cmp $$tmp/before.txt $$tmp/offline.txt \
+		|| { echo "store-smoke: offline -store results diverge from server"; exit 1; }; \
+	kill $$spid; spid=""; \
+	echo "store-smoke: warm restart byte-identical, offline store matches"
 
 # Serving baseline: a size-targeted corpus, a trained briq-server with the
 # production serving configuration, and an open-loop run that writes the

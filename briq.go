@@ -54,6 +54,7 @@ import (
 	"briq/internal/experiment"
 	"briq/internal/htmlx"
 	"briq/internal/obs"
+	"briq/internal/quantsearch"
 	"briq/internal/resolve"
 	"briq/internal/runtime"
 	"briq/internal/serve"
@@ -100,6 +101,10 @@ var (
 	// ErrDeadlineBudget reports a request whose context expired while it
 	// waited for admission — its deadline budget was spent queuing.
 	ErrDeadlineBudget = serve.ErrDeadlineBudget
+	// ErrBadQuery reports an uninterpretable quantity-search query (no
+	// numeric value, malformed comparison, invalid parameters) — the
+	// validation taxonomy of /v1/search and /v1/facts.
+	ErrBadQuery = quantsearch.ErrBadQuery
 )
 
 // Option configures the pipeline returned by New.
@@ -392,21 +397,52 @@ func NewTrained(seed int64) (*Pipeline, error) {
 func AlignHTMLContext(ctx context.Context, p *Pipeline, pageID, html string) ([]Alignment, error) {
 	if p.Gate == nil {
 		page := htmlx.ParseString(html)
-		return p.AlignPageContext(ctx, pageID, page)
+		docs, perDoc, err := p.AlignPageDocsContext(ctx, pageID, page)
+		if err != nil {
+			return nil, err
+		}
+		offerToSink(p, docs, perDoc)
+		return flattenAlignments(perDoc), nil
 	}
 	key := p.Gate.PageKey(pageID, html)
 	v, _, err := p.Gate.Do(ctx, key, func(ctx context.Context) (any, int64, error) {
 		page := htmlx.ParseString(html)
-		als, err := p.AlignPageContext(ctx, pageID, page)
+		docs, perDoc, err := p.AlignPageDocsContext(ctx, pageID, page)
 		if err != nil {
 			return nil, 0, err
 		}
+		// Leader-only: cache hits skip the closure, so a sink sees each
+		// fresh (document, model) identity once.
+		offerToSink(p, docs, perDoc)
+		als := flattenAlignments(perDoc)
 		return als, alignmentsSize(als), nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return copyAlignments(v.([]Alignment)), nil
+}
+
+// offerToSink hands freshly computed per-document alignments to the
+// pipeline's sink, when one is attached.
+func offerToSink(p *Pipeline, docs []*Document, perDoc [][]Alignment) {
+	if p.Sink == nil {
+		return
+	}
+	for i, doc := range docs {
+		p.Sink.AddDocument(doc, perDoc[i])
+	}
+}
+
+// flattenAlignments concatenates per-document groups in order, preserving
+// nil-ness when nothing aligned (so sink-wired and plain paths marshal
+// identically).
+func flattenAlignments(perDoc [][]Alignment) []Alignment {
+	var out []Alignment
+	for _, als := range perDoc {
+		out = append(out, als...)
+	}
+	return out
 }
 
 // AlignHTML parses an HTML page and aligns every quantity mention of its
@@ -445,11 +481,17 @@ func IsUnalignable(err error) bool {
 func AlignCorpus(ctx context.Context, p *Pipeline, docs []*Document) ([]Alignment, error) {
 	if p.Gate == nil {
 		pool := runtime.NewPool(p, runtime.Options{})
-		out, err := pool.AlignCorpus(ctx, docs)
+		perDoc, err := pool.AlignPerDoc(ctx, docs)
 		if p.Recorder != nil {
 			pool.MergeInto(p.Recorder)
 		}
-		return out, err
+		if err != nil {
+			return nil, err
+		}
+		offerToSink(p, docs, perDoc)
+		out := flattenAlignments(perDoc)
+		core.SortAlignments(out)
+		return out, nil
 	}
 
 	release, err := p.Gate.Acquire(ctx)
@@ -485,6 +527,11 @@ func AlignCorpus(ctx context.Context, p *Pipeline, docs []*Document) ([]Alignmen
 		for j, als := range fresh {
 			i := missIdx[j]
 			perDoc[i] = als
+			if p.Sink != nil {
+				// Offer before Store: the store's write-through hook on the
+				// gate dedups by this same key once the document is recorded.
+				p.Sink.AddDocument(missDocs[j], als)
+			}
 			p.Gate.Store(keys[i], als, alignmentsSize(als))
 		}
 	}
@@ -497,38 +544,15 @@ func AlignCorpus(ctx context.Context, p *Pipeline, docs []*Document) ([]Alignmen
 	return out, nil
 }
 
-// hashDocument writes a document's full alignment-relevant content — text,
-// table grids, headers, captions, and both mention lists — so two documents
-// share a cache key iff the pipeline would see identical input.
-func hashDocument(w io.Writer, d *Document) {
-	fmt.Fprintf(w, "doc|%s|%s|%s|", d.ID, d.PageID, d.Text)
-	for _, t := range d.Tables {
-		fmt.Fprintf(w, "table|%s|%s|%q|%q|%q|%d×%d|",
-			t.ID, t.Caption, t.ColHeaders, t.RowHeaders, t.Footers, t.Rows(), t.Cols())
-		for r := 0; r < t.Rows(); r++ {
-			for c := 0; c < t.Cols(); c++ {
-				fmt.Fprintf(w, "%s\x00", t.Cell(r, c).Text)
-			}
-		}
-	}
-	for _, m := range d.TextMentions {
-		fmt.Fprintf(w, "xm|%+v|", m)
-	}
-	for _, m := range d.TableMentions {
-		fmt.Fprintf(w, "tm|%s|%g|%s|%v|%d|", m.Key(), m.Value, m.Unit, m.Orient, m.Index)
-	}
-}
+// hashDocument writes a document's full alignment-relevant content so two
+// documents share a cache key iff the pipeline would see identical input.
+// The definition lives in core.HashDocument — the persistent store derives
+// the same identity.
+func hashDocument(w io.Writer, d *Document) { core.HashDocument(w, d) }
 
 // alignmentsSize estimates the resident bytes of a result slice for the
-// cache's byte accounting: struct footprint plus string payloads.
-func alignmentsSize(als []Alignment) int64 {
-	n := int64(len(als))*112 + 48
-	for i := range als {
-		a := &als[i]
-		n += int64(len(a.DocID) + len(a.TextSurface) + len(a.TableKey) + len(a.AggName))
-	}
-	return n
-}
+// cache's byte accounting (see core.AlignmentsSize).
+func alignmentsSize(als []Alignment) int64 { return core.AlignmentsSize(als) }
 
 // copyAlignments returns a private copy of a cached result, preserving
 // nil-ness and emptiness (so cached and fresh responses marshal

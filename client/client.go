@@ -133,9 +133,13 @@ func normalizeBase(raw string) (*url.URL, error) {
 // BaseURL returns the normalized base, e.g. "http://127.0.0.1:8080".
 func (c *Client) BaseURL() string { return c.base.String() }
 
-// url composes the absolute URL for a server-relative path ("/v1/align").
+// url composes the absolute URL for a server-relative path ("/v1/align"),
+// which may carry an encoded query string ("/v1/search?value=5").
 func (c *Client) url(path string) string {
 	u := *c.base
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path, u.RawQuery = path[:i], path[i+1:]
+	}
 	u.Path = c.base.Path + path
 	return u.String()
 }

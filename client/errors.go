@@ -41,6 +41,8 @@ func (e *Error) Is(target error) bool {
 		return e.Code == api.CodeNoTables
 	case briq.ErrNoMentions:
 		return e.Code == api.CodeNoMentions
+	case briq.ErrBadQuery:
+		return e.Code == api.CodeBadQuery
 	}
 	return false
 }

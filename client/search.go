@@ -1,0 +1,188 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"briq/internal/api"
+)
+
+// SearchQuery is one GET /v1/search query. Set either Q (the natural-language
+// form, "revenue above 5 million USD") or the structured fields — the server
+// rejects a mix with 422 bad_query (errors.Is(err, briq.ErrBadQuery)).
+type SearchQuery struct {
+	Q string // natural-language query; when set, the structured fields must be zero
+
+	Op       string   // "above", "below", "between" or "equals" ("" = equals)
+	Value    float64  // threshold (lower bound for Op "between")
+	Value2   float64  // upper bound, Op "between" only
+	Unit     string   // unit spelling, canonicalized server-side; "" = any
+	Keywords []string // context keywords the result rows must match
+
+	Limit int // page size; 0 = server default, capped server-side
+}
+
+// values encodes the query as /v1/search parameters.
+func (q SearchQuery) values() url.Values {
+	v := url.Values{}
+	if q.Q != "" {
+		v.Set("q", q.Q)
+	} else {
+		if q.Op != "" {
+			v.Set("op", q.Op)
+		}
+		v.Set("value", strconv.FormatFloat(q.Value, 'g', -1, 64))
+		if q.Op == "between" {
+			v.Set("value2", strconv.FormatFloat(q.Value2, 'g', -1, 64))
+		}
+		if q.Unit != "" {
+			v.Set("unit", q.Unit)
+		}
+		if len(q.Keywords) > 0 {
+			v.Set("keywords", strings.Join(q.Keywords, ","))
+		}
+	}
+	if q.Limit > 0 {
+		v.Set("limit", strconv.Itoa(q.Limit))
+	}
+	return v
+}
+
+// SearchResult is one matched table cell from GET /v1/search.
+type SearchResult struct {
+	DocID   string  `json:"doc_id"`
+	TableID string  `json:"table_id"`
+	Row     int     `json:"row"`
+	Col     int     `json:"col"`
+	Entity  string  `json:"entity"`
+	Header  string  `json:"header"`
+	Value   float64 `json:"value"`
+	Unit    string  `json:"unit"`
+	Caption string  `json:"caption"`
+	Matched int     `json:"matched"` // query keywords found in the cell's context
+}
+
+// Fact is one aligned quantity from GET /v1/facts.
+type Fact struct {
+	Entity      string  `json:"entity"`
+	Measure     string  `json:"measure"`
+	Value       float64 `json:"value"`
+	Unit        string  `json:"unit,omitempty"`
+	Agg         string  `json:"agg"`
+	DocID       string  `json:"doc_id"`
+	TableKey    string  `json:"table_key"`
+	TextSurface string  `json:"text_surface"`
+	Confidence  float64 `json:"confidence"`
+}
+
+// page is the wire shape of the shared paginated envelope result.
+type page[T any] struct {
+	Items      []T    `json:"items"`
+	NextCursor string `json:"next_cursor"`
+}
+
+// Search fetches one page of GET /v1/search. cursor is "" for the first page
+// and the previously returned next cursor after that; next is "" on the final
+// page. SearchAll wraps the cursor-following loop.
+func (c *Client) Search(ctx context.Context, q SearchQuery, cursor string) (items []SearchResult, next string, err error) {
+	return listPage[SearchResult](c, ctx, "/search", q.values(), cursor)
+}
+
+// Facts fetches one page of GET /v1/facts: the quantities aligned for one
+// entity, highest confidence first. FactsAll wraps the cursor-following loop.
+func (c *Client) Facts(ctx context.Context, entity string, cursor string) (items []Fact, next string, err error) {
+	v := url.Values{}
+	v.Set("entity", entity)
+	return listPage[Fact](c, ctx, "/facts", v, cursor)
+}
+
+// SearchAll returns an iterator over every result of the query, following
+// cursors as it goes:
+//
+//	it := c.SearchAll(ctx, q)
+//	for it.Next() {
+//		use(it.Item())
+//	}
+//	if err := it.Err(); err != nil { … }
+func (c *Client) SearchAll(ctx context.Context, q SearchQuery) *Iter[SearchResult] {
+	vals := q.values()
+	return &Iter[SearchResult]{fetch: func(cursor string) ([]SearchResult, string, error) {
+		return listPage[SearchResult](c, ctx, "/search", vals, cursor)
+	}}
+}
+
+// FactsAll returns an iterator over every fact known for an entity, following
+// cursors as it goes.
+func (c *Client) FactsAll(ctx context.Context, entity string) *Iter[Fact] {
+	vals := url.Values{}
+	vals.Set("entity", entity)
+	return &Iter[Fact]{fetch: func(cursor string) ([]Fact, string, error) {
+		return listPage[Fact](c, ctx, "/facts", vals, cursor)
+	}}
+}
+
+// Iter walks a paginated list endpoint item by item, fetching the next page
+// whenever the current one is exhausted. Next reports whether Item holds a
+// value; after it returns false, Err separates clean exhaustion from a failed
+// page fetch.
+type Iter[T any] struct {
+	fetch func(cursor string) ([]T, string, error)
+
+	items  []T
+	i      int
+	cursor string
+	opened bool // first page fetched
+	done   bool
+	err    error
+}
+
+// Next advances to the next item, fetching pages as needed.
+func (it *Iter[T]) Next() bool {
+	for it.i >= len(it.items) {
+		if it.done || it.err != nil {
+			return false
+		}
+		if it.opened && it.cursor == "" {
+			it.done = true
+			return false
+		}
+		it.items, it.cursor, it.err = it.fetch(it.cursor)
+		it.opened = true
+		it.i = 0
+		if it.err != nil {
+			return false
+		}
+	}
+	it.i++
+	return true
+}
+
+// Item returns the current item; valid after Next reported true.
+func (it *Iter[T]) Item() T { return it.items[it.i-1] }
+
+// Err returns the error that stopped iteration, nil on clean exhaustion.
+func (it *Iter[T]) Err() error { return it.err }
+
+// listPage issues one GET against a paginated list endpoint.
+func listPage[T any](c *Client, ctx context.Context, path string, vals url.Values, cursor string) ([]T, string, error) {
+	if cursor != "" {
+		v := url.Values{}
+		for k, vv := range vals {
+			v[k] = vv
+		}
+		v.Set("cursor", cursor)
+		vals = v
+	}
+	var out page[T]
+	err := c.call(ctx, http.MethodGet, api.Versioned(path)+"?"+vals.Encode(), "", nil, &out)
+	if err != nil {
+		return nil, "", err
+	}
+	if out.Items == nil {
+		out.Items = []T{}
+	}
+	return out.Items, out.NextCursor, nil
+}

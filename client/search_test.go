@@ -1,0 +1,168 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"testing"
+
+	"briq"
+	"briq/internal/api"
+)
+
+// pagedStub serves n numbered search results in pages of pageSize through the
+// shared paginated envelope, recording the queries it saw.
+func pagedStub(t *testing.T, n, pageSize int, queries *[]string) *Client {
+	t.Helper()
+	c, _ := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			t.Errorf("method = %s, want GET", r.Method)
+		}
+		*queries = append(*queries, r.URL.RawQuery)
+		offset := 0
+		if cur := r.URL.Query().Get("cursor"); cur != "" {
+			var err error
+			if offset, err = strconv.Atoi(cur); err != nil {
+				api.WriteError(w, api.CodeBadQuery, "bad cursor")
+				return
+			}
+		}
+		end := offset + pageSize
+		next := strconv.Itoa(end)
+		if end >= n {
+			end, next = n, ""
+		}
+		items := make([]SearchResult, 0, end-offset)
+		for i := offset; i < end; i++ {
+			items = append(items, SearchResult{DocID: fmt.Sprintf("d%d", i), Value: float64(i)})
+		}
+		api.WriteResult(w, api.Paginated{Items: items, NextCursor: next})
+	})
+	return c
+}
+
+func TestSearchSinglePage(t *testing.T) {
+	var queries []string
+	c := pagedStub(t, 3, 10, &queries)
+	items, next, err := c.Search(context.Background(), SearchQuery{
+		Op: "above", Value: 5, Unit: "USD", Keywords: []string{"revenue", "total"},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 || next != "" {
+		t.Fatalf("items = %d, next = %q; want 3 items, no cursor", len(items), next)
+	}
+	if items[0].DocID != "d0" {
+		t.Errorf("first item = %+v", items[0])
+	}
+	want := "keywords=revenue%2Ctotal&op=above&unit=USD&value=5"
+	if len(queries) != 1 || queries[0] != want {
+		t.Errorf("query sent = %v, want [%s]", queries, want)
+	}
+}
+
+func TestSearchNaturalLanguageForm(t *testing.T) {
+	var queries []string
+	c := pagedStub(t, 1, 10, &queries)
+	if _, _, err := c.Search(context.Background(), SearchQuery{Q: "revenue above 5 million USD"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if len(queries) != 1 || queries[0] != "q=revenue+above+5+million+USD" {
+		t.Errorf("query sent = %v", queries)
+	}
+}
+
+// TestSearchAllFollowsCursors walks 7 results in pages of 3 and checks the
+// iterator visits each exactly once, in order, with one request per page.
+func TestSearchAllFollowsCursors(t *testing.T) {
+	var queries []string
+	c := pagedStub(t, 7, 3, &queries)
+	it := c.SearchAll(context.Background(), SearchQuery{Value: 0, Limit: 3})
+	var got []string
+	for it.Next() {
+		got = append(got, it.Item().DocID)
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 7 {
+		t.Fatalf("iterator yielded %d items, want 7: %v", len(got), got)
+	}
+	for i, id := range got {
+		if id != fmt.Sprintf("d%d", i) {
+			t.Errorf("item %d = %s", i, id)
+		}
+	}
+	if len(queries) != 3 {
+		t.Errorf("requests = %d, want 3 pages: %v", len(queries), queries)
+	}
+}
+
+func TestSearchAllEmpty(t *testing.T) {
+	var queries []string
+	c := pagedStub(t, 0, 3, &queries)
+	it := c.SearchAll(context.Background(), SearchQuery{Value: 0})
+	if it.Next() {
+		t.Error("Next on empty result set = true")
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFactsRoundTrip(t *testing.T) {
+	c, _ := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/facts" {
+			t.Errorf("path = %s", r.URL.Path)
+		}
+		if e := r.URL.Query().Get("entity"); e != "rash" {
+			t.Errorf("entity = %q", e)
+		}
+		api.WriteResult(w, api.Paginated{Items: []Fact{
+			{Entity: "rash", Measure: "total", Value: 35, Confidence: 0.9},
+		}, NextCursor: ""})
+	})
+	items, next, err := c.Facts(context.Background(), "rash", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 1 || next != "" || items[0].Value != 35 {
+		t.Fatalf("facts = %+v, next = %q", items, next)
+	}
+
+	it := c.FactsAll(context.Background(), "rash")
+	n := 0
+	for it.Next() {
+		n++
+	}
+	if n != 1 || it.Err() != nil {
+		t.Errorf("FactsAll yielded %d items, err %v", n, it.Err())
+	}
+}
+
+// TestBadQueryTaxonomy: a 422 bad_query response must errors.Is-match
+// briq.ErrBadQuery through the client, and the iterator must surface it.
+func TestBadQueryTaxonomy(t *testing.T) {
+	c, _ := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		api.WriteError(w, api.CodeBadQuery, "unknown unit")
+	})
+	_, _, err := c.Search(context.Background(), SearchQuery{Value: 5, Unit: "wombats"}, "")
+	if !errors.Is(err, briq.ErrBadQuery) {
+		t.Fatalf("err = %v, want errors.Is briq.ErrBadQuery", err)
+	}
+	var apiErr *Error
+	if !errors.As(err, &apiErr) || apiErr.Status != 422 || apiErr.Code != api.CodeBadQuery {
+		t.Errorf("err = %+v, want 422 bad_query", err)
+	}
+
+	it := c.SearchAll(context.Background(), SearchQuery{Value: 5})
+	if it.Next() {
+		t.Error("iterator yielded an item from an error response")
+	}
+	if !errors.Is(it.Err(), briq.ErrBadQuery) {
+		t.Errorf("iterator err = %v, want briq.ErrBadQuery", it.Err())
+	}
+}

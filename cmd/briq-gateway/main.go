@@ -9,13 +9,16 @@
 //	             [-shutdown-timeout 15s]
 //
 // The gateway exposes the same versioned surface as briq-server — POST
-// /v1/align, /v1/align/batch, /v1/summarize, GET /v1/metrics, /v1/healthz,
-// with the bare legacy paths as deprecated aliases — so clients, dashboards
-// and the load harness point at it unchanged.
+// /v1/align, /v1/align/batch, /v1/summarize, GET /v1/search, /v1/facts,
+// /v1/metrics, /v1/healthz, with the bare legacy paths as deprecated
+// aliases — so clients, dashboards and the load harness point at it
+// unchanged.
 //
-// Each request is routed by the hash of its endpoint + body: byte-identical
-// requests always land on the same replica, keeping that replica's LRU
-// shard hot on its slice of the key space. Replicas are health-probed and
+// Each request is routed by the hash of its content identity — endpoint +
+// body for the POST alignment endpoints, endpoint + canonicalized query
+// string for the GET read endpoints — so byte-identical requests always land
+// on the same replica, keeping that replica's LRU shard (and aligned-corpus
+// store) hot on its slice of the key space. Replicas are health-probed and
 // ejected/readmitted with hysteresis; 429/504 answers and transport
 // failures get one in-budget retry on the ring successor, and out-of-budget
 // sheds are surfaced to the client verbatim. GET /v1/metrics merges the

@@ -25,6 +25,7 @@ func TestErrorCodeTable(t *testing.T) {
 		codeNoTables:         422,
 		codeNoMentions:       422,
 		codeUnprocessable:    422,
+		codeBadQuery:         422,
 		codeOverloaded:       429,
 		codeInternal:         500,
 		codeUnavailable:      503,

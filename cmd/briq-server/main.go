@@ -3,7 +3,7 @@
 //
 //	briq-server [-addr :8080] [-trained] [-seed N] [-model file] [-workers N]
 //	            [-resolver rwr|ilp|greedy] [-ilp-budget 200ms]
-//	            [-cache-bytes N] [-max-inflight N]
+//	            [-cache-bytes N] [-max-inflight N] [-store dir]
 //	            [-request-timeout 30s] [-shutdown-timeout 15s] [-pprof] [-quiet]
 //
 // Endpoints (served under /v1; the bare legacy paths remain as deprecated
@@ -13,12 +13,24 @@
 //	POST /v1/align/batch   JSON {"pages": [{"id", "html"}]} → per-page alignments,
 //	                       fanned out over the pipeline worker pool
 //	POST /v1/summarize     HTML page body → JSON table-aware summary
+//	GET  /v1/search        quantity query (q=… natural language, or structured
+//	                       op/value/value2/unit/keywords) over every alignment
+//	                       this server has produced, paginated via cursor/limit
+//	GET  /v1/facts         entity=… → that entity's aligned quantities,
+//	                       confidence descending, paginated via cursor/limit
 //	GET  /v1/metrics       JSON snapshot: request/error counters, per-stage and
 //	                       per-endpoint latency histograms, batch volume, the
 //	                       serving layer (cache hits/misses/evictions, sheds),
-//	                       and the model fingerprint
+//	                       the aligned-corpus store, and the model fingerprint
 //	GET  /v1/healthz       liveness probe
 //	GET  /debug/pprof/     runtime profiles (only with -pprof)
+//
+// -store DIR persists every successful alignment to an append-only log in DIR
+// and replays it on boot: the serve cache starts warm, and /v1/search and
+// /v1/facts answer over the whole stored corpus, not just this process's
+// lifetime. The directory is bound to the model fingerprint — pointing a
+// differently-trained server at it refuses to start. Without -store, the
+// search index and facts view still work but cover only the current process.
 //
 // With -model, the server boots from a briq-train bundle instead of training;
 // a replica fleet booted from one bundle shares a model fingerprint, which is
@@ -54,6 +66,7 @@ import (
 	"time"
 
 	"briq"
+	"briq/internal/store"
 )
 
 func main() {
@@ -70,6 +83,7 @@ func main() {
 	ilpBudget := flag.Duration("ilp-budget", 0,
 		"per-document solve budget for -resolver ilp (0 = built-in default; exhaustion falls back to rwr)")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "content-addressed result cache budget in bytes (0 disables)")
+	storeDir := flag.String("store", "", "persist aligned documents to this directory and replay them on boot")
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrently admitted alignment computations (0 = unbounded)")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 disables)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 15*time.Second, "drain window on SIGINT/SIGTERM")
@@ -129,6 +143,22 @@ func main() {
 	if !*quiet {
 		opts.logger = log.Default()
 	}
+	if *storeDir != "" {
+		st, err := store.Open(store.Options{
+			Dir:         *storeDir,
+			Fingerprint: pipeline.Fingerprint(),
+			Gate:        pipeline.Gate,
+			Logf:        log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		c := st.Counters()
+		log.Printf("store %s: replayed %d documents, %d cache records (%d bytes, %d lines skipped)",
+			*storeDir, c["warm_documents"], c["warm_cache_records"], c["log_bytes"], c["replay_skipped"])
+		opts.store = st
+	}
 	srv := newServer(pipeline, opts)
 
 	httpSrv := &http.Server{
@@ -140,8 +170,8 @@ func main() {
 		IdleTimeout:       120 * time.Second,
 	}
 
-	log.Printf("listening on %s (workers=%d, resolver=%s, request-timeout=%v, cache-bytes=%d, max-inflight=%d, pprof=%v)",
-		*addr, *workers, *resolver, *requestTimeout, *cacheBytes, *maxInFlight, *enablePprof)
+	log.Printf("listening on %s (workers=%d, resolver=%s, request-timeout=%v, cache-bytes=%d, max-inflight=%d, store=%q, pprof=%v)",
+		*addr, *workers, *resolver, *requestTimeout, *cacheBytes, *maxInFlight, *storeDir, *enablePprof)
 	if err := serve(httpSrv, *shutdownTimeout); err != nil {
 		log.Fatal(err)
 	}

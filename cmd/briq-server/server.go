@@ -9,7 +9,10 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"runtime/debug"
+	"strconv"
+	"strings"
 	"time"
 	"unicode/utf8"
 
@@ -17,7 +20,11 @@ import (
 	"briq/internal/api"
 	"briq/internal/core"
 	"briq/internal/document"
+	"briq/internal/facts"
 	"briq/internal/htmlx"
+	"briq/internal/qkb"
+	"briq/internal/quantsearch"
+	"briq/internal/store"
 	"briq/internal/summarize"
 )
 
@@ -38,6 +45,7 @@ const (
 	codeNoTables         = api.CodeNoTables
 	codeNoMentions       = api.CodeNoMentions
 	codeUnprocessable    = api.CodeUnprocessable
+	codeBadQuery         = api.CodeBadQuery
 	codeOverloaded       = api.CodeOverloaded
 	codeInternal         = api.CodeInternal
 	codeUnavailable      = api.CodeUnavailable
@@ -56,18 +64,22 @@ type serverOptions struct {
 	workers        int           // AlignAll fan-out width (≤0 = GOMAXPROCS)
 	requestTimeout time.Duration // per-request context deadline (0 = none)
 	enablePprof    bool
-	logger         *log.Logger // nil silences request logging
+	logger         *log.Logger  // nil silences request logging
+	store          *store.Store // nil builds a memory-only store
 }
 
 type server struct {
 	pipeline *briq.Pipeline
 	metrics  *metrics
+	store    *store.Store
 	opts     serverOptions
 }
 
 // newServer wires a pipeline into the HTTP layer. The pipeline's Recorder is
-// pointed at the server's metrics and its Workers at the configured fan-out
-// before any request runs — after that the pipeline is shared read-only
+// pointed at the server's metrics, its Workers at the configured fan-out,
+// and its Sink at the aligned-corpus store (a memory-only one when main
+// didn't open a persistent directory — /v1/search and /v1/facts work either
+// way) before any request runs; after that the pipeline is shared read-only
 // across handler goroutines.
 func newServer(pipeline *briq.Pipeline, opts serverOptions) *server {
 	if opts.logger == nil {
@@ -78,10 +90,24 @@ func newServer(pipeline *briq.Pipeline, opts serverOptions) *server {
 	if opts.workers > 0 {
 		pipeline.Workers = opts.workers
 	}
+	st := opts.store
+	if st == nil {
+		var err error
+		st, err = store.Open(store.Options{
+			Fingerprint: pipeline.Fingerprint(),
+			Gate:        pipeline.Gate,
+			Logf:        opts.logger.Printf,
+		})
+		if err != nil {
+			// Memory-only Open cannot fail today; guard the invariant anyway.
+			panic("open memory store: " + err.Error())
+		}
+	}
+	pipeline.Sink = st
 	for _, warn := range pipeline.ConfigWarnings {
 		opts.logger.Printf("config: %s", warn)
 	}
-	return &server{pipeline: pipeline, metrics: m, opts: opts}
+	return &server{pipeline: pipeline, metrics: m, store: st, opts: opts}
 }
 
 // routes builds the full handler tree from the shared route table: every
@@ -92,6 +118,8 @@ func (s *server) routes() http.Handler {
 		"align":       s.handleAlign,
 		"align_batch": s.handleAlignBatch,
 		"summarize":   s.handleSummarize,
+		"search":      s.handleSearch,
+		"facts":       s.handleFacts,
 		"metrics":     s.handleMetrics,
 		"healthz":     s.handleHealthz,
 	}
@@ -362,6 +390,124 @@ func (s *server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 	writeResult(w, map[string]any{"summaries": out})
 }
 
+// parseSearchQuery interprets the /search query string: either one `q`
+// natural-language parameter, or the structured op/value/value2/unit/keywords
+// form — never both. Every interpretation failure wraps
+// quantsearch.ErrBadQuery so the handler maps it to 422 bad_query.
+func parseSearchQuery(vals url.Values) (quantsearch.Query, error) {
+	nl := strings.TrimSpace(vals.Get("q"))
+	structured := vals.Get("op") != "" || vals.Get("value") != "" ||
+		vals.Get("value2") != "" || vals.Get("unit") != "" || vals.Get("keywords") != ""
+	switch {
+	case nl != "" && structured:
+		return quantsearch.Query{}, fmt.Errorf("%w: pass either q or structured parameters, not both", quantsearch.ErrBadQuery)
+	case nl != "":
+		return quantsearch.ParseQuery(nl)
+	case !structured:
+		return quantsearch.Query{}, fmt.Errorf("%w: missing query (q or value)", quantsearch.ErrBadQuery)
+	}
+
+	var q quantsearch.Query
+	var err error
+	if q.Op, err = quantsearch.ParseComparison(vals.Get("op")); err != nil {
+		return quantsearch.Query{}, err
+	}
+	if vals.Get("value") == "" {
+		return quantsearch.Query{}, quantsearch.ErrNoValue
+	}
+	if q.Value, err = strconv.ParseFloat(vals.Get("value"), 64); err != nil {
+		return quantsearch.Query{}, fmt.Errorf("%w: bad value %q", quantsearch.ErrBadQuery, vals.Get("value"))
+	}
+	if v2 := vals.Get("value2"); v2 != "" {
+		if q.Op != quantsearch.Between {
+			return quantsearch.Query{}, fmt.Errorf("%w: value2 only applies to op=between", quantsearch.ErrBadQuery)
+		}
+		if q.Value2, err = strconv.ParseFloat(v2, 64); err != nil {
+			return quantsearch.Query{}, fmt.Errorf("%w: bad value2 %q", quantsearch.ErrBadQuery, v2)
+		}
+		if q.Value2 < q.Value {
+			q.Value, q.Value2 = q.Value2, q.Value
+		}
+	} else if q.Op == quantsearch.Between {
+		return quantsearch.Query{}, fmt.Errorf("%w: op=between needs value2", quantsearch.ErrBadQuery)
+	}
+	if raw := vals.Get("unit"); raw != "" {
+		u, _ := qkb.Default().NormalizeUnitSpelling(raw)
+		if u == "" {
+			return quantsearch.Query{}, fmt.Errorf("%w: unknown unit %q", quantsearch.ErrBadQuery, raw)
+		}
+		q.Unit = u
+	}
+	for _, kw := range strings.FieldsFunc(vals.Get("keywords"), func(r rune) bool { return r == ',' || r == ' ' }) {
+		q.Keywords = append(q.Keywords, strings.ToLower(kw))
+	}
+	return q, nil
+}
+
+// parsePage reads the shared cursor/limit pagination parameters. The cursor is
+// the opaque decimal offset minted by api.Page; anything else is a bad query.
+func parsePage(vals url.Values) (offset, limit int, err error) {
+	if c := vals.Get("cursor"); c != "" {
+		offset, err = strconv.Atoi(c)
+		if err != nil || offset < 0 {
+			return 0, 0, fmt.Errorf("%w: bad cursor %q", quantsearch.ErrBadQuery, c)
+		}
+	}
+	if l := vals.Get("limit"); l != "" {
+		limit, err = strconv.Atoi(l)
+		if err != nil || limit < 1 {
+			return 0, 0, fmt.Errorf("%w: bad limit %q (want a positive integer)", quantsearch.ErrBadQuery, l)
+		}
+	}
+	return offset, limit, nil
+}
+
+// handleSearch answers GET /v1/search: a quantity query (value range + unit +
+// context keywords) against the store's incremental index, deterministically
+// ranked, in the shared paginated envelope.
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, codeMethodNotAllowed, "GET with query parameters")
+		return
+	}
+	vals := r.URL.Query()
+	q, err := parseSearchQuery(vals)
+	if err != nil {
+		writeError(w, codeBadQuery, err.Error())
+		return
+	}
+	offset, limit, err := parsePage(vals)
+	if err != nil {
+		writeError(w, codeBadQuery, err.Error())
+		return
+	}
+	items, next := api.Page(s.store.Search(q), offset, limit)
+	writeResult(w, api.Paginated{Items: items, NextCursor: next})
+}
+
+// handleFacts answers GET /v1/facts: the aligned quantities known for one
+// entity (canonicalized the same way the facts view keys them), confidence
+// descending, in the shared paginated envelope.
+func (s *server) handleFacts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, codeMethodNotAllowed, "GET with an entity parameter")
+		return
+	}
+	vals := r.URL.Query()
+	entity := facts.CanonicalEntity(vals.Get("entity"))
+	if entity == "" {
+		writeError(w, codeBadQuery, "missing entity parameter")
+		return
+	}
+	offset, limit, err := parsePage(vals)
+	if err != nil {
+		writeError(w, codeBadQuery, err.Error())
+		return
+	}
+	items, next := api.Page(s.store.FactsFor(entity), offset, limit)
+	writeResult(w, api.Paginated{Items: items, NextCursor: next})
+}
+
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, codeMethodNotAllowed, "GET only")
@@ -369,6 +515,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	snap := s.metrics.snapshot()
 	snap["serving"] = s.pipeline.Gate.Counters() // nil-safe: full zeroed schema without a gate
+	snap["store"] = s.store.Counters()           // nil-safe: full zeroed schema without a store
 	snap["model"] = map[string]string{"fingerprint": s.pipeline.Fingerprint()}
 	writeJSON(w, http.StatusOK, snap)
 }

@@ -29,6 +29,7 @@ const (
 	CodeNoTables         = "no_tables"          // page has no table with numeric cells
 	CodeNoMentions       = "no_mentions"        // page text has no alignable quantities
 	CodeUnprocessable    = "unprocessable"      // page parsed but could not be aligned
+	CodeBadQuery         = "bad_query"          // uninterpretable search/facts query parameters
 	CodeOverloaded       = "overloaded"         // shed by admission control; retry later
 	CodeInternal         = "internal"           // bug: handler panic or encode failure
 	CodeUnavailable      = "unavailable"        // transient server-side failure (no healthy replica)
@@ -43,6 +44,7 @@ var StatusByCode = map[string]int{
 	CodeNoTables:         http.StatusUnprocessableEntity,   // 422
 	CodeNoMentions:       http.StatusUnprocessableEntity,   // 422
 	CodeUnprocessable:    http.StatusUnprocessableEntity,   // 422
+	CodeBadQuery:         http.StatusUnprocessableEntity,   // 422
 	CodeOverloaded:       http.StatusTooManyRequests,       // 429
 	CodeInternal:         http.StatusInternalServerError,   // 500
 	CodeUnavailable:      http.StatusServiceUnavailable,    // 503
@@ -62,6 +64,46 @@ type Error struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
 }
+
+// Paginated is the shared result shape of the list endpoints (/search,
+// /facts): it rides inside the envelope's result field as
+// {"items": […], "next_cursor": "…"}. NextCursor is always present — "" on
+// the final page — so clients follow cursors without probing for the key.
+// Items is always a JSON array, never null.
+type Paginated struct {
+	Items      any    `json:"items"`
+	NextCursor string `json:"next_cursor"`
+}
+
+// Page slices a full result list into one page. cursor is the opaque
+// decimal offset ("" = start); limit ≤ 0 picks DefaultPageSize, and limits
+// above MaxPageSize clamp. The second result is the next cursor ("" when the
+// page exhausts the list).
+func Page[T any](items []T, offset, limit int) ([]T, string) {
+	if limit <= 0 {
+		limit = DefaultPageSize
+	}
+	if limit > MaxPageSize {
+		limit = MaxPageSize
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= len(items) {
+		return []T{}, ""
+	}
+	end := offset + limit
+	if end >= len(items) {
+		return items[offset:], ""
+	}
+	return items[offset:end], fmt.Sprint(end)
+}
+
+// Pagination bounds shared by the list endpoints.
+const (
+	DefaultPageSize = 20
+	MaxPageSize     = 100
+)
 
 // WriteResult answers 200 with the success half of the envelope.
 func WriteResult(w http.ResponseWriter, v any) {

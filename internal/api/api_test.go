@@ -55,6 +55,7 @@ func TestStatusByCodeComplete(t *testing.T) {
 		CodeNoTables:         422,
 		CodeNoMentions:       422,
 		CodeUnprocessable:    422,
+		CodeBadQuery:         422,
 		CodeOverloaded:       429,
 		CodeInternal:         500,
 		CodeUnavailable:      503,
@@ -98,6 +99,42 @@ func TestMountAliases(t *testing.T) {
 		if !tc.wantDeprecated && dep != "" {
 			t.Errorf("%s: unexpected deprecation header %q on versioned path", tc.path, dep)
 		}
+	}
+}
+
+// TestPage pins the pagination contract the list endpoints share.
+func TestPage(t *testing.T) {
+	items := make([]int, 45)
+	for i := range items {
+		items[i] = i
+	}
+	for _, tc := range []struct {
+		offset, limit  int
+		wantLen        int
+		wantFirst      int
+		wantNextCursor string
+	}{
+		{0, 0, 20, 0, "20"},   // default page size
+		{20, 0, 20, 20, "40"}, // follow cursor
+		{40, 0, 5, 40, ""},    // final partial page
+		{0, 1000, 45, 0, ""},  // limit clamps to MaxPageSize (100) ≥ len
+		{0, 10, 10, 0, "10"},  // explicit limit
+		{100, 10, 0, 0, ""},   // past the end
+		{-5, 10, 10, 0, "10"}, // negative offset clamps to start
+	} {
+		page, next := Page(items, tc.offset, tc.limit)
+		if len(page) != tc.wantLen || next != tc.wantNextCursor {
+			t.Errorf("Page(offset=%d, limit=%d) = %d items, cursor %q; want %d items, cursor %q",
+				tc.offset, tc.limit, len(page), next, tc.wantLen, tc.wantNextCursor)
+			continue
+		}
+		if tc.wantLen > 0 && page[0] != tc.wantFirst {
+			t.Errorf("Page(offset=%d) starts at %d, want %d", tc.offset, page[0], tc.wantFirst)
+		}
+	}
+	// Empty input still yields a non-nil (marshal-as-[]) page.
+	if page, next := Page([]int(nil), 0, 10); page == nil || next != "" {
+		t.Errorf("Page(nil) = %v, %q; want empty slice, no cursor", page, next)
 	}
 }
 

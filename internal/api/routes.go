@@ -30,6 +30,8 @@ func Surface() []Route {
 		{Name: "align", Path: "/align"},
 		{Name: "align_batch", Path: "/align/batch"},
 		{Name: "summarize", Path: "/summarize"},
+		{Name: "search", Path: "/search"},
+		{Name: "facts", Path: "/facts"},
 		{Name: "metrics", Path: "/metrics"},
 		{Name: "healthz", Path: "/healthz"},
 	}

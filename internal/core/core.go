@@ -132,6 +132,14 @@ type Pipeline struct {
 	// time.
 	Gate *serve.Engine
 
+	// Sink, when non-nil, receives every freshly computed per-document
+	// alignment from the facade paths (page and corpus) — the write-through
+	// hook the persistent store attaches to build its corpus and quantity
+	// index as documents are aligned. Cache hits are not re-offered. It must
+	// be set before the pipeline is shared across goroutines; clones share
+	// the same sink, and its implementation must be concurrency-safe.
+	Sink AlignmentSink
+
 	// ConfigWarnings records non-fatal configuration problems found at
 	// construction (out-of-range option values that were clamped). Callers
 	// that care — the server logs them at startup — read it once after New;
@@ -475,6 +483,23 @@ func (p *Pipeline) AlignPage(pageID string, page *htmlx.Page) ([]Alignment, erro
 // ErrNoMentions when tables exist but no paragraph carries quantity
 // mentions; both wrapped with the page ID and testable via errors.Is.
 func (p *Pipeline) AlignPageContext(ctx context.Context, pageID string, page *htmlx.Page) ([]Alignment, error) {
+	_, perDoc, err := p.AlignPageDocsContext(ctx, pageID, page)
+	if err != nil {
+		return nil, err
+	}
+	var out []Alignment
+	for _, als := range perDoc {
+		out = append(out, als...)
+	}
+	return out, nil
+}
+
+// AlignPageDocsContext is AlignPageContext keeping the per-document
+// grouping: it returns the segmented documents in page order and each
+// document's alignments at the matching index. Callers that persist or index
+// per document (the facade's sink wiring) use this; flattening the groups in
+// order reproduces AlignPageContext exactly.
+func (p *Pipeline) AlignPageDocsContext(ctx context.Context, pageID string, page *htmlx.Page) ([]*document.Document, [][]Alignment, error) {
 	seg := p.Segmenter
 	if seg == nil {
 		seg = document.NewSegmenter()
@@ -483,23 +508,23 @@ func (p *Pipeline) AlignPageContext(ctx context.Context, pageID string, page *ht
 	res, err := seg.SegmentPageInfo(pageID, page)
 	p.Recorder.Observe(StageSegment, time.Since(start))
 	if err != nil {
-		return nil, fmt.Errorf("segment page %s: %w", pageID, err)
+		return nil, nil, fmt.Errorf("segment page %s: %w", pageID, err)
 	}
 	if len(res.Docs) == 0 {
 		if res.NumericTables == 0 {
-			return nil, fmt.Errorf("page %s: %w", pageID, ErrNoTables)
+			return nil, nil, fmt.Errorf("page %s: %w", pageID, ErrNoTables)
 		}
-		return nil, fmt.Errorf("page %s: %w", pageID, ErrNoMentions)
+		return nil, nil, fmt.Errorf("page %s: %w", pageID, ErrNoMentions)
 	}
-	var out []Alignment
-	for _, doc := range res.Docs {
+	perDoc := make([][]Alignment, len(res.Docs))
+	for i, doc := range res.Docs {
 		als, err := p.AlignContext(ctx, doc)
 		if err != nil {
-			return nil, fmt.Errorf("align %s: %w", doc.ID, err)
+			return nil, nil, fmt.Errorf("align %s: %w", doc.ID, err)
 		}
-		out = append(out, als...)
+		perDoc[i] = als
 	}
-	return out, nil
+	return res.Docs, perDoc, nil
 }
 
 // Fingerprint returns a stable content hash of everything that determines

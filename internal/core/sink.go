@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"briq/internal/document"
+)
+
+// AlignmentSink receives freshly computed per-document alignments from the
+// facade paths — the write-through seam the persistent store implements.
+// AddDocument is called once per (document, model) identity computed; cache
+// hits are not re-offered, and implementations must dedup replays (the store
+// keys on the same content address as the serve cache). Implementations must
+// be safe for concurrent use and must not fail the alignment: persistence
+// problems are theirs to count and log.
+type AlignmentSink interface {
+	AddDocument(doc *document.Document, alignments []Alignment)
+}
+
+// HashDocument writes a document's full alignment-relevant content — text,
+// table grids, headers, captions, and both mention lists — so two documents
+// share a cache key iff the pipeline would see identical input. It is the
+// single definition of per-document request identity: the facade's corpus
+// path and the persistent store derive the same serve.Key from it.
+func HashDocument(w io.Writer, d *document.Document) {
+	fmt.Fprintf(w, "doc|%s|%s|%s|", d.ID, d.PageID, d.Text)
+	for _, t := range d.Tables {
+		fmt.Fprintf(w, "table|%s|%s|%q|%q|%q|%d×%d|",
+			t.ID, t.Caption, t.ColHeaders, t.RowHeaders, t.Footers, t.Rows(), t.Cols())
+		for r := 0; r < t.Rows(); r++ {
+			for c := 0; c < t.Cols(); c++ {
+				fmt.Fprintf(w, "%s\x00", t.Cell(r, c).Text)
+			}
+		}
+	}
+	for _, m := range d.TextMentions {
+		fmt.Fprintf(w, "xm|%+v|", m)
+	}
+	for _, m := range d.TableMentions {
+		fmt.Fprintf(w, "tm|%s|%g|%s|%v|%d|", m.Key(), m.Value, m.Unit, m.Orient, m.Index)
+	}
+}
+
+// AlignmentsSize estimates the resident bytes of a result slice for the
+// serve cache's byte accounting: struct footprint plus string payloads. The
+// facade and the persistent store's warm loader use the same estimate so
+// cache occupancy is accounted identically on both paths.
+func AlignmentsSize(als []Alignment) int64 {
+	n := int64(len(als))*112 + 48
+	for i := range als {
+		a := &als[i]
+		n += int64(len(a.DocID) + len(a.TextSurface) + len(a.TableKey) + len(a.AggName))
+	}
+	return n
+}

@@ -160,6 +160,103 @@ func Dedupe(facts []Fact) []Fact {
 	return out
 }
 
+// View is an incrementally-maintained per-entity index of facts. Adding
+// facts one batch at a time yields the same state as Dedupe over the
+// concatenation of all batches in order: the first fact wins a confidence
+// tie, a strictly higher confidence replaces.
+type View struct {
+	best  map[viewKey]Fact
+	count int // facts offered via Add, before dedup
+}
+
+type viewKey struct {
+	entity, measure, unit string
+	value                 float64
+}
+
+// NewView returns an empty per-entity facts view.
+func NewView() *View {
+	return &View{best: make(map[viewKey]Fact)}
+}
+
+// Add merges a batch of facts into the view and returns how many distinct
+// (entity, measure, value, unit) keys it created or improved.
+func (v *View) Add(facts []Fact) int {
+	changed := 0
+	for _, f := range facts {
+		v.count++
+		k := viewKey{f.Entity, f.Measure, f.Unit, f.Value}
+		if cur, ok := v.best[k]; !ok || f.Confidence > cur.Confidence {
+			v.best[k] = f
+			changed++
+		}
+	}
+	return changed
+}
+
+// Entity returns the facts known for a canonical entity name, sorted by
+// confidence descending (ties by measure, then unit, then value) — a
+// deterministic per-entity slice of the Dedupe ordering.
+func (v *View) Entity(name string) []Fact {
+	var out []Fact
+	for k, f := range v.best {
+		if k.entity == name {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		if out[i].Measure != out[j].Measure {
+			return out[i].Measure < out[j].Measure
+		}
+		if out[i].Unit != out[j].Unit {
+			return out[i].Unit < out[j].Unit
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// Entities returns the sorted list of entity names with at least one fact.
+func (v *View) Entities() []string {
+	seen := map[string]bool{}
+	for k := range v.best {
+		seen[k.entity] = true
+	}
+	out := make([]string, 0, len(seen))
+	for e := range seen {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the number of deduplicated facts held by the view.
+func (v *View) Size() int { return len(v.best) }
+
+// Offered returns the number of facts fed to Add before deduplication.
+func (v *View) Offered() int { return v.count }
+
+// All returns every deduplicated fact in the Dedupe ordering.
+func (v *View) All() []Fact {
+	out := make([]Fact, 0, len(v.best))
+	for _, f := range v.best {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		if out[i].Entity != out[j].Entity {
+			return out[i].Entity < out[j].Entity
+		}
+		return out[i].Measure < out[j].Measure
+	})
+	return out
+}
+
 // ExtractAll runs the pipeline over many documents and pools the facts.
 func ExtractAll(p *core.Pipeline, docs []*document.Document) []Fact {
 	var all []Fact

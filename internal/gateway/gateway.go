@@ -1,10 +1,11 @@
 // Package gateway shards briq traffic across a pool of briq-server replicas
 // booted from one model bundle.
 //
-// The router hashes each request's content identity — endpoint plus raw body,
-// the same bytes the replica's serving layer keys its result cache on — onto
-// a consistent-hash ring (Ring), so byte-identical requests always land on
-// the same replica and each replica's LRU shard stays hot on its slice of
+// The router hashes each request's content identity — endpoint plus raw body
+// for the POST alignment endpoints, endpoint plus canonicalized query string
+// for the GET read endpoints (search, facts) — onto a consistent-hash ring
+// (Ring), so byte-identical requests always land on the same replica and each
+// replica's LRU shard (and aligned-corpus store) stays hot on its slice of
 // the key space. The fleet's aggregate cache capacity therefore scales with
 // the replica count, which is where the gateway's throughput-per-replica
 // win comes from on cache-bound workloads.
@@ -155,6 +156,8 @@ func (g *Gateway) Routes() http.Handler {
 			h = g.handleMetrics
 		case "healthz":
 			h = g.handleHealthz
+		case "search", "facts":
+			h = g.proxyGetHandler(r)
 		default: // align, align_batch, summarize: the proxy path
 			h = g.proxyHandler(r)
 		}
@@ -225,9 +228,6 @@ func (g *Gateway) proxyHandler(route api.Route) http.HandlerFunc {
 			api.WriteError(w, api.CodeBadRequest, "body is not valid UTF-8 text")
 			return
 		}
-		g.accrueRetryBudget()
-		g.metrics.gw.Inc("proxied")
-
 		// The routing identity is endpoint + body — the same bytes the
 		// replica's serving layer hashes into its cache key — so identical
 		// requests always land on the replica whose shard holds the result.
@@ -235,63 +235,93 @@ func (g *Gateway) proxyHandler(route api.Route) http.HandlerFunc {
 		key = append(key, route.Path...)
 		key = append(key, 0)
 		key = append(key, body...)
-		hash := KeyHash(key)
+		g.forward(w, r, http.MethodPost, versioned, r.Header.Get("Content-Type"), body, KeyHash(key))
+	}
+}
 
-		// The owner plus one ring successor: the candidates an in-budget
-		// retry may walk.
-		candidates := g.ring.Walk(hash, 2, g.prober.Alive)
-		if len(candidates) == 0 {
-			g.metrics.gw.Inc("no_healthy_replica")
-			api.WriteError(w, api.CodeUnavailable, "no healthy replica")
+// proxyGetHandler builds the sharded proxy path for one read endpoint
+// (search, facts). The routing identity is the route plus the canonicalized
+// query string — url.Values.Encode sorts parameters, so every spelling of the
+// same query hashes identically and lands on the replica whose store answered
+// it before. The canonical form is also what gets forwarded upstream.
+func (g *Gateway) proxyGetHandler(route api.Route) http.HandlerFunc {
+	versioned := api.Versioned(route.Path)
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			api.WriteError(w, api.CodeMethodNotAllowed, "GET only")
 			return
 		}
+		canonical := r.URL.Query().Encode()
+		key := make([]byte, 0, len(route.Path)+1+len(canonical))
+		key = append(key, route.Path...)
+		key = append(key, 0)
+		key = append(key, canonical...)
+		upstream := versioned
+		if canonical != "" {
+			upstream += "?" + canonical
+		}
+		g.forward(w, r, http.MethodGet, upstream, "", nil, KeyHash(key))
+	}
+}
 
-		contentType := r.Header.Get("Content-Type")
-		for i, idx := range candidates {
-			resp, err := g.clients[idx].Do(r.Context(), http.MethodPost, versioned, contentType, body)
-			if err != nil {
-				// No response arrived: count it against the replica's
-				// health and, budget permitting, fall through to the ring
-				// successor.
-				g.metrics.gw.Inc("upstream_transport_errors")
-				g.metrics.perReplica[idx].errors.Add(1)
-				g.prober.ReportFailure(idx)
-				if r.Context().Err() != nil {
-					api.WriteError(w, api.CodeDeadline, "request cancelled while proxying")
-					return
-				}
-				if i+1 < len(candidates) {
-					if g.allowRetry() {
-						g.metrics.gw.Inc("retries")
-						continue
-					}
-					g.metrics.gw.Inc("retry_budget_exhausted")
-				}
-				break // → 503 below: there is no upstream answer to surface
+// forward walks the hash's candidate replicas — the owner plus one ring
+// successor — relaying the first upstream answer and spending the retry
+// budget on transport failures and overload sheds along the way.
+func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, method, upstreamPath, contentType string, body []byte, hash uint64) {
+	g.accrueRetryBudget()
+	g.metrics.gw.Inc("proxied")
+
+	candidates := g.ring.Walk(hash, 2, g.prober.Alive)
+	if len(candidates) == 0 {
+		g.metrics.gw.Inc("no_healthy_replica")
+		api.WriteError(w, api.CodeUnavailable, "no healthy replica")
+		return
+	}
+
+	for i, idx := range candidates {
+		resp, err := g.clients[idx].Do(r.Context(), method, upstreamPath, contentType, body)
+		if err != nil {
+			// No response arrived: count it against the replica's
+			// health and, budget permitting, fall through to the ring
+			// successor.
+			g.metrics.gw.Inc("upstream_transport_errors")
+			g.metrics.perReplica[idx].errors.Add(1)
+			g.prober.ReportFailure(idx)
+			if r.Context().Err() != nil {
+				api.WriteError(w, api.CodeDeadline, "request cancelled while proxying")
+				return
 			}
-			g.metrics.perReplica[idx].forwarded.Add(1)
-			if retryableStatus(resp.StatusCode) && i+1 < len(candidates) {
-				// Overload shed by the owner: one in-budget attempt on the
-				// ring successor, whose shard may have capacity. Out of
-				// budget, the shed is surfaced verbatim below — never
-				// laundered into a 503.
+			if i+1 < len(candidates) {
 				if g.allowRetry() {
-					client.Drain(resp)
-					g.metrics.perReplica[idx].sheds.Add(1)
 					g.metrics.gw.Inc("retries")
 					continue
 				}
 				g.metrics.gw.Inc("retry_budget_exhausted")
 			}
-			relay(w, resp)
-			return
+			break // → 503 below: there is no upstream answer to surface
 		}
-		// Every reachable candidate failed at the transport: nothing
-		// arrived that could be surfaced, so answer unavailable and let the
-		// client's backoff loop own what happens next.
-		g.metrics.gw.Inc("upstream_unavailable")
-		api.WriteError(w, api.CodeUnavailable, "no replica could serve the request")
+		g.metrics.perReplica[idx].forwarded.Add(1)
+		if retryableStatus(resp.StatusCode) && i+1 < len(candidates) {
+			// Overload shed by the owner: one in-budget attempt on the
+			// ring successor, whose shard may have capacity. Out of
+			// budget, the shed is surfaced verbatim below — never
+			// laundered into a 503.
+			if g.allowRetry() {
+				client.Drain(resp)
+				g.metrics.perReplica[idx].sheds.Add(1)
+				g.metrics.gw.Inc("retries")
+				continue
+			}
+			g.metrics.gw.Inc("retry_budget_exhausted")
+		}
+		relay(w, resp)
+		return
 	}
+	// Every reachable candidate failed at the transport: nothing
+	// arrived that could be surfaced, so answer unavailable and let the
+	// client's backoff loop own what happens next.
+	g.metrics.gw.Inc("upstream_unavailable")
+	api.WriteError(w, api.CodeUnavailable, "no replica could serve the request")
 }
 
 // retryableStatus reports the overload answers worth one sibling attempt:

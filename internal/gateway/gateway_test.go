@@ -8,10 +8,12 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -21,6 +23,7 @@ import (
 	"briq/internal/core"
 	"briq/internal/obs"
 	"briq/internal/serve"
+	"briq/internal/store"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
@@ -143,7 +146,11 @@ type fakeReplica struct {
 	healthy     atomic.Bool
 	shed        atomic.Bool  // answer every alignment request with 429
 	aligns      atomic.Int64 // alignment requests that reached this replica
+	searches    atomic.Int64 // search/facts requests that reached this replica
 	hits        atomic.Int64 // reported as serving.hits in /metrics
+
+	queryMu   sync.Mutex
+	lastQuery string // raw query string of the last search/facts request
 }
 
 func newFakeReplica(fingerprint string) *fakeReplica {
@@ -168,7 +175,17 @@ func newFakeReplica(fingerprint string) *fakeReplica {
 				"batch":          map[string]int64{"pages": 0, "documents": 0, "alignments": 0},
 				"stages":         obs.NewRecorder(core.StageNames()...).Snapshot(),
 				"serving":        serving,
+				"store":          (*store.Store)(nil).Counters(),
 				"model":          map[string]string{"fingerprint": f.fingerprint},
+			})
+		case "/search", "/facts":
+			f.searches.Add(1)
+			f.queryMu.Lock()
+			f.lastQuery = r.URL.RawQuery
+			f.queryMu.Unlock()
+			api.WriteResult(w, api.Paginated{
+				Items:      []map[string]any{{"echo": r.URL.RawQuery}},
+				NextCursor: "",
 			})
 		case "/align", "/align/batch", "/summarize":
 			f.aligns.Add(1)
@@ -268,6 +285,107 @@ func TestProxyAffinity(t *testing.T) {
 	}
 	if a.aligns.Load() == 8 || b.aligns.Load() == 0 {
 		t.Errorf("spread did not reach both replicas: a=%d b=%d", a.aligns.Load(), b.aligns.Load())
+	}
+}
+
+// --- GET read-endpoint proxying ---
+
+// searchQueryOwnedBy finds a /search query whose canonical form hashes onto
+// the given replica.
+func searchQueryOwnedBy(t *testing.T, g *Gateway, owner int) url.Values {
+	t.Helper()
+	for i := 0; i < 4096; i++ {
+		vals := url.Values{"op": {"above"}, "value": {fmt.Sprintf("%d", i)}}
+		key := append(append([]byte("/search"), 0), vals.Encode()...)
+		walk := g.ring.Walk(KeyHash(key), 2, nil)
+		if len(walk) == 2 && walk[0] == owner {
+			return vals
+		}
+	}
+	t.Fatal("no query found for owner — ring degenerate?")
+	return nil
+}
+
+// TestGetProxyCanonicalQueryAffinity: every spelling of the same search query
+// — parameters reordered, noncanonical encoding — lands on the same replica,
+// and the replica receives the canonical form. That shared identity is what
+// keeps a query hitting the replica whose store already answered it.
+func TestGetProxyCanonicalQueryAffinity(t *testing.T) {
+	a, b := newFakeReplica("f1"), newFakeReplica("f1")
+	defer a.srv.Close()
+	defer b.srv.Close()
+	g, front := newTestGateway(t, Config{}, a, b)
+
+	vals := searchQueryOwnedBy(t, g, 0)
+	canonical := vals.Encode()
+	spellings := []string{
+		canonical,
+		"value=" + vals.Get("value") + "&op=above",  // reordered
+		"op=above&value=" + vals.Get("value") + "&", // trailing separator
+	}
+	for _, qs := range spellings {
+		resp, err := http.Get(front.URL + "/v1/search?" + qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		client.Drain(resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("search %q: status = %d", qs, resp.StatusCode)
+		}
+	}
+	if got := a.searches.Load(); got != int64(len(spellings)) {
+		t.Errorf("owner served %d/%d spellings", got, len(spellings))
+	}
+	if got := b.searches.Load(); got != 0 {
+		t.Errorf("sibling served %d spellings, want 0", got)
+	}
+	a.queryMu.Lock()
+	last := a.lastQuery
+	a.queryMu.Unlock()
+	if last != canonical {
+		t.Errorf("replica saw query %q, want canonical %q", last, canonical)
+	}
+}
+
+// TestGetProxyRelaysEnvelope: a /facts response comes back through the proxy
+// verbatim, and wrong verbs are rejected at the gateway without burning
+// replica work.
+func TestGetProxyRelaysEnvelope(t *testing.T) {
+	a := newFakeReplica("f1")
+	defer a.srv.Close()
+	_, front := newTestGateway(t, Config{}, a)
+
+	resp, err := http.Get(front.URL + "/v1/facts?entity=rash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("facts status = %d", resp.StatusCode)
+	}
+	var env struct {
+		Result struct {
+			Items      []map[string]any `json:"items"`
+			NextCursor string           `json:"next_cursor"`
+		} `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Result.Items) != 1 || env.Result.Items[0]["echo"] != "entity=rash" {
+		t.Errorf("relayed facts = %+v", env.Result)
+	}
+
+	post, err := http.Post(front.URL+"/v1/search", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Drain(post)
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/search status = %d, want 405", post.StatusCode)
+	}
+	if got := a.searches.Load(); got != 1 {
+		t.Errorf("replica saw %d read requests, want only the GET", got)
 	}
 }
 

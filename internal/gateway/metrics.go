@@ -13,6 +13,7 @@ import (
 	"briq/internal/core"
 	"briq/internal/obs"
 	"briq/internal/serve"
+	"briq/internal/store"
 )
 
 // metrics is the gateway's own instrumentation: per-route request counters
@@ -89,6 +90,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"batch":          sumSections(scrapes, "batch", map[string]int64{"pages": 0, "documents": 0, "alignments": 0}),
 		"stages":         mergeHistogramSections(scrapes, "stages"),
 		"serving":        sumSections(scrapes, "serving", (*serve.Engine)(nil).Counters()),
+		"store":          sumSections(scrapes, "store", (*store.Store)(nil).Counters()),
 		"model":          g.modelSection(scrapes),
 		"gateway":        g.gatewaySection(scrapes),
 	}

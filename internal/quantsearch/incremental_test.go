@@ -1,0 +1,216 @@
+package quantsearch
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"briq/internal/corpus"
+	"briq/internal/quantity"
+)
+
+// referenceSearch is the pre-postings full-scan implementation, kept as the
+// semantic oracle for the posting-based Search.
+func referenceSearch(ix *Index, q Query) []Result {
+	counts := map[int]int{}
+	if len(q.Keywords) == 0 {
+		for i := range ix.entries {
+			counts[i] = 0
+		}
+	} else {
+		for _, kw := range q.Keywords {
+			for _, id := range ix.byToken[kw] {
+				counts[id]++
+			}
+		}
+	}
+	var out []Result
+	for id, matched := range counts {
+		e := ix.entries[id]
+		if q.Unit != "" && e.Unit != "" && !quantity.UnitsCompatible(q.Unit, e.Unit) {
+			continue
+		}
+		if !matchesValue(q, e.Value) {
+			continue
+		}
+		out = append(out, Result{Entry: e, Matched: matched})
+	}
+	sortResults(out)
+	return out
+}
+
+func sortResults(out []Result) {
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			less := false
+			switch {
+			case a.Matched != b.Matched:
+				less = a.Matched > b.Matched
+			case a.Value != b.Value:
+				less = a.Value > b.Value
+			case a.TableID != b.TableID:
+				less = a.TableID < b.TableID
+			default:
+				less = a.Row*1000+a.Col < b.Row*1000+b.Col
+			}
+			if less {
+				break
+			}
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+}
+
+func queryBattery(ix *Index) []Query {
+	qs := []Query{
+		{Op: Above, Value: 0},
+		{Op: Above, Value: 100},
+		{Op: Below, Value: 50},
+		{Op: Between, Value: 10, Value2: 1000},
+		{Op: Above, Value: 5e6, Unit: "USD"},
+		{Op: Below, Value: 100, Unit: "MPGe"},
+		{Keywords: []string{"income"}, Op: Above, Value: 1},
+		{Keywords: []string{"consumption", "energy"}, Op: Below, Value: 200},
+		{Keywords: []string{"nonexistent"}, Op: Above, Value: 0},
+	}
+	// Equals queries on values actually present, plus one absent value.
+	for i := 0; i < len(ix.entries) && i < 5; i++ {
+		qs = append(qs, Query{Op: Equals, Value: ix.entries[i].Value})
+	}
+	qs = append(qs, Query{Op: Equals, Value: -12345.678}, Query{Op: Equals, Value: 0})
+	return qs
+}
+
+// TestSearchMatchesReferenceScan checks the posting-based candidate
+// selection against the full-scan oracle over a generated corpus.
+func TestSearchMatchesReferenceScan(t *testing.T) {
+	cfg := corpus.TableSConfig(7)
+	cfg.Pages = 30
+	c := corpus.Generate(cfg)
+	ix := BuildIndex(c.Docs)
+	if ix.Size() == 0 {
+		t.Fatal("empty index")
+	}
+	for _, q := range queryBattery(ix) {
+		got := ix.Search(q)
+		want := referenceSearch(ix, q)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Search(%+v): %d results, reference %d results", q, len(got), len(want))
+		}
+	}
+	// Randomized ranges.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 50; i++ {
+		a := ix.entries[rng.Intn(len(ix.entries))].Value * (0.5 + rng.Float64())
+		b := a + rng.Float64()*1e4
+		q := Query{Op: Comparison(rng.Intn(4)), Value: a, Value2: b}
+		got := ix.Search(q)
+		want := referenceSearch(ix, q)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("random Search(%+v) diverges from reference", q)
+		}
+	}
+}
+
+// TestIncrementalEqualsRebuild verifies the tentpole invariant: adding
+// documents one at a time yields an index equivalent to a from-scratch
+// rebuild over the same documents, for every prefix.
+func TestIncrementalEqualsRebuild(t *testing.T) {
+	cfg := corpus.TableSConfig(11)
+	cfg.Pages = 12
+	c := corpus.Generate(cfg)
+
+	inc := NewIndex()
+	for n, doc := range c.Docs {
+		inc.Add(doc)
+		rebuilt := BuildIndex(c.Docs[:n+1])
+		if inc.Size() != rebuilt.Size() {
+			t.Fatalf("after %d docs: incremental size %d, rebuilt %d", n+1, inc.Size(), rebuilt.Size())
+		}
+		for _, q := range queryBattery(rebuilt) {
+			gi := inc.Search(q)
+			gr := rebuilt.Search(q)
+			if !reflect.DeepEqual(gi, gr) {
+				t.Fatalf("after %d docs, query %+v: incremental and rebuilt disagree (%d vs %d results)",
+					n+1, q, len(gi), len(gr))
+			}
+		}
+	}
+}
+
+// TestAddEntriesReplayEqualsAdd checks the store-replay path: feeding
+// pre-derived entries reproduces Add exactly, including table dedup across
+// calls.
+func TestAddEntriesReplayEqualsAdd(t *testing.T) {
+	cfg := corpus.TableSConfig(5)
+	cfg.Pages = 10
+	c := corpus.Generate(cfg)
+
+	direct := NewIndex()
+	replayed := NewIndex()
+	for _, doc := range c.Docs {
+		direct.Add(doc)
+		replayed.AddEntries(EntriesFromDocument(doc))
+	}
+	if !reflect.DeepEqual(direct.entries, replayed.entries) {
+		t.Fatal("AddEntries replay diverges from Add")
+	}
+	for _, q := range queryBattery(direct) {
+		if !reflect.DeepEqual(direct.Search(q), replayed.Search(q)) {
+			t.Fatalf("query %+v: replayed index disagrees", q)
+		}
+	}
+}
+
+func TestAddEntriesDedupAcrossCalls(t *testing.T) {
+	e := Entry{DocID: "d0", TableID: "t0", Value: 5, Entity: "acme", Header: "income"}
+	ix := NewIndex()
+	if n := ix.AddEntries([]Entry{e, {DocID: "d0", TableID: "t0", Value: 7, Row: 1}}); n != 2 {
+		t.Fatalf("first batch added %d, want 2 (same-call entries share the batch scope)", n)
+	}
+	if n := ix.AddEntries([]Entry{e}); n != 0 {
+		t.Fatalf("duplicate table re-added (%d entries)", n)
+	}
+	if ix.Size() != 2 {
+		t.Fatalf("size = %d, want 2", ix.Size())
+	}
+}
+
+func TestBadQueryTaxonomy(t *testing.T) {
+	if _, err := ParseQuery("income above average"); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("value-free query: err = %v, want ErrBadQuery", err)
+	}
+	if _, err := ParseQuery("income above average"); !errors.Is(err, ErrNoValue) {
+		t.Errorf("value-free query: err should still be ErrNoValue")
+	}
+	if _, err := ParseQuery("votes between 100"); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("one-value between: want ErrBadQuery")
+	}
+	if _, err := ParseComparison("sideways"); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("unknown comparison: want ErrBadQuery")
+	}
+	for _, name := range []string{"above", "below", "between", "equals", ""} {
+		op, err := ParseComparison(name)
+		if err != nil {
+			t.Errorf("ParseComparison(%q): %v", name, err)
+		}
+		if name != "" && op.String() != name {
+			t.Errorf("ParseComparison(%q) round-trip = %q", name, op.String())
+		}
+	}
+}
+
+func TestUnitsView(t *testing.T) {
+	ix := NewIndex()
+	ix.AddEntries([]Entry{
+		{TableID: "t0", Unit: "USD", Value: 1},
+		{TableID: "t0", Unit: "USD", Value: 2},
+		{TableID: "t0", Unit: "", Value: 3},
+	})
+	want := map[string]int{"USD": 2, "": 1}
+	if got := ix.Units(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Units() = %v, want %v", got, want)
+	}
+}

@@ -3,10 +3,15 @@
 // above 5 Mio. USD, electric cars with energy consumption below 100 MPGe".
 // Aligned documents are indexed into (entity, context, value, unit) entries;
 // queries combine keywords with a numeric comparison and a unit.
+//
+// The index is incremental: documents are added one at a time (Add) as they
+// are aligned, and the index state after any Add sequence is equivalent to
+// rebuilding from scratch over the same documents (BuildIndex). Entries are
+// kept in keyword postings plus unit and value-ordered postings so that
+// keyword-free range queries do not scan the whole corpus.
 package quantsearch
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -18,67 +23,135 @@ import (
 
 // Entry is one indexed table quantity with its provenance.
 type Entry struct {
-	DocID   string
-	TableID string
-	Row     int
-	Col     int
-	Entity  string  // the row header naming what the value describes
-	Header  string  // the column header naming the measure
-	Value   float64 // normalized value
-	Unit    string  // canonical unit, "" if unknown
+	DocID   string  `json:"doc_id"`
+	TableID string  `json:"table_id"`
+	Row     int     `json:"row"`
+	Col     int     `json:"col"`
+	Entity  string  `json:"entity"`  // the row header naming what the value describes
+	Header  string  `json:"header"`  // the column header naming the measure
+	Value   float64 `json:"value"`   // normalized value
+	Unit    string  `json:"unit"`    // canonical unit, "" if unknown
+	Caption string  `json:"caption"` // the table caption, part of the keyword context
 }
 
-// Index is an inverted index over entries.
+// Index is an inverted index over entries, maintained incrementally.
 type Index struct {
 	entries []Entry
-	byToken map[string][]int // lowercase token → entry indices (sorted, unique)
+	byToken map[string][]int // lowercase token → entry ids (append order)
+	byUnit  map[string][]int // canonical unit ("" = unknown) → entry ids
+	byValue []int            // entry ids ordered by (Value, id)
+	seen    map[string]bool  // table IDs already indexed (cross-document dedup)
+}
+
+// NewIndex returns an empty index ready for incremental Add calls.
+func NewIndex() *Index {
+	return &Index{
+		byToken: make(map[string][]int),
+		byUnit:  make(map[string][]int),
+		seen:    make(map[string]bool),
+	}
+}
+
+// EntriesFromDocument derives the index entries for one document: one entry
+// per numeric cell per table. It performs no cross-document deduplication —
+// the index's Add methods handle that via table IDs.
+func EntriesFromDocument(doc *document.Document) []Entry {
+	var out []Entry
+	seen := map[string]bool{}
+	for _, tbl := range doc.Tables {
+		if seen[tbl.ID] {
+			continue
+		}
+		seen[tbl.ID] = true
+		for _, cell := range tbl.NumericCells() {
+			e := Entry{
+				DocID:   doc.ID,
+				TableID: tbl.ID,
+				Row:     cell.Row,
+				Col:     cell.Col,
+				Value:   cell.Quantity.Value,
+				Unit:    cell.Quantity.Unit,
+				Caption: tbl.Caption,
+			}
+			if cell.Row < len(tbl.RowHeaders) {
+				e.Entity = tbl.RowHeaders[cell.Row]
+			}
+			if cell.Col < len(tbl.ColHeaders) {
+				e.Header = tbl.ColHeaders[cell.Col]
+			}
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Add indexes every numeric cell of the document's tables. Tables already
+// indexed by an earlier Add (same table ID) are skipped, so adding documents
+// one by one is equivalent to BuildIndex over the whole slice. It returns
+// the number of entries added.
+func (ix *Index) Add(doc *document.Document) int {
+	return ix.AddEntries(EntriesFromDocument(doc))
+}
+
+// AddEntries indexes pre-derived entries (e.g. replayed from a persistent
+// store). Entries belonging to a table ID indexed by a *previous* call are
+// skipped; entries within one call share the call's dedup scope, so a batch
+// produced by EntriesFromDocument is either indexed whole or skipped whole
+// per table. It returns the number of entries added.
+func (ix *Index) AddEntries(entries []Entry) int {
+	added := 0
+	batch := map[string]bool{}
+	for _, e := range entries {
+		if ix.seen[e.TableID] && !batch[e.TableID] {
+			continue
+		}
+		batch[e.TableID] = true
+		ix.add(e)
+		added++
+	}
+	for t := range batch {
+		ix.seen[t] = true
+	}
+	return added
+}
+
+func (ix *Index) add(e Entry) {
+	id := len(ix.entries)
+	ix.entries = append(ix.entries, e)
+
+	tokens := map[string]bool{}
+	for _, w := range nlp.ContentWords(e.Entity) {
+		tokens[w] = true
+	}
+	for _, w := range nlp.ContentWords(e.Header) {
+		tokens[w] = true
+	}
+	for _, w := range nlp.ContentWords(e.Caption) {
+		tokens[w] = true
+	}
+	for w := range tokens {
+		ix.byToken[w] = append(ix.byToken[w], id)
+	}
+
+	ix.byUnit[e.Unit] = append(ix.byUnit[e.Unit], id)
+
+	// Insert into the value-ordered postings at the position keeping
+	// (Value, id) order — ids are append-ordered, so ties stay stable.
+	pos := sort.Search(len(ix.byValue), func(i int) bool {
+		return ix.entries[ix.byValue[i]].Value > e.Value
+	})
+	ix.byValue = append(ix.byValue, 0)
+	copy(ix.byValue[pos+1:], ix.byValue[pos:])
+	ix.byValue[pos] = id
 }
 
 // BuildIndex indexes every numeric cell of the documents' tables. A table
-// shared by several documents is indexed once.
+// shared by several documents is indexed once. It is equivalent to NewIndex
+// followed by Add for each document in order.
 func BuildIndex(docs []*document.Document) *Index {
-	ix := &Index{byToken: make(map[string][]int)}
-	seen := map[string]bool{}
+	ix := NewIndex()
 	for _, doc := range docs {
-		for _, tbl := range doc.Tables {
-			if seen[tbl.ID] {
-				continue
-			}
-			seen[tbl.ID] = true
-			captionTokens := nlp.ContentWords(tbl.Caption)
-			for _, cell := range tbl.NumericCells() {
-				e := Entry{
-					DocID:   doc.ID,
-					TableID: tbl.ID,
-					Row:     cell.Row,
-					Col:     cell.Col,
-					Value:   cell.Quantity.Value,
-					Unit:    cell.Quantity.Unit,
-				}
-				if cell.Row < len(tbl.RowHeaders) {
-					e.Entity = tbl.RowHeaders[cell.Row]
-				}
-				if cell.Col < len(tbl.ColHeaders) {
-					e.Header = tbl.ColHeaders[cell.Col]
-				}
-				id := len(ix.entries)
-				ix.entries = append(ix.entries, e)
-
-				tokens := map[string]bool{}
-				for _, w := range nlp.ContentWords(e.Entity) {
-					tokens[w] = true
-				}
-				for _, w := range nlp.ContentWords(e.Header) {
-					tokens[w] = true
-				}
-				for _, w := range captionTokens {
-					tokens[w] = true
-				}
-				for w := range tokens {
-					ix.byToken[w] = append(ix.byToken[w], id)
-				}
-			}
-		}
+		ix.Add(doc)
 	}
 	return ix
 }
@@ -111,6 +184,22 @@ func (c Comparison) String() string {
 	}
 }
 
+// ParseComparison maps a comparison name (as produced by String) back to the
+// comparison. It wraps ErrBadQuery on unknown names.
+func ParseComparison(s string) (Comparison, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "above":
+		return Above, nil
+	case "below":
+		return Below, nil
+	case "between":
+		return Between, nil
+	case "equals", "":
+		return Equals, nil
+	}
+	return Equals, fmt.Errorf("%w: unknown comparison %q", ErrBadQuery, s)
+}
+
 // Query is a parsed quantity query.
 type Query struct {
 	Keywords []string // lowercase content words that must match entry tokens
@@ -120,8 +209,14 @@ type Query struct {
 	Unit     string  // canonical unit, "" = any
 }
 
-// ErrNoValue reports a query without a numeric threshold.
-var ErrNoValue = errors.New("quantsearch: query contains no numeric value")
+// ErrBadQuery reports a query that cannot be interpreted: no numeric value,
+// a malformed comparison, or invalid parameters. It is the root of the
+// query-validation error taxonomy (mapped to HTTP 422 bad_query).
+var ErrBadQuery = fmt.Errorf("quantsearch: bad query")
+
+// ErrNoValue reports a query without a numeric threshold. It wraps
+// ErrBadQuery.
+var ErrNoValue = fmt.Errorf("%w: query contains no numeric value", ErrBadQuery)
 
 // comparatorCues map phrases to comparisons; multi-word cues are matched
 // before single words.
@@ -177,7 +272,7 @@ func ParseQuery(s string) (Query, error) {
 	q.Unit = mentions[0].Unit
 	if q.Op == Between {
 		if len(mentions) < 2 {
-			return Query{}, fmt.Errorf("quantsearch: 'between' needs two values")
+			return Query{}, fmt.Errorf("%w: 'between' needs two values", ErrBadQuery)
 		}
 		q.Value2 = mentions[1].Value
 		if q.Value2 < q.Value {
@@ -215,18 +310,25 @@ func isComparatorWord(w string) bool {
 // Result is a matched entry with its keyword score.
 type Result struct {
 	Entry
-	Matched int // number of query keywords found in the entry's tokens
+	Matched int `json:"matched"` // number of query keywords found in the entry's tokens
 }
 
 // Search returns entries satisfying the query's numeric predicate and unit,
 // ranked by keyword matches (entries matching no keyword are excluded when
-// the query has keywords).
+// the query has keywords). The ranking is deterministic and independent of
+// insertion order: keyword matches descending, then value descending, then
+// table ID, then cell position.
 func (ix *Index) Search(q Query) []Result {
-	// Candidate set: union of posting lists, or everything without keywords.
+	// Candidate set: union of keyword postings, or — without keywords — the
+	// value-ordered postings restricted to the numeric range and the unit
+	// buckets compatible with the query unit.
 	counts := map[int]int{}
 	if len(q.Keywords) == 0 {
-		for i := range ix.entries {
-			counts[i] = 0
+		compat := ix.compatibleUnits(q.Unit)
+		for _, id := range ix.valueRange(q) {
+			if compat[ix.entries[id].Unit] {
+				counts[id] = 0
+			}
 		}
 	} else {
 		for _, kw := range q.Keywords {
@@ -242,18 +344,7 @@ func (ix *Index) Search(q Query) []Result {
 		if q.Unit != "" && e.Unit != "" && !quantity.UnitsCompatible(q.Unit, e.Unit) {
 			continue
 		}
-		ok := false
-		switch q.Op {
-		case Above:
-			ok = e.Value > q.Value
-		case Below:
-			ok = e.Value < q.Value
-		case Between:
-			ok = e.Value >= q.Value && e.Value <= q.Value2
-		case Equals:
-			ok = quantity.RelativeDifference(e.Value, q.Value) < 1e-9
-		}
-		if !ok {
+		if !matchesValue(q, e.Value) {
 			continue
 		}
 		out = append(out, Result{Entry: e, Matched: matched})
@@ -271,5 +362,74 @@ func (ix *Index) Search(q Query) []Result {
 		}
 		return out[i].Row*1000+out[i].Col < out[j].Row*1000+out[j].Col
 	})
+	return out
+}
+
+func matchesValue(q Query, v float64) bool {
+	switch q.Op {
+	case Above:
+		return v > q.Value
+	case Below:
+		return v < q.Value
+	case Between:
+		return v >= q.Value && v <= q.Value2
+	default: // Equals
+		return quantity.RelativeDifference(v, q.Value) < 1e-9
+	}
+}
+
+// compatibleUnits returns the set of indexed unit buckets an entry may carry
+// and still pass the query's unit filter. The filter only depends on the
+// entry's unit string, so checking once per bucket is equivalent to checking
+// per entry.
+func (ix *Index) compatibleUnits(qUnit string) map[string]bool {
+	out := make(map[string]bool, len(ix.byUnit))
+	for unit := range ix.byUnit {
+		if qUnit == "" || unit == "" || quantity.UnitsCompatible(qUnit, unit) {
+			out[unit] = true
+		}
+	}
+	return out
+}
+
+// valueRange returns the ids (value-ordered) whose values can satisfy the
+// query's numeric predicate. Bounds are conservative for Equals — the exact
+// RelativeDifference predicate is re-applied by the caller.
+func (ix *Index) valueRange(q Query) []int {
+	n := len(ix.byValue)
+	at := func(i int) float64 { return ix.entries[ix.byValue[i]].Value }
+	switch q.Op {
+	case Above:
+		lo := sort.Search(n, func(i int) bool { return at(i) > q.Value })
+		return ix.byValue[lo:]
+	case Below:
+		hi := sort.Search(n, func(i int) bool { return at(i) >= q.Value })
+		return ix.byValue[:hi]
+	case Between:
+		lo := sort.Search(n, func(i int) bool { return at(i) >= q.Value })
+		hi := sort.Search(n, func(i int) bool { return at(i) > q.Value2 })
+		return ix.byValue[lo:hi]
+	default: // Equals: reldiff < 1e-9 implies |v−t| < 2e-9·|t| (only 0 matches t=0).
+		margin := 2e-9 * abs(q.Value)
+		lo := sort.Search(n, func(i int) bool { return at(i) >= q.Value-margin })
+		hi := sort.Search(n, func(i int) bool { return at(i) > q.Value+margin })
+		return ix.byValue[lo:hi]
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Units returns the indexed unit buckets and their posting sizes — a cheap
+// cardinality view for metrics and diagnostics.
+func (ix *Index) Units() map[string]int {
+	out := make(map[string]int, len(ix.byUnit))
+	for u, ids := range ix.byUnit {
+		out[u] = len(ids)
+	}
 	return out
 }

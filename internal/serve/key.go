@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"fmt"
 	"hash"
 	"io"
 )
@@ -15,6 +16,40 @@ type Key [sha256.Size]byte
 
 // String returns the key in hex, for logs and tests.
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey decodes the hex form produced by String — the persistent store
+// round-trips keys through its on-disk log this way.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return k, fmt.Errorf("serve: bad key %q: %w", s, err)
+	}
+	if len(b) != len(k) {
+		return k, fmt.Errorf("serve: bad key %q: %d bytes, want %d", s, len(b), len(k))
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// KeyOf derives a content address without an Engine: fill writes the
+// request's identity into the hash, scoped by the model fingerprint. An
+// Engine with the same fingerprint derives the same key via Engine.KeyFrom —
+// offline indexers and the persistent store rely on that identity.
+func KeyOf(fingerprint string, fill func(io.Writer)) Key {
+	w := newKeyWriter(fingerprint)
+	fill(w.h)
+	return w.sum()
+}
+
+// PageKeyOf is the Engine-less form of Engine.PageKey.
+func PageKeyOf(fingerprint, pageID, html string) Key {
+	w := newKeyWriter(fingerprint)
+	w.str("page")
+	w.str(pageID)
+	w.str(html)
+	return w.sum()
+}
 
 // keyWriter incrementally builds a Key. Every field is length-prefixed so
 // ("ab","c") and ("a","bc") cannot collide.

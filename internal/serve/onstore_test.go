@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"testing"
+)
+
+func TestOnStoreHookFires(t *testing.T) {
+	e := NewEngine(Config{Fingerprint: "fp", CacheBytes: 1 << 20})
+	var gotKey Key
+	var gotV any
+	var gotSize int64
+	calls := 0
+	e.SetOnStore(func(k Key, v any, size int64) {
+		gotKey, gotV, gotSize = k, v, size
+		calls++
+	})
+
+	key := e.PageKey("p0", "<html>")
+	v, hit, err := e.Do(context.Background(), key, func(context.Context) (any, int64, error) {
+		return "value", 5, nil
+	})
+	if err != nil || hit || v != "value" {
+		t.Fatalf("Do = (%v, %v, %v)", v, hit, err)
+	}
+	if calls != 1 || gotKey != key || gotV != "value" || gotSize != 5 {
+		t.Fatalf("hook: calls=%d key=%s v=%v size=%d", calls, gotKey, gotV, gotSize)
+	}
+
+	// A cache hit must not re-fire the hook.
+	if _, hit, _ := e.Do(context.Background(), key, nil); !hit {
+		t.Fatal("want hit")
+	}
+	if calls != 1 {
+		t.Fatalf("hook fired on hit: calls=%d", calls)
+	}
+
+	// Explicit Store fires it; removing the hook stops it.
+	other := e.PageKey("p1", "<html>")
+	e.Store(other, "v2", 2)
+	if calls != 2 {
+		t.Fatalf("hook not fired on Store: calls=%d", calls)
+	}
+	e.SetOnStore(nil)
+	e.Store(e.PageKey("p2", "x"), "v3", 2)
+	if calls != 2 {
+		t.Fatalf("hook fired after removal: calls=%d", calls)
+	}
+
+	// Nil engine: no panic.
+	var nilE *Engine
+	nilE.SetOnStore(func(Key, any, int64) {})
+}
+
+func TestOnStoreSkippedWhenCacheRejects(t *testing.T) {
+	e := NewEngine(Config{CacheBytes: 1}) // too small for anything
+	fired := false
+	e.SetOnStore(func(Key, any, int64) { fired = true })
+	e.Store(e.PageKey("p", "x"), "v", 1<<20)
+	if fired {
+		t.Fatal("hook fired for a rejected store")
+	}
+}
+
+func TestKeyOfMatchesEngine(t *testing.T) {
+	e := NewEngine(Config{Fingerprint: "fp-x", CacheBytes: 1 << 10})
+	fill := func(w io.Writer) { io.WriteString(w, "doc-identity") }
+	if got, want := KeyOf("fp-x", fill), e.KeyFrom(fill); got != want {
+		t.Errorf("KeyOf = %s, Engine.KeyFrom = %s", got, want)
+	}
+	if got, want := PageKeyOf("fp-x", "p0", "<html>"), e.PageKey("p0", "<html>"); got != want {
+		t.Errorf("PageKeyOf = %s, Engine.PageKey = %s", got, want)
+	}
+	if KeyOf("fp-x", fill) == KeyOf("fp-y", fill) {
+		t.Error("different fingerprints must not collide")
+	}
+}
+
+func TestParseKeyRoundTrip(t *testing.T) {
+	k := PageKeyOf("fp", "p", "html")
+	got, err := ParseKey(k.String())
+	if err != nil || got != k {
+		t.Fatalf("ParseKey(%s) = %v, %v", k, got, err)
+	}
+	if _, err := ParseKey("zz"); err == nil {
+		t.Error("want error for bad hex")
+	}
+	if _, err := ParseKey("abcd"); err == nil {
+		t.Error("want error for short key")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"sync/atomic"
 
 	"briq/internal/obs"
 )
@@ -49,6 +50,7 @@ type Engine struct {
 	flight      flightGroup
 	counters    *obs.CounterSet
 	maxInFlight int
+	onStore     atomic.Pointer[func(Key, any, int64)]
 }
 
 // NewEngine builds an Engine from cfg. A config with neither caching nor
@@ -71,11 +73,7 @@ func NewEngine(cfg Config) *Engine {
 // PageKey derives the content address of one HTML page request: the model
 // fingerprint, the page ID and the raw page source.
 func (e *Engine) PageKey(pageID, html string) Key {
-	w := newKeyWriter(e.fingerprintOrEmpty())
-	w.str("page")
-	w.str(pageID)
-	w.str(html)
-	return w.sum()
+	return PageKeyOf(e.fingerprintOrEmpty(), pageID, html)
 }
 
 // KeyFrom derives a content address from arbitrary content: fill writes the
@@ -83,9 +81,23 @@ func (e *Engine) PageKey(pageID, html string) Key {
 // corpus path, where a document's identity is its structured content rather
 // than one source string.
 func (e *Engine) KeyFrom(fill func(io.Writer)) Key {
-	w := newKeyWriter(e.fingerprintOrEmpty())
-	fill(w.h)
-	return w.sum()
+	return KeyOf(e.fingerprintOrEmpty(), fill)
+}
+
+// SetOnStore registers a write-through hook invoked after every accepted
+// cache store (fresh computes and explicit Store calls alike — a persistent
+// store dedups replays by key). The hook runs synchronously on the storing
+// goroutine and must not call back into the Engine. Passing nil removes the
+// hook. Safe for concurrent use; no-op on a nil Engine.
+func (e *Engine) SetOnStore(fn func(key Key, v any, size int64)) {
+	if e == nil {
+		return
+	}
+	if fn == nil {
+		e.onStore.Store(nil)
+		return
+	}
+	e.onStore.Store(&fn)
 }
 
 func (e *Engine) fingerprintOrEmpty() string {
@@ -196,6 +208,9 @@ func (e *Engine) Store(key Key, v any, size int64) {
 func (e *Engine) store(key Key, v any, size int64) {
 	if stored, _ := e.cache.Add(key, v, size); stored {
 		e.counters.Inc("stores")
+		if fn := e.onStore.Load(); fn != nil {
+			(*fn)(key, v, size)
+		}
 	}
 }
 

@@ -1,0 +1,429 @@
+// Package store is the persistent aligned-corpus store: every successful
+// alignment is recorded on disk, content-addressed by the same
+// SHA-256(model fingerprint + content) identity the serve cache uses, and
+// feeds an incrementally-maintained quantity index (quantsearch postings by
+// keyword, unit and value) plus a per-entity facts view as documents are
+// aligned. There is no batch rebuild step: the in-memory index state after
+// any sequence of adds is equivalent to re-indexing the stored corpus from
+// scratch, and a restart replays the log to recover exactly that state —
+// warm-loading the serve cache on the way.
+//
+// The on-disk format is an append-only NDJSON log (corpus.ndjson) beside a
+// meta.json recording the model fingerprint. Appends are synchronous with
+// alignment but never fail it: persistence errors are counted and logged,
+// and a torn final line (crash mid-append) is skipped on replay.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"briq/internal/core"
+	"briq/internal/document"
+	"briq/internal/facts"
+	"briq/internal/quantity"
+	"briq/internal/quantsearch"
+	"briq/internal/serve"
+)
+
+// ErrFingerprintMismatch reports an existing store directory written under a
+// different model fingerprint — its keys and alignments would not match the
+// running pipeline. Point the server at a fresh directory (or the matching
+// model bundle).
+var ErrFingerprintMismatch = errors.New("store: model fingerprint does not match store directory")
+
+const (
+	logName  = "corpus.ndjson"
+	metaName = "meta.json"
+	version  = 1
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the store directory; "" runs the store memory-only (the
+	// quantity index and facts view still work, nothing persists).
+	Dir string
+	// Fingerprint is the pipeline's model fingerprint. It scopes every key.
+	// "" adopts the fingerprint recorded in an existing directory (offline
+	// readers); a non-"" value must match the directory's meta.json.
+	Fingerprint string
+	// Gate, when non-nil, is warm-loaded with the replayed alignments on
+	// Open and hooked for write-through of page-level cache stores.
+	Gate *serve.Engine
+	// Logf receives non-fatal store problems (persist errors, skipped
+	// replay lines). nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Store is the persistent aligned-corpus store. All methods are safe for
+// concurrent use; Counters is additionally safe on a nil *Store.
+type Store struct {
+	mu    sync.RWMutex
+	dir   string
+	fp    string
+	gate  *serve.Engine
+	logf  func(string, ...any)
+	logF  *os.File // append handle; nil in memory mode
+	index *quantsearch.Index
+	view  *facts.View
+	seen  map[serve.Key]bool
+
+	c counters
+}
+
+type counters struct {
+	documents     int64 // doc records accepted (fresh + replayed)
+	duplicates    int64 // AddDocument calls dropped as already stored
+	cacheRecords  int64 // page-level cache records (fresh + replayed)
+	warmDocuments int64 // doc records replayed from disk at Open
+	warmCache     int64 // cache records replayed from disk at Open
+	replaySkipped int64 // undecodable/torn log lines skipped at Open
+	persistErrors int64 // appends that failed (state kept in memory)
+
+	// Query counters are atomic so concurrent reads share the RLock.
+	searches     atomic.Int64
+	factsQueries atomic.Int64
+}
+
+// wireAlignment carries a core.Alignment through the log, restoring the
+// aggregation code that the public JSON shape deliberately omits.
+type wireAlignment struct {
+	core.Alignment
+	AggCode int `json:"agg_code"`
+}
+
+type record struct {
+	Kind       string              `json:"kind"` // "doc" | "cache"
+	Key        string              `json:"key"`
+	DocID      string              `json:"doc_id,omitempty"`
+	PageID     string              `json:"page_id,omitempty"`
+	Alignments []wireAlignment     `json:"alignments"`
+	Entries    []quantsearch.Entry `json:"entries,omitempty"`
+	Facts      []facts.Fact        `json:"facts,omitempty"`
+}
+
+func toWire(als []core.Alignment) []wireAlignment {
+	out := make([]wireAlignment, len(als))
+	for i, a := range als {
+		out[i] = wireAlignment{Alignment: a, AggCode: int(a.Agg)}
+	}
+	return out
+}
+
+func fromWire(ws []wireAlignment) []core.Alignment {
+	if ws == nil {
+		return nil
+	}
+	out := make([]core.Alignment, len(ws))
+	for i, w := range ws {
+		a := w.Alignment
+		a.Agg = quantity.Agg(w.AggCode)
+		out[i] = a
+	}
+	return out
+}
+
+type meta struct {
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Open opens (or creates) the store, replays the log into the quantity
+// index, facts view and — when a Gate is given — the serve cache, and hooks
+// the gate for write-through. Close releases the append handle.
+func Open(opts Options) (*Store, error) {
+	s := &Store{
+		dir:   opts.Dir,
+		fp:    opts.Fingerprint,
+		gate:  opts.Gate,
+		logf:  opts.Logf,
+		index: quantsearch.NewIndex(),
+		view:  facts.NewView(),
+		seen:  make(map[serve.Key]bool),
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if err := s.checkMeta(); err != nil {
+			return nil, err
+		}
+		if err := s.replay(); err != nil {
+			return nil, err
+		}
+		f, err := os.OpenFile(filepath.Join(opts.Dir, logName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		s.logF = f
+	}
+	// Hook after replay: replay's own Gate.Store calls must not re-enter.
+	if s.gate != nil {
+		s.gate.SetOnStore(s.cacheStored)
+	}
+	return s, nil
+}
+
+// checkMeta validates or creates meta.json, adopting the directory's
+// fingerprint when Options.Fingerprint was "".
+func (s *Store) checkMeta() error {
+	path := filepath.Join(s.dir, metaName)
+	b, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		var m meta
+		if err := json.Unmarshal(b, &m); err != nil {
+			return fmt.Errorf("store: bad %s: %w", metaName, err)
+		}
+		if m.Version != version {
+			return fmt.Errorf("store: %s version %d, want %d", metaName, m.Version, version)
+		}
+		if s.fp == "" {
+			s.fp = m.Fingerprint
+			return nil
+		}
+		if m.Fingerprint != s.fp {
+			return fmt.Errorf("%w: store has %.12s…, pipeline has %.12s…",
+				ErrFingerprintMismatch, m.Fingerprint, s.fp)
+		}
+		return nil
+	case os.IsNotExist(err):
+		b, _ := json.MarshalIndent(meta{Version: version, Fingerprint: s.fp}, "", "  ")
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("store: %w", err)
+	}
+}
+
+// replay streams the log, rebuilding in-memory state and warming the gate.
+// Undecodable lines (torn final append after a crash) are counted and
+// skipped.
+func (s *Store) replay() error {
+	f, err := os.Open(filepath.Join(s.dir, logName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal(line, &r); err != nil {
+			s.c.replaySkipped++
+			s.logf("store: skipping undecodable log line: %v", err)
+			continue
+		}
+		key, err := serve.ParseKey(r.Key)
+		if err != nil {
+			s.c.replaySkipped++
+			s.logf("store: skipping log line: %v", err)
+			continue
+		}
+		if s.seen[key] {
+			continue
+		}
+		s.seen[key] = true
+		als := fromWire(r.Alignments)
+		switch r.Kind {
+		case "doc":
+			s.index.AddEntries(r.Entries)
+			s.view.Add(r.Facts)
+			s.c.documents++
+			s.c.warmDocuments++
+			s.gate.Store(key, als, core.AlignmentsSize(als))
+		case "cache":
+			s.c.cacheRecords++
+			s.c.warmCache++
+			s.gate.Store(key, als, core.AlignmentsSize(als))
+		default:
+			s.c.replaySkipped++
+			s.logf("store: skipping log line with unknown kind %q", r.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("store: replaying log: %w", err)
+	}
+	return nil
+}
+
+// Close releases the append handle. The in-memory index stays usable.
+func (s *Store) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.logF == nil {
+		return nil
+	}
+	err := s.logF.Close()
+	s.logF = nil
+	return err
+}
+
+// Fingerprint returns the model fingerprint scoping the store's keys (the
+// adopted one, for readers that opened with Fingerprint "").
+func (s *Store) Fingerprint() string { return s.fp }
+
+// DocumentKey returns the content address the store files a document under —
+// identical to the serve cache's corpus-path key for the same fingerprint.
+func (s *Store) DocumentKey(doc *document.Document) serve.Key {
+	return serve.KeyOf(s.fp, func(w io.Writer) { core.HashDocument(w, doc) })
+}
+
+// AddDocument implements core.AlignmentSink: it records one freshly aligned
+// document — alignments, derived index entries, derived facts — and feeds
+// the incremental index and facts view. Replays of an already-stored
+// identity are dropped. Persistence failures never fail the alignment.
+func (s *Store) AddDocument(doc *document.Document, alignments []core.Alignment) {
+	key := s.DocumentKey(doc)
+	entries := quantsearch.EntriesFromDocument(doc)
+	fs := facts.Extract(doc, alignments)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seen[key] {
+		s.c.duplicates++
+		return
+	}
+	s.seen[key] = true
+	s.index.AddEntries(entries)
+	s.view.Add(fs)
+	s.c.documents++
+	s.append(record{
+		Kind:       "doc",
+		Key:        key.String(),
+		DocID:      doc.ID,
+		PageID:     doc.PageID,
+		Alignments: toWire(alignments),
+		Entries:    entries,
+		Facts:      fs,
+	})
+}
+
+// cacheStored is the serve write-through hook: page-level results stored in
+// the cache are persisted so a restart can warm them back. Document-level
+// stores arrive here too but were already recorded by AddDocument (the
+// facade offers to the sink first), so the seen check drops them.
+func (s *Store) cacheStored(key serve.Key, v any, _ int64) {
+	als, ok := v.([]core.Alignment)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seen[key] {
+		return
+	}
+	s.seen[key] = true
+	s.c.cacheRecords++
+	s.append(record{Kind: "cache", Key: key.String(), Alignments: toWire(als)})
+}
+
+// append writes one record under the held lock. Failures are counted and
+// logged, never propagated: serving beats durability here.
+func (s *Store) append(r record) {
+	if s.logF == nil {
+		return
+	}
+	b, err := json.Marshal(r)
+	if err == nil {
+		_, err = s.logF.Write(append(b, '\n'))
+	}
+	if err != nil {
+		s.c.persistErrors++
+		s.logf("store: persist failed (state kept in memory): %v", err)
+	}
+}
+
+// Search runs a quantity query against the incremental index and returns the
+// full deterministically-ranked result list (pagination is the caller's).
+func (s *Store) Search(q quantsearch.Query) []quantsearch.Result {
+	s.c.searches.Add(1)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.index.Search(q)
+}
+
+// FactsFor returns the facts known for a canonical entity name, confidence
+// descending.
+func (s *Store) FactsFor(entity string) []facts.Fact {
+	s.c.factsQueries.Add(1)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.view.Entity(entity)
+}
+
+// Entities returns the sorted entity names with at least one fact.
+func (s *Store) Entities() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.view.Entities()
+}
+
+// counterNames is the stable store-counter schema; the /metrics golden test
+// keys on it. Keep CounterNames and Counters in sync.
+var counterNames = []string{
+	"documents", "duplicate_documents", "cache_records",
+	"warm_documents", "warm_cache_records", "replay_skipped",
+	"persist_errors", "searches", "facts_queries",
+	"index_entries", "fact_entities", "facts", "log_bytes", "persistent",
+}
+
+// CounterNames returns the full, stable schema of the Counters map.
+func CounterNames() []string { return append([]string{}, counterNames...) }
+
+// Counters returns store counters and gauges under the stable schema of
+// CounterNames. A nil *Store reports the same schema, all zero — the
+// /metrics shape must not depend on whether a store is attached.
+func (s *Store) Counters() map[string]int64 {
+	out := make(map[string]int64, len(counterNames))
+	for _, name := range counterNames {
+		out[name] = 0
+	}
+	if s == nil {
+		return out
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out["documents"] = s.c.documents
+	out["duplicate_documents"] = s.c.duplicates
+	out["cache_records"] = s.c.cacheRecords
+	out["warm_documents"] = s.c.warmDocuments
+	out["warm_cache_records"] = s.c.warmCache
+	out["replay_skipped"] = s.c.replaySkipped
+	out["persist_errors"] = s.c.persistErrors
+	out["searches"] = s.c.searches.Load()
+	out["facts_queries"] = s.c.factsQueries.Load()
+	out["index_entries"] = int64(s.index.Size())
+	out["fact_entities"] = int64(len(s.view.Entities()))
+	out["facts"] = int64(s.view.Size())
+	if s.logF != nil {
+		out["persistent"] = 1
+		if fi, err := s.logF.Stat(); err == nil {
+			out["log_bytes"] = fi.Size()
+		}
+	}
+	return out
+}

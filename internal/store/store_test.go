@@ -1,0 +1,299 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"briq/internal/core"
+	"briq/internal/corpus"
+	"briq/internal/document"
+	"briq/internal/facts"
+	"briq/internal/quantsearch"
+	"briq/internal/serve"
+)
+
+const testFP = "fp-store-test"
+
+// alignedCorpus returns generated documents with their pipeline alignments.
+func alignedCorpus(t *testing.T, seed int64, pages int) ([]*document.Document, [][]core.Alignment) {
+	t.Helper()
+	cfg := corpus.TableSConfig(seed)
+	cfg.Pages = pages
+	c := corpus.Generate(cfg)
+	p := core.NewPipeline()
+	als := make([][]core.Alignment, len(c.Docs))
+	for i, doc := range c.Docs {
+		als[i] = p.Align(doc)
+	}
+	return c.Docs, als
+}
+
+func battery() []quantsearch.Query {
+	return []quantsearch.Query{
+		{Op: quantsearch.Above, Value: 0},
+		{Op: quantsearch.Below, Value: 1000},
+		{Op: quantsearch.Between, Value: 5, Value2: 500},
+		{Op: quantsearch.Above, Value: 10, Unit: "USD"},
+		{Keywords: []string{"total"}, Op: quantsearch.Above, Value: 0},
+		{Keywords: []string{"revenue", "income"}, Op: quantsearch.Below, Value: 1e9},
+	}
+}
+
+func TestPersistReplayEquivalence(t *testing.T) {
+	docs, als := alignedCorpus(t, 3, 8)
+	dir := t.TempDir()
+
+	s1, err := Open(Options{Dir: dir, Fingerprint: testFP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, doc := range docs {
+		s1.AddDocument(doc, als[i])
+	}
+	want := make([][]quantsearch.Result, len(battery()))
+	for i, q := range battery() {
+		want[i] = s1.Search(q)
+	}
+	wantEntities := s1.Entities()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	gate := serve.NewEngine(serve.Config{Fingerprint: testFP, CacheBytes: 16 << 20})
+	s2, err := Open(Options{Dir: dir, Fingerprint: testFP, Gate: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	for i, q := range battery() {
+		got := s2.Search(q)
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Errorf("query %d: replayed store returns %d results, want %d", i, len(got), len(want[i]))
+		}
+	}
+	if got := s2.Entities(); !reflect.DeepEqual(got, wantEntities) {
+		t.Errorf("entities diverge after replay: %v vs %v", got, wantEntities)
+	}
+	for _, e := range wantEntities {
+		if !reflect.DeepEqual(s2.FactsFor(e), s1.FactsFor(e)) {
+			t.Errorf("facts for %q diverge after replay", e)
+		}
+	}
+
+	c := s2.Counters()
+	if c["warm_documents"] != int64(len(docs)) || c["documents"] != int64(len(docs)) {
+		t.Errorf("warm counters = %v, want %d docs", c, len(docs))
+	}
+
+	// The gate was warm-loaded: every stored document is a cache hit.
+	for i, doc := range docs {
+		v, ok := gate.Lookup(s2.DocumentKey(doc))
+		if !ok {
+			t.Fatalf("doc %d not warm in gate", i)
+		}
+		got := v.([]core.Alignment)
+		if len(got) != len(als[i]) {
+			t.Errorf("doc %d: warm alignments %d, want %d", i, len(got), len(als[i]))
+		}
+		for j := range got {
+			if got[j] != als[i][j] {
+				t.Errorf("doc %d alignment %d: %+v != %+v (Agg round-trip?)", i, j, got[j], als[i][j])
+			}
+		}
+	}
+}
+
+// TestIncrementalVsRebuild is the acceptance equivalence test: the store's
+// incrementally-built index must match a from-scratch rebuild of the stored
+// corpus, at every prefix.
+func TestIncrementalVsRebuild(t *testing.T) {
+	docs, als := alignedCorpus(t, 5, 6)
+	s, err := Open(Options{Dir: t.TempDir(), Fingerprint: testFP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	view := facts.NewView()
+	for n, doc := range docs {
+		s.AddDocument(doc, als[n])
+		view.Add(facts.Extract(doc, als[n]))
+
+		rebuilt := quantsearch.BuildIndex(docs[:n+1])
+		for _, q := range battery() {
+			if !reflect.DeepEqual(s.Search(q), rebuilt.Search(q)) {
+				t.Fatalf("after %d docs, query %+v: incremental store != rebuilt index", n+1, q)
+			}
+		}
+		for _, e := range view.Entities() {
+			if !reflect.DeepEqual(s.FactsFor(e), view.Entity(e)) {
+				t.Fatalf("after %d docs: facts for %q diverge from rebuilt view", n+1, e)
+			}
+		}
+	}
+}
+
+func TestTornTailSkipped(t *testing.T) {
+	docs, als := alignedCorpus(t, 7, 4)
+	dir := t.TempDir()
+	s1, err := Open(Options{Dir: dir, Fingerprint: testFP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, doc := range docs {
+		s1.AddDocument(doc, als[i])
+	}
+	want := s1.Search(battery()[0])
+	s1.Close()
+
+	// Simulate a crash mid-append: a torn, non-JSON final line.
+	f, err := os.OpenFile(filepath.Join(dir, "corpus.ndjson"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"kind":"doc","key":"abc123","trunc`)
+	f.Close()
+
+	s2, err := Open(Options{Dir: dir, Fingerprint: testFP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Counters()["replay_skipped"]; got != 1 {
+		t.Errorf("replay_skipped = %d, want 1", got)
+	}
+	if got := s2.Search(battery()[0]); !reflect.DeepEqual(got, want) {
+		t.Error("torn tail corrupted replayed state")
+	}
+}
+
+func TestFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Fingerprint: "fp-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := Open(Options{Dir: dir, Fingerprint: "fp-b"}); !errors.Is(err, ErrFingerprintMismatch) {
+		t.Fatalf("err = %v, want ErrFingerprintMismatch", err)
+	}
+	// "" adopts the recorded fingerprint — the offline reader path.
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Fingerprint() != "fp-a" {
+		t.Errorf("adopted fingerprint = %q, want fp-a", s2.Fingerprint())
+	}
+}
+
+func TestDuplicateDocumentDropped(t *testing.T) {
+	docs, als := alignedCorpus(t, 9, 2)
+	s, err := Open(Options{Fingerprint: testFP}) // memory-only
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddDocument(docs[0], als[0])
+	size := s.Counters()["index_entries"]
+	s.AddDocument(docs[0], als[0])
+	c := s.Counters()
+	if c["duplicate_documents"] != 1 || c["documents"] != 1 {
+		t.Errorf("counters = %v, want 1 duplicate, 1 document", c)
+	}
+	if c["index_entries"] != size {
+		t.Error("duplicate add changed the index")
+	}
+	if c["persistent"] != 0 || c["log_bytes"] != 0 {
+		t.Errorf("memory-only store reports persistence: %v", c)
+	}
+}
+
+func TestCacheWriteThrough(t *testing.T) {
+	docs, als := alignedCorpus(t, 11, 2)
+	dir := t.TempDir()
+	gate := serve.NewEngine(serve.Config{Fingerprint: testFP, CacheBytes: 16 << 20})
+	s, err := Open(Options{Dir: dir, Fingerprint: testFP, Gate: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A document offered to the sink first, then stored in the gate (the
+	// facade's corpus-path order): no duplicate cache record.
+	s.AddDocument(docs[0], als[0])
+	gate.Store(s.DocumentKey(docs[0]), als[0], core.AlignmentsSize(als[0]))
+	if got := s.Counters()["cache_records"]; got != 0 {
+		t.Errorf("cache_records = %d after doc-keyed store, want 0", got)
+	}
+
+	// A page-level store (no prior doc record) writes through.
+	pageKey := gate.PageKey("p0", "<html>page</html>")
+	gate.Store(pageKey, als[1], core.AlignmentsSize(als[1]))
+	if got := s.Counters()["cache_records"]; got != 1 {
+		t.Errorf("cache_records = %d, want 1", got)
+	}
+	s.Close()
+
+	// Restart: both the doc key and the page key are warm.
+	gate2 := serve.NewEngine(serve.Config{Fingerprint: testFP, CacheBytes: 16 << 20})
+	s2, err := Open(Options{Dir: dir, Fingerprint: testFP, Gate: gate2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := gate2.Lookup(s2.DocumentKey(docs[0])); !ok {
+		t.Error("doc key not warm after restart")
+	}
+	if _, ok := gate2.Lookup(pageKey); !ok {
+		t.Error("page key not warm after restart")
+	}
+	c := s2.Counters()
+	if c["warm_cache_records"] != 1 || c["warm_documents"] != 1 {
+		t.Errorf("warm counters = %v", c)
+	}
+}
+
+func TestNilStoreCounters(t *testing.T) {
+	var s *Store
+	c := s.Counters()
+	if len(c) != len(CounterNames()) {
+		t.Fatalf("nil Counters has %d keys, want %d", len(c), len(CounterNames()))
+	}
+	for _, name := range CounterNames() {
+		if v, ok := c[name]; !ok || v != 0 {
+			t.Errorf("counter %q = %d, %v", name, v, ok)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}
+
+// TestSinkIntegration drives the store through the facade seam: a pipeline
+// with Sink + Gate persists fresh computes exactly once.
+func TestSinkIntegration(t *testing.T) {
+	docs, _ := alignedCorpus(t, 13, 3)
+	p := core.NewPipeline()
+	p.Gate = serve.NewEngine(serve.Config{Fingerprint: testFP, CacheBytes: 16 << 20})
+	s, err := Open(Options{Dir: t.TempDir(), Fingerprint: testFP, Gate: p.Gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	p.Sink = s
+
+	for _, doc := range docs {
+		p.Sink.AddDocument(doc, p.Align(doc))
+	}
+	c := s.Counters()
+	if c["documents"] != int64(len(docs)) {
+		t.Errorf("documents = %d, want %d", c["documents"], len(docs))
+	}
+	if s.Search(quantsearch.Query{Op: quantsearch.Above, Value: 0}) == nil {
+		t.Error("no searchable entries after sink feeds")
+	}
+}
