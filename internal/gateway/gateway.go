@@ -2,13 +2,24 @@
 // booted from one model bundle.
 //
 // The router hashes each request's content identity — endpoint plus raw body
-// for the POST alignment endpoints, endpoint plus canonicalized query string
-// for the GET read endpoints (search, facts) — onto a consistent-hash ring
+// for the POST alignment endpoints, endpoint plus the canonicalized
+// query-identity parameters (pagination excluded, see RoutingIdentity) for
+// the GET read endpoints (search, facts) — onto a consistent-hash ring
 // (Ring), so byte-identical requests always land on the same replica and each
 // replica's LRU shard (and aligned-corpus store) stays hot on its slice of
 // the key space. The fleet's aggregate cache capacity therefore scales with
 // the replica count, which is where the gateway's throughput-per-replica
 // win comes from on cache-bound workloads.
+//
+// The same sharding makes fleet reads per-shard, not corpus-wide: POST
+// traffic shards documents across replicas by content, each replica's store
+// indexes only the documents it aligned, and a GET /v1/search or /v1/facts
+// is answered by exactly one replica — there is no scatter-gather. A query
+// therefore sees one replica's slice of the aligned corpus (consistently:
+// the same query always sees the same slice, and every page of it). For
+// corpus-wide search, run a single briq-server, or point alignment traffic
+// for one corpus at one replica. docs/OPERATIONS.md spells out the
+// operational consequences.
 //
 // Liveness is layered over the immutable ring by a health prober
 // (periodic /healthz with eject/readmit hysteresis, plus in-band transport
@@ -29,6 +40,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/url"
 	"runtime/debug"
 	"sync"
 	"time"
@@ -241,9 +253,13 @@ func (g *Gateway) proxyHandler(route api.Route) http.HandlerFunc {
 
 // proxyGetHandler builds the sharded proxy path for one read endpoint
 // (search, facts). The routing identity is the route plus the canonicalized
-// query string — url.Values.Encode sorts parameters, so every spelling of the
-// same query hashes identically and lands on the replica whose store answered
-// it before. The canonical form is also what gets forwarded upstream.
+// query-identity parameters — url.Values.Encode sorts parameters, so every
+// spelling of the same query hashes identically and lands on the replica
+// whose store answered it before. Pagination parameters (cursor, limit) are
+// excluded from the identity: a cursor is an offset into one replica's
+// result list, so every page of one query must land on the replica that
+// minted it. The full canonical form — pagination included — is what gets
+// forwarded upstream.
 func (g *Gateway) proxyGetHandler(route api.Route) http.HandlerFunc {
 	versioned := api.Versioned(route.Path)
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -251,17 +267,39 @@ func (g *Gateway) proxyGetHandler(route api.Route) http.HandlerFunc {
 			api.WriteError(w, api.CodeMethodNotAllowed, "GET only")
 			return
 		}
-		canonical := r.URL.Query().Encode()
-		key := make([]byte, 0, len(route.Path)+1+len(canonical))
+		vals := r.URL.Query()
+		canonical := vals.Encode()
+		identity := RoutingIdentity(vals)
+		key := make([]byte, 0, len(route.Path)+1+len(identity))
 		key = append(key, route.Path...)
 		key = append(key, 0)
-		key = append(key, canonical...)
+		key = append(key, identity...)
 		upstream := versioned
 		if canonical != "" {
 			upstream += "?" + canonical
 		}
 		g.forward(w, r, http.MethodGet, upstream, "", nil, KeyHash(key))
 	}
+}
+
+// RoutingIdentity canonicalizes a read endpoint's query parameters into the
+// string the gateway hashes for replica routing: parameters sorted by
+// url.Values.Encode, with the pagination parameters (cursor, limit) removed.
+// Cursors are per-replica offsets, so routing on them would send page 2 of a
+// query to a different replica than the one whose result list minted the
+// cursor on page 1.
+func RoutingIdentity(vals url.Values) string {
+	if vals.Has("cursor") || vals.Has("limit") {
+		clean := url.Values{}
+		for k, vv := range vals {
+			if k == "cursor" || k == "limit" {
+				continue
+			}
+			clean[k] = vv
+		}
+		vals = clean
+	}
+	return vals.Encode()
 }
 
 // forward walks the hash's candidate replicas — the owner plus one ring

@@ -290,13 +290,13 @@ func TestProxyAffinity(t *testing.T) {
 
 // --- GET read-endpoint proxying ---
 
-// searchQueryOwnedBy finds a /search query whose canonical form hashes onto
+// searchQueryOwnedBy finds a /search query whose routing identity hashes onto
 // the given replica.
 func searchQueryOwnedBy(t *testing.T, g *Gateway, owner int) url.Values {
 	t.Helper()
 	for i := 0; i < 4096; i++ {
 		vals := url.Values{"op": {"above"}, "value": {fmt.Sprintf("%d", i)}}
-		key := append(append([]byte("/search"), 0), vals.Encode()...)
+		key := append(append([]byte("/search"), 0), RoutingIdentity(vals)...)
 		walk := g.ring.Walk(KeyHash(key), 2, nil)
 		if len(walk) == 2 && walk[0] == owner {
 			return vals
@@ -344,6 +344,54 @@ func TestGetProxyCanonicalQueryAffinity(t *testing.T) {
 	a.queryMu.Unlock()
 	if last != canonical {
 		t.Errorf("replica saw query %q, want canonical %q", last, canonical)
+	}
+}
+
+// TestGetProxyCursorAffinity: following a cursor keeps hitting the replica
+// that minted it. Pagination parameters are excluded from the routing
+// identity — a cursor is an offset into one replica's result list, so page 2
+// landing on a different replica would silently duplicate or skip items —
+// but they still reach the replica in the forwarded query.
+func TestGetProxyCursorAffinity(t *testing.T) {
+	a, b := newFakeReplica("f1"), newFakeReplica("f1")
+	defer a.srv.Close()
+	defer b.srv.Close()
+	g, front := newTestGateway(t, Config{}, a, b)
+
+	vals := searchQueryOwnedBy(t, g, 0)
+	pages := []string{
+		vals.Encode(),                // page 1: no cursor
+		vals.Encode() + "&cursor=20", // page 2: cursor minted by page 1
+		vals.Encode() + "&cursor=40&limit=7",
+	}
+	for _, qs := range pages {
+		resp, err := http.Get(front.URL + "/v1/search?" + qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		client.Drain(resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("search %q: status = %d", qs, resp.StatusCode)
+		}
+	}
+	if got := a.searches.Load(); got != int64(len(pages)) {
+		t.Errorf("cursor-minting replica served %d/%d pages", got, len(pages))
+	}
+	if got := b.searches.Load(); got != 0 {
+		t.Errorf("sibling replica served %d pages, want 0", got)
+	}
+	// The pagination parameters must still be forwarded upstream.
+	a.queryMu.Lock()
+	last := a.lastQuery
+	a.queryMu.Unlock()
+	wantVals := url.Values{}
+	for k, vv := range vals {
+		wantVals[k] = vv
+	}
+	wantVals.Set("cursor", "40")
+	wantVals.Set("limit", "7")
+	if want := wantVals.Encode(); last != want {
+		t.Errorf("replica saw query %q, want %q", last, want)
 	}
 }
 

@@ -178,6 +178,55 @@ func TestAddEntriesDedupAcrossCalls(t *testing.T) {
 	}
 }
 
+// TestLazyValueOrder pins the lazy value-posting maintenance: adds leave the
+// postings dirty (O(1) append instead of an O(n) shift), Search answers
+// identically whether the postings are dirty (scan fallback) or sorted
+// (binary-searched range), and Search itself never sorts — EnsureValueOrder
+// is the only mutation point, and it is idempotent.
+func TestLazyValueOrder(t *testing.T) {
+	cfg := corpus.TableSConfig(13)
+	cfg.Pages = 10
+	c := corpus.Generate(cfg)
+
+	dirty := NewIndex()
+	for _, doc := range c.Docs {
+		dirty.Add(doc)
+	}
+	if !dirty.valueDirty {
+		t.Fatal("adds should leave the value postings dirty")
+	}
+	sorted := BuildIndex(c.Docs) // BuildIndex ends with EnsureValueOrder
+	if sorted.valueDirty {
+		t.Fatal("BuildIndex should return sorted value postings")
+	}
+
+	for _, q := range queryBattery(sorted) {
+		if !reflect.DeepEqual(dirty.Search(q), sorted.Search(q)) {
+			t.Fatalf("query %+v: dirty scan and sorted range disagree", q)
+		}
+		if !dirty.valueDirty {
+			t.Fatal("Search must not mutate the index")
+		}
+	}
+
+	dirty.EnsureValueOrder()
+	dirty.EnsureValueOrder() // idempotent
+	for i := 1; i < len(dirty.byValue); i++ {
+		a, b := dirty.byValue[i-1], dirty.byValue[i]
+		if va, vb := dirty.entries[a].Value, dirty.entries[b].Value; va > vb || (va == vb && a > b) {
+			t.Fatalf("byValue not in (Value, id) order at %d", i)
+		}
+	}
+	if !reflect.DeepEqual(dirty.byValue, sorted.byValue) {
+		t.Fatal("EnsureValueOrder should converge to the rebuilt order")
+	}
+	for _, q := range queryBattery(sorted) {
+		if !reflect.DeepEqual(dirty.Search(q), sorted.Search(q)) {
+			t.Fatalf("query %+v: post-sort results diverge", q)
+		}
+	}
+}
+
 func TestBadQueryTaxonomy(t *testing.T) {
 	if _, err := ParseQuery("income above average"); !errors.Is(err, ErrBadQuery) {
 		t.Errorf("value-free query: err = %v, want ErrBadQuery", err)

@@ -34,13 +34,20 @@ type Entry struct {
 	Caption string  `json:"caption"` // the table caption, part of the keyword context
 }
 
-// Index is an inverted index over entries, maintained incrementally.
+// Index is an inverted index over entries, maintained incrementally. It is
+// not safe for concurrent use; briq's persistent store wraps it in a lock.
 type Index struct {
 	entries []Entry
 	byToken map[string][]int // lowercase token → entry ids (append order)
 	byUnit  map[string][]int // canonical unit ("" = unknown) → entry ids
-	byValue []int            // entry ids ordered by (Value, id)
+	byValue []int            // entry ids; ordered by (Value, id) unless valueDirty
 	seen    map[string]bool  // table IDs already indexed (cross-document dedup)
+
+	// valueDirty marks byValue as appended-to since its last sort. Adds are
+	// O(1) and the (Value, id) order is restored lazily — EnsureValueOrder
+	// re-sorts once per mutation burst instead of shifting postings on every
+	// insert, which made replaying a large corpus quadratic.
+	valueDirty bool
 }
 
 // NewIndex returns an empty index ready for incremental Add calls.
@@ -135,14 +142,28 @@ func (ix *Index) add(e Entry) {
 
 	ix.byUnit[e.Unit] = append(ix.byUnit[e.Unit], id)
 
-	// Insert into the value-ordered postings at the position keeping
-	// (Value, id) order — ids are append-ordered, so ties stay stable.
-	pos := sort.Search(len(ix.byValue), func(i int) bool {
-		return ix.entries[ix.byValue[i]].Value > e.Value
+	// Appended out of order; EnsureValueOrder restores (Value, id) order
+	// before the next binary-searched range query.
+	ix.byValue = append(ix.byValue, id)
+	ix.valueDirty = true
+}
+
+// EnsureValueOrder restores the (Value, id) order of the value postings after
+// a burst of adds — a no-op when nothing changed. Search works without it
+// (it falls back to a scan while the postings are dirty), so concurrent
+// wrappers can call it under a write lock and keep Search read-only.
+func (ix *Index) EnsureValueOrder() {
+	if !ix.valueDirty {
+		return
+	}
+	sort.Slice(ix.byValue, func(i, j int) bool {
+		a, b := ix.byValue[i], ix.byValue[j]
+		if ix.entries[a].Value != ix.entries[b].Value {
+			return ix.entries[a].Value < ix.entries[b].Value
+		}
+		return a < b
 	})
-	ix.byValue = append(ix.byValue, 0)
-	copy(ix.byValue[pos+1:], ix.byValue[pos:])
-	ix.byValue[pos] = id
+	ix.valueDirty = false
 }
 
 // BuildIndex indexes every numeric cell of the documents' tables. A table
@@ -153,6 +174,7 @@ func BuildIndex(docs []*document.Document) *Index {
 	for _, doc := range docs {
 		ix.Add(doc)
 	}
+	ix.EnsureValueOrder()
 	return ix
 }
 
@@ -321,13 +343,23 @@ type Result struct {
 func (ix *Index) Search(q Query) []Result {
 	// Candidate set: union of keyword postings, or — without keywords — the
 	// value-ordered postings restricted to the numeric range and the unit
-	// buckets compatible with the query unit.
+	// buckets compatible with the query unit. While the value postings are
+	// dirty (adds since the last EnsureValueOrder) the range restriction is
+	// skipped and every entry is a candidate — the loop below re-applies the
+	// exact unit and value predicates, so the results are identical; Search
+	// itself never mutates the index.
 	counts := map[int]int{}
 	if len(q.Keywords) == 0 {
-		compat := ix.compatibleUnits(q.Unit)
-		for _, id := range ix.valueRange(q) {
-			if compat[ix.entries[id].Unit] {
+		if ix.valueDirty {
+			for id := range ix.entries {
 				counts[id] = 0
+			}
+		} else {
+			compat := ix.compatibleUnits(q.Unit)
+			for _, id := range ix.valueRange(q) {
+				if compat[ix.entries[id].Unit] {
+					counts[id] = 0
+				}
 			}
 		}
 	} else {

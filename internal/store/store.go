@@ -39,6 +39,12 @@ import (
 // model bundle).
 var ErrFingerprintMismatch = errors.New("store: model fingerprint does not match store directory")
 
+// ErrNotStore reports a reader-mode Open (Fingerprint "") pointed at a
+// directory with no meta.json. Readers never create stores — a mistyped path
+// should fail loudly, not materialize a fresh empty store that answers every
+// query with zero results.
+var ErrNotStore = errors.New("store: directory is not a store (no meta.json)")
+
 const (
 	logName  = "corpus.ndjson"
 	metaName = "meta.json"
@@ -152,6 +158,17 @@ func Open(opts Options) (*Store, error) {
 		s.logf = func(string, ...any) {}
 	}
 	if opts.Dir != "" {
+		// Reader mode (Fingerprint "") adopts an existing store and must
+		// never create one: a mistyped -store path is an error, not a fresh
+		// empty store with fingerprint "".
+		if opts.Fingerprint == "" {
+			if _, err := os.Stat(filepath.Join(opts.Dir, metaName)); err != nil {
+				if os.IsNotExist(err) {
+					return nil, fmt.Errorf("%w: %s", ErrNotStore, opts.Dir)
+				}
+				return nil, fmt.Errorf("store: %w", err)
+			}
+		}
 		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
@@ -264,6 +281,8 @@ func (s *Store) replay() error {
 	if err := sc.Err(); err != nil {
 		return fmt.Errorf("store: replaying log: %w", err)
 	}
+	// One batch sort for the whole replay instead of per-record inserts.
+	s.index.EnsureValueOrder()
 	return nil
 }
 
@@ -361,6 +380,13 @@ func (s *Store) append(r record) {
 // full deterministically-ranked result list (pagination is the caller's).
 func (s *Store) Search(q quantsearch.Query) []quantsearch.Result {
 	s.c.searches.Add(1)
+	// Restore the value-posting order left dirty by recent adds under the
+	// write lock (a no-op flag check when clean), then query under the read
+	// lock. Index.Search never mutates — if an add lands between the two
+	// locks it falls back to a scan, staying correct and race-free.
+	s.mu.Lock()
+	s.index.EnsureValueOrder()
+	s.mu.Unlock()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.index.Search(q)

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 
 	"briq/internal/core"
@@ -189,6 +190,89 @@ func TestFingerprintMismatch(t *testing.T) {
 	defer s2.Close()
 	if s2.Fingerprint() != "fp-a" {
 		t.Errorf("adopted fingerprint = %q, want fp-a", s2.Fingerprint())
+	}
+}
+
+// TestConcurrentAddAndSearch exercises the lazy value-order maintenance
+// under concurrency (run with -race): adds leave the index's value postings
+// dirty, Search restores order under the write lock and queries under the
+// read lock, and an add landing between the two must not corrupt results —
+// every search must agree with a quiesced re-run of the same query.
+func TestConcurrentAddAndSearch(t *testing.T) {
+	docs, als := alignedCorpus(t, 13, 12)
+	s, err := Open(Options{Fingerprint: testFP})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i, doc := range docs {
+			s.AddDocument(doc, als[i])
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			for _, q := range battery() {
+				s.Search(q)
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Quiesced, results must match a from-scratch rebuild of the same docs.
+	rebuilt, err := Open(Options{Fingerprint: testFP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, doc := range docs {
+		rebuilt.AddDocument(doc, als[i])
+	}
+	for _, q := range battery() {
+		if !reflect.DeepEqual(s.Search(q), rebuilt.Search(q)) {
+			t.Fatalf("query %+v: concurrent-add store disagrees with rebuild", q)
+		}
+	}
+}
+
+// TestReaderModeNeverCreates: opening with Fingerprint "" (offline readers,
+// briq-search -store) must fail on a directory that is not a store instead of
+// silently materializing a fresh empty one — a mistyped path should be an
+// error, not 0 results plus a junk directory with fingerprint "".
+func TestReaderModeNeverCreates(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "no-such-store")
+	if _, err := Open(Options{Dir: missing}); !errors.Is(err, ErrNotStore) {
+		t.Fatalf("err = %v, want ErrNotStore", err)
+	}
+	if _, err := os.Stat(missing); !os.IsNotExist(err) {
+		t.Fatal("reader-mode Open created the directory")
+	}
+
+	// An existing directory without meta.json is equally not a store.
+	empty := t.TempDir()
+	if _, err := Open(Options{Dir: empty}); !errors.Is(err, ErrNotStore) {
+		t.Fatalf("err = %v, want ErrNotStore", err)
+	}
+	if _, err := os.Stat(filepath.Join(empty, "meta.json")); !os.IsNotExist(err) {
+		t.Fatal("reader-mode Open wrote meta.json")
+	}
+
+	// A writer (real fingerprint) still creates stores from nothing.
+	s, err := Open(Options{Dir: missing, Fingerprint: testFP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := Open(Options{Dir: missing}) // and now the reader adopts it
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Fingerprint() != testFP {
+		t.Errorf("adopted fingerprint = %q, want %q", s2.Fingerprint(), testFP)
 	}
 }
 
