@@ -1,19 +1,20 @@
 GO ?= go
 
-.PHONY: all check build vet test race bench bench-compare bench-tables bench-serve bench-gateway loadgen-smoke gateway-smoke store-smoke experiments fmt fmt-check fuzz-smoke cover-check
+.PHONY: all check build vet test race bench bench-compare bench-tables bench-serve bench-gateway loadgen-smoke gateway-smoke store-smoke ingest-smoke experiments fmt fmt-check fuzz-smoke cover-check
 
 all: check
 
 # Default verify entry point: formatting, vet, build, the full suite under
 # the race detector, a short fuzz pass over the committed corpora, the
-# coverage gate on the classification-engine packages, and three end-to-end
+# coverage gate on the classification-engine packages, and four end-to-end
 # smokes with the real binaries: the single-server load harness
 # (loadgen-smoke), the sharded fleet behind briq-gateway including a
-# replica kill (gateway-smoke), and the persistent aligned-corpus store
-# across a server restart (store-smoke). The runtime pool, serving layer,
+# replica kill (gateway-smoke), the persistent aligned-corpus store across
+# a server restart (store-smoke), and streaming re-crawl ingestion with
+# fingerprint reuse (ingest-smoke). The runtime pool, serving layer,
 # server handlers and AlignAll fan-out are concurrency-bearing, so a
 # non-race test run is not a complete check.
-check: fmt-check vet build race fuzz-smoke cover-check loadgen-smoke gateway-smoke store-smoke
+check: fmt-check vet build race fuzz-smoke cover-check loadgen-smoke gateway-smoke store-smoke ingest-smoke
 
 build:
 	$(GO) build ./...
@@ -133,6 +134,45 @@ store-smoke:
 		|| { echo "store-smoke: offline -store results diverge from server"; exit 1; }; \
 	kill $$spid; spid=""; \
 	echo "store-smoke: warm restart byte-identical, offline store matches"
+
+# End-to-end smoke of streaming ingestion with the real binaries: generate
+# a small corpus, stream it into an untrained briq-server through
+# `briq ingest`, append one sentence to the first paragraph of every page
+# (a re-crawl where most documents are byte-identical), re-ingest, and
+# assert (a) the re-crawl reused at least one document's stored alignments
+# while realigning the changed ones, and (b) GET /v1/search answers
+# byte-identically to a second server that ingested only the final mutated
+# corpus from scratch — the incremental-vs-from-scratch equivalence gate
+# over the wire, with the real CLI. The in-process proofs live in
+# internal/store, internal/ingest and cmd/briq-server tests.
+ingest-smoke:
+	@set -e; tmp=$$(mktemp -d); apid=""; bpid=""; \
+	trap 'test -n "$$apid" && kill $$apid 2>/dev/null; test -n "$$bpid" && kill $$bpid 2>/dev/null; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/ ./cmd/corpusgen ./cmd/briq-server ./cmd/briq ./cmd/briq-search; \
+	$$tmp/corpusgen -out $$tmp/corpus -pages 6 -seed 42 >/dev/null; \
+	$$tmp/briq-server -addr 127.0.0.1:18584 -store $$tmp/storeA -quiet 2>$$tmp/serverA.log & apid=$$!; \
+	for i in $$(seq 1 75); do \
+		$$tmp/briq-search -addr http://127.0.0.1:18584 "revenue above 0" >/dev/null 2>&1 && break; sleep 0.2; done; \
+	$$tmp/briq ingest -addr 127.0.0.1:18584 $$tmp/corpus > $$tmp/cold.txt; \
+	grep -Eq 'ingested 6 pages: 0 documents reused, [1-9][0-9]* realigned, 0 retracted, 0 page errors' $$tmp/cold.txt \
+		|| { echo "ingest-smoke: unexpected cold ingest summary"; cat $$tmp/cold.txt; exit 1; }; \
+	for f in $$tmp/corpus/*.html; do \
+		sed -i '0,/<\/p>/s// A revised figure was confirmed on re-crawl.<\/p>/' $$f; done; \
+	$$tmp/briq ingest -addr 127.0.0.1:18584 $$tmp/corpus > $$tmp/recrawl.txt; \
+	grep -Eq 'ingested 6 pages: [1-9][0-9]* documents reused, [1-9][0-9]* realigned, [0-9]+ retracted, 0 page errors' $$tmp/recrawl.txt \
+		|| { echo "ingest-smoke: re-crawl reused nothing"; cat $$tmp/recrawl.txt; exit 1; }; \
+	$$tmp/briq-search -addr http://127.0.0.1:18584 "revenue above 0" > $$tmp/incr.txt; \
+	grep -q '\[pg' $$tmp/incr.txt \
+		|| { echo "ingest-smoke: incremental server found nothing"; cat $$tmp/incr.txt; exit 1; }; \
+	$$tmp/briq-server -addr 127.0.0.1:18585 -store $$tmp/storeB -quiet 2>$$tmp/serverB.log & bpid=$$!; \
+	for i in $$(seq 1 75); do \
+		$$tmp/briq-search -addr http://127.0.0.1:18585 "revenue above 0" >/dev/null 2>&1 && break; sleep 0.2; done; \
+	$$tmp/briq ingest -addr 127.0.0.1:18585 $$tmp/corpus >/dev/null; \
+	$$tmp/briq-search -addr http://127.0.0.1:18585 "revenue above 0" > $$tmp/scratch.txt; \
+	cmp $$tmp/incr.txt $$tmp/scratch.txt \
+		|| { echo "ingest-smoke: incremental search diverges from from-scratch ingest"; exit 1; }; \
+	kill $$apid; apid=""; kill $$bpid; bpid=""; \
+	echo "ingest-smoke: re-crawl reuse nonzero, incremental search byte-identical to from-scratch"
 
 # Serving baseline: a size-targeted corpus, a trained briq-server with the
 # production serving configuration, and an open-loop run that writes the

@@ -153,7 +153,16 @@ func (c *Client) Do(ctx context.Context, method, path, contentType string, body 
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.url(path), rd)
+	return c.DoReader(ctx, method, path, contentType, rd)
+}
+
+// DoReader is Do with a streaming request body: the bytes are sent as they
+// become readable, never buffered whole. The ingest path feeds NDJSON page
+// streams through it — the corpus can be larger than memory — and the
+// gateway uses it to relay per-replica line streams. Like Do, the caller
+// owns resp.Body.
+func (c *Client) DoReader(ctx context.Context, method, path, contentType string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.url(path), body)
 	if err != nil {
 		return nil, fmt.Errorf("client: build %s %s: %w", method, path, err)
 	}

@@ -1,0 +1,161 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"briq/internal/api"
+)
+
+// IngestPage is one page of an Ingest stream — one NDJSON request line of
+// POST /v1/ingest.
+type IngestPage struct {
+	PageID string `json:"page_id"`
+	HTML   string `json:"html"`
+}
+
+// IngestDoc is one document's per-page ingestion status.
+type IngestDoc struct {
+	DocID  string `json:"doc_id"`
+	Status string `json:"status"` // "reused" | "realigned"
+}
+
+// IngestResult is one page's outcome — one NDJSON response line. Either
+// Error/Code is set (the page was not upserted) or the counts describe the
+// upsert.
+type IngestResult struct {
+	PageID        string      `json:"page_id"`
+	Documents     []IngestDoc `json:"documents"`
+	Reused        int         `json:"reused"`
+	Realigned     int         `json:"realigned"`
+	Retracted     int         `json:"retracted"`
+	Alignments    int         `json:"alignments"`
+	PersistErrors int64       `json:"persist_errors"`
+	Error         string      `json:"error,omitempty"`
+	Code          string      `json:"code,omitempty"`
+}
+
+// Ingest streams pages into POST /v1/ingest and returns an iterator over the
+// per-page results, which arrive while later pages are still being sent —
+// neither the request nor the response is ever buffered whole. next is
+// pulled for each page: return the next page to send, nil to end the stream
+// cleanly, or an error to abort it (the error also surfaces from Err).
+//
+//	it := c.Ingest(ctx, nextPage)
+//	for it.Next() {
+//		r := it.Result()
+//		…
+//	}
+//	if err := it.Err(); err != nil { … }
+//
+// Long corpora outlive the default client's 30s request timeout — build the
+// Client with WithHTTPClient(&http.Client{}) (no timeout) or WithTimeout
+// sized to the corpus for real ingest runs.
+func (c *Client) Ingest(ctx context.Context, next func() (*IngestPage, error)) *IngestIter {
+	pr, pw := io.Pipe()
+	feedErr := make(chan error, 1)
+	go func() {
+		enc := json.NewEncoder(pw)
+		for {
+			pg, err := next()
+			if err != nil {
+				pw.CloseWithError(err)
+				feedErr <- fmt.Errorf("client: ingest: feed pages: %w", err)
+				return
+			}
+			if pg == nil {
+				pw.Close()
+				feedErr <- nil
+				return
+			}
+			if err := enc.Encode(pg); err != nil {
+				pw.CloseWithError(err)
+				feedErr <- fmt.Errorf("client: ingest: send page %q: %w", pg.PageID, err)
+				return
+			}
+		}
+	}()
+
+	resp, err := c.DoReader(ctx, http.MethodPost, api.Versioned("/ingest"), "application/x-ndjson", pr)
+	if err != nil {
+		pr.CloseWithError(err) // release the feeder if the transport never drained it
+		return &IngestIter{err: fmt.Errorf("client: ingest: %w", err), feedErr: feedErr}
+	}
+	if resp.StatusCode != http.StatusOK {
+		payload := mustRead(resp)
+		drain(resp)
+		pr.CloseWithError(io.ErrClosedPipe)
+		return &IngestIter{err: errorFromResponse(resp, payload), feedErr: feedErr}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	return &IngestIter{resp: resp, sc: sc, feedErr: feedErr}
+}
+
+// IngestIter walks an ingest response stream page by page.
+type IngestIter struct {
+	resp    *http.Response
+	sc      *bufio.Scanner
+	feedErr chan error
+	cur     IngestResult
+	err     error
+	done    bool
+}
+
+// Next advances to the next per-page result, blocking until the server
+// finishes that page. It reports false when the stream ends — cleanly or
+// not; Err distinguishes.
+func (it *IngestIter) Next() bool {
+	if it.done || it.err != nil || it.sc == nil {
+		return false
+	}
+	for it.sc.Scan() {
+		line := it.sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		it.cur = IngestResult{}
+		if err := json.Unmarshal(line, &it.cur); err != nil {
+			it.err = fmt.Errorf("client: ingest: decode result line: %w", err)
+			it.close()
+			return false
+		}
+		return true
+	}
+	if err := it.sc.Err(); err != nil {
+		it.err = fmt.Errorf("client: ingest: read results: %w", err)
+	}
+	it.close()
+	return false
+}
+
+func (it *IngestIter) close() {
+	it.done = true
+	if it.resp != nil {
+		drain(it.resp)
+		it.resp = nil
+	}
+	// Surface a feeder failure (it also tore the request stream down, which
+	// is usually what ended the response) unless a read error already did.
+	if it.err == nil && it.feedErr != nil {
+		select {
+		case err := <-it.feedErr:
+			it.err = err
+		default:
+			// Feeder still blocked mid-send on a dead stream; its error, if
+			// any, duplicates the transport's.
+		}
+	}
+}
+
+// Result returns the current per-page result; valid after Next reported
+// true.
+func (it *IngestIter) Result() IngestResult { return it.cur }
+
+// Err returns the error that stopped iteration, nil on clean exhaustion.
+// Per-page failures are not iteration errors — check Result().Error.
+func (it *IngestIter) Err() error { return it.err }

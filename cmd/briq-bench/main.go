@@ -32,6 +32,13 @@
 //     ScorePairs cost per document, and cold end-to-end alignment
 //     throughput, gated on scores being bit-identical and alignments
 //     byte-identical across the workload.
+//   - ingest — the streaming ingestion engine behind POST /v1/ingest: cold
+//     corpus ingestion (every document aligned) against re-ingestion of the
+//     identical corpus (every document reused via its sub-document
+//     fingerprint), plus the document reuse rate of a realistic re-crawl
+//     that appends one sentence per page, gated on the incremental store
+//     answering the search/facts battery identically to a from-scratch
+//     ingest of the final corpus.
 //
 // Usage:
 //
@@ -61,10 +68,13 @@ import (
 	"briq/internal/experiment"
 	"briq/internal/filter"
 	"briq/internal/graph"
+	"briq/internal/ingest"
 	"briq/internal/obs"
 	"briq/internal/quantity"
+	"briq/internal/quantsearch"
 	"briq/internal/resolve"
 	brt "briq/internal/runtime"
+	"briq/internal/store"
 )
 
 // resolveInput is one document's resolution-stage input: the exact
@@ -152,6 +162,32 @@ type report struct {
 	// reference path, gated on bit-identical scores and byte-identical
 	// alignments across the workload.
 	Classify classifySection `json:"classify"`
+
+	// Ingest compares cold corpus ingestion against fingerprint-reuse
+	// re-ingestion of the identical corpus, gated on the incremental path
+	// matching a from-scratch ingest of the final corpus.
+	Ingest ingestSection `json:"ingest"`
+}
+
+// ingestSection is the streaming-ingestion block of the report. The cold
+// side ingests the corpus into a fresh engine (every document goes through
+// classify/filter/resolve); the re-ingest side streams the identical corpus
+// into a warm engine, so every document is reused off its sub-document
+// fingerprint and alignment is skipped entirely. MutatedReuseRate is the
+// fraction of documents reused on a realistic re-crawl that appends one
+// sentence to one paragraph per page. EquivalentToScratch records the gate:
+// the incrementally maintained store must answer the search/facts battery
+// identically to an engine that ingested only the final corpus.
+type ingestSection struct {
+	Pages               int     `json:"pages"`
+	Documents           int     `json:"documents"`
+	ColdNsPerCorpus     float64 `json:"cold_ns_per_corpus"`
+	ColdDocsPerSec      float64 `json:"cold_docs_per_sec"`
+	ReingestNsPerCorpus float64 `json:"reingest_ns_per_corpus"`
+	ReingestDocsPerSec  float64 `json:"reingest_docs_per_sec"`
+	Speedup             float64 `json:"speedup"`
+	MutatedReuseRate    float64 `json:"mutated_reuse_rate"`
+	EquivalentToScratch bool    `json:"equivalent_to_scratch"`
 }
 
 // classifySection is the classification-engine block of the report. The two
@@ -395,6 +431,12 @@ func run(seed int64, pages, rounds, workers int, out string) error {
 		return err
 	}
 	rep.Classify = cl
+
+	ig, err := measureIngest(rounds, seed, pages)
+	if err != nil {
+		return err
+	}
+	rep.Ingest = ig
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -699,6 +741,143 @@ func measureClassify(rounds int, base *core.Pipeline, c *corpus.Corpus, docs []*
 	}
 	fmt.Printf("classify: engine cold %.0f docs/sec | reference cold %.0f docs/sec | %.2fx\n",
 		out.EngineColdDocsPerSec, out.ReferenceColdDocsPerSec, out.ColdSpeedup)
+	return out, nil
+}
+
+// measureIngest benchmarks the streaming ingestion engine. Gate first: a
+// corpus is ingested cold, every page is re-crawled with one extra sentence,
+// and the incrementally maintained store must answer the search/facts
+// battery identically to an engine that ingested only the final corpus from
+// scratch. Then two measurements over the final corpus: cold ingestion into
+// a fresh engine per iteration, and re-ingestion of the byte-identical
+// corpus into a warm engine, where every document short-circuits on its
+// stored fingerprint.
+func measureIngest(rounds int, seed int64, pageCount int) (ingestSection, error) {
+	var out ingestSection
+	ctx := context.Background()
+	pgs := corpus.Generate(corpus.TableLConfig(seed, pageCount)).Pages
+	out.Pages = len(pgs)
+
+	newEngine := func() (*ingest.Ingestor, *store.Store, error) {
+		st, err := store.Open(store.Options{Fingerprint: "briq-bench-ingest"})
+		if err != nil {
+			return nil, nil, err
+		}
+		return ingest.New(core.NewPipeline(), st, ingest.Options{}), st, nil
+	}
+	ingestCorpus := func(ing *ingest.Ingestor) (reused, realigned int, err error) {
+		for _, pg := range pgs {
+			res := ing.Page(ctx, pg.ID, pg.HTML())
+			if res.Error != "" {
+				return 0, 0, fmt.Errorf("ingest %s: %s", pg.ID, res.Error)
+			}
+			reused += res.Reused
+			realigned += res.Realigned
+		}
+		return reused, realigned, nil
+	}
+	// snapshot serializes the store's observable serving state — the search
+	// battery plus every entity's facts — for the equivalence gate.
+	snapshot := func(st *store.Store) ([]byte, error) {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		for _, q := range []quantsearch.Query{
+			{Op: quantsearch.Above, Value: 0},
+			{Op: quantsearch.Below, Value: 1000},
+			{Op: quantsearch.Between, Value: 5, Value2: 500},
+			{Keywords: []string{"total"}, Op: quantsearch.Above, Value: 0},
+		} {
+			if err := enc.Encode(st.Search(q)); err != nil {
+				return nil, err
+			}
+		}
+		ents := st.Entities()
+		if err := enc.Encode(ents); err != nil {
+			return nil, err
+		}
+		for _, e := range ents {
+			if err := enc.Encode(st.FactsFor(e)); err != nil {
+				return nil, err
+			}
+		}
+		return buf.Bytes(), nil
+	}
+
+	// Equivalence gate: cold ingest, re-crawl with one sentence appended per
+	// page, then compare against a from-scratch ingest of the final corpus.
+	warm, warmStore, err := newEngine()
+	if err != nil {
+		return out, err
+	}
+	if _, _, err := ingestCorpus(warm); err != nil {
+		return out, fmt.Errorf("ingest gate (cold pass): %w", err)
+	}
+	for _, pg := range pgs {
+		pg.Paras[0] += " A follow-up note was appended on re-crawl."
+	}
+	reused, realigned, err := ingestCorpus(warm)
+	if err != nil {
+		return out, fmt.Errorf("ingest gate (mutated pass): %w", err)
+	}
+	if reused == 0 || realigned == 0 {
+		return out, fmt.Errorf("ingest gate: mutated re-crawl reused %d / realigned %d, want both > 0", reused, realigned)
+	}
+	out.MutatedReuseRate = float64(reused) / float64(reused+realigned)
+	scratch, scratchStore, err := newEngine()
+	if err != nil {
+		return out, err
+	}
+	if _, docs, err := ingestCorpus(scratch); err != nil {
+		return out, fmt.Errorf("ingest gate (scratch pass): %w", err)
+	} else {
+		out.Documents = docs
+	}
+	got, err := snapshot(warmStore)
+	if err != nil {
+		return out, err
+	}
+	want, err := snapshot(scratchStore)
+	if err != nil {
+		return out, err
+	}
+	if !bytes.Equal(got, want) {
+		return out, fmt.Errorf("ingest gate: incremental store differs from from-scratch ingest of the final corpus")
+	}
+	out.EquivalentToScratch = true
+	fmt.Printf("ingest gate: incremental state identical to from-scratch on %d pages (%.0f%% reused on re-crawl)\n",
+		out.Pages, 100*out.MutatedReuseRate)
+
+	cold := best(rounds, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			ing, _, err := newEngine()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, _, err := ingestCorpus(ing); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Re-ingest measures the warm engine over the byte-identical corpus:
+	// segmentation and fingerprinting run, alignment and log writes do not.
+	reingest := best(rounds, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ingestCorpus(scratch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	out.ColdNsPerCorpus = cold.NsPerOp
+	out.ColdDocsPerSec = docsPerSec(out.Documents, cold.NsPerOp)
+	out.ReingestNsPerCorpus = reingest.NsPerOp
+	out.ReingestDocsPerSec = docsPerSec(out.Documents, reingest.NsPerOp)
+	if reingest.NsPerOp > 0 {
+		out.Speedup = cold.NsPerOp / reingest.NsPerOp
+	}
+	fmt.Printf("ingest: cold %.0f docs/sec | re-ingest %.0f docs/sec | speedup %.1fx\n",
+		out.ColdDocsPerSec, out.ReingestDocsPerSec, out.Speedup)
 	return out, nil
 }
 

@@ -17,6 +17,7 @@ type metrics struct {
 	requests *obs.CounterSet // per-endpoint request counts
 	errors   *obs.CounterSet // responses by failure class
 	batch    *obs.CounterSet // /align/batch fan-out volume
+	ingest   *obs.CounterSet // /ingest streaming volume and reuse split
 	stages   *obs.Recorder   // pipeline stage latencies (shared with core.Pipeline)
 	handlers *obs.Recorder   // whole-request latency per endpoint
 }
@@ -28,6 +29,7 @@ func newMetrics() *metrics {
 		requests: obs.NewCounterSet(append(routes, "total")...),
 		errors:   obs.NewCounterSet("http_4xx", "http_5xx", "panics"),
 		batch:    obs.NewCounterSet("pages", "documents", "alignments"),
+		ingest:   obs.NewCounterSet("pages", "documents", "reused", "realigned", "retracted", "page_errors"),
 		stages:   obs.NewRecorder(core.StageNames()...),
 		handlers: obs.NewRecorder(routes...),
 	}
@@ -42,6 +44,7 @@ func (m *metrics) snapshot() map[string]any {
 		"requests":       m.requests.Snapshot(),
 		"errors":         m.errors.Snapshot(),
 		"batch":          m.batch.Snapshot(),
+		"ingest":         m.ingest.Snapshot(),
 		"stages":         m.stages.Snapshot(),
 		"handlers":       m.handlers.Snapshot(),
 	}

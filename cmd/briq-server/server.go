@@ -22,6 +22,7 @@ import (
 	"briq/internal/document"
 	"briq/internal/facts"
 	"briq/internal/htmlx"
+	"briq/internal/ingest"
 	"briq/internal/qkb"
 	"briq/internal/quantsearch"
 	"briq/internal/store"
@@ -72,6 +73,7 @@ type server struct {
 	pipeline *briq.Pipeline
 	metrics  *metrics
 	store    *store.Store
+	ingestor *ingest.Ingestor
 	opts     serverOptions
 }
 
@@ -107,7 +109,8 @@ func newServer(pipeline *briq.Pipeline, opts serverOptions) *server {
 	for _, warn := range pipeline.ConfigWarnings {
 		opts.logger.Printf("config: %s", warn)
 	}
-	return &server{pipeline: pipeline, metrics: m, store: st, opts: opts}
+	ing := ingest.New(pipeline, st, ingest.Options{Workers: opts.workers})
+	return &server{pipeline: pipeline, metrics: m, store: st, ingestor: ing, opts: opts}
 }
 
 // routes builds the full handler tree from the shared route table: every
@@ -117,6 +120,7 @@ func (s *server) routes() http.Handler {
 	handlers := map[string]http.HandlerFunc{
 		"align":       s.handleAlign,
 		"align_batch": s.handleAlignBatch,
+		"ingest":      s.handleIngest,
 		"summarize":   s.handleSummarize,
 		"search":      s.handleSearch,
 		"facts":       s.handleFacts,
@@ -160,6 +164,11 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	}
 	return w.ResponseWriter.Write(b)
 }
+
+// Unwrap exposes the underlying writer to http.ResponseController — the
+// streaming ingest handler needs Flush and EnableFullDuplex through the
+// middleware wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // instrument wraps a handler with the production middleware: request
 // counting, per-request context deadline, panic recovery (500 + counter, the

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"briq/client"
+)
+
+// runIngest is the `briq ingest` subcommand: stream pages into a briq-server
+// (or briq-gateway) POST /v1/ingest and report per-page reuse as results
+// arrive.
+//
+//	briq ingest -addr 127.0.0.1:8080 corpus/        # every *.html in the dir, page_id = relative path
+//	cat pages.ndjson | briq ingest -addr :8080      # pre-built {"page_id","html"} lines from stdin
+func runIngest(args []string) {
+	fs := flag.NewFlagSet("briq ingest", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "briq-server or briq-gateway address")
+	quiet := fs.Bool("quiet", false, "only print the final summary line")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: briq ingest [-addr host:port] [-quiet] [dir]")
+		fmt.Fprintln(os.Stderr, "  with a directory: ingest every .html/.htm file, page_id = relative path")
+		fmt.Fprintln(os.Stderr, "  without: read NDJSON {\"page_id\",\"html\"} lines from stdin")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() > 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	var next func() (*client.IngestPage, error)
+	if fs.NArg() == 1 {
+		next = dirPages(fs.Arg(0))
+	} else {
+		next = stdinPages()
+	}
+
+	// Ingest streams outlive the default 30s request timeout by design.
+	c, err := client.New(*addr, client.WithHTTPClient(&http.Client{}))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var pages, errors, reused, realigned, retracted int
+	it := c.Ingest(context.Background(), next)
+	for it.Next() {
+		r := it.Result()
+		pages++
+		if r.Error != "" {
+			errors++
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", r.PageID, r.Error, r.Code)
+			continue
+		}
+		reused += r.Reused
+		realigned += r.Realigned
+		retracted += r.Retracted
+		if !*quiet {
+			fmt.Printf("%s: %d reused, %d realigned, %d retracted\n",
+				r.PageID, r.Reused, r.Realigned, r.Retracted)
+		}
+		if r.PersistErrors > 0 {
+			fmt.Fprintf(os.Stderr, "%s: %d persist errors — the server kept the state in memory but the corpus log is incomplete\n",
+				r.PageID, r.PersistErrors)
+		}
+	}
+	if err := it.Err(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ingested %d pages: %d documents reused, %d realigned, %d retracted, %d page errors\n",
+		pages, reused, realigned, retracted, errors)
+	if errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// dirPages walks a directory tree once, yielding every .html/.htm file with
+// its slash-separated relative path as the page ID — stable across re-crawls
+// of the same tree, which is what makes re-ingestion hit the reuse path.
+func dirPages(dir string) func() (*client.IngestPage, error) {
+	var files []string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			return nil
+		}
+		switch strings.ToLower(filepath.Ext(path)) {
+		case ".html", ".htm":
+			files = append(files, path)
+		}
+		return nil
+	})
+	sort.Strings(files)
+	i := 0
+	return func() (*client.IngestPage, error) {
+		if err != nil {
+			return nil, err
+		}
+		if i >= len(files) {
+			return nil, nil
+		}
+		path := files[i]
+		i++
+		src, readErr := os.ReadFile(path)
+		if readErr != nil {
+			return nil, readErr
+		}
+		rel, relErr := filepath.Rel(dir, path)
+		if relErr != nil {
+			rel = path
+		}
+		return &client.IngestPage{PageID: filepath.ToSlash(rel), HTML: string(src)}, nil
+	}
+}
+
+// stdinPages reads pre-built NDJSON page lines from stdin.
+func stdinPages() func() (*client.IngestPage, error) {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	return func() (*client.IngestPage, error) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			var pg client.IngestPage
+			if err := json.Unmarshal([]byte(line), &pg); err != nil {
+				return nil, fmt.Errorf("stdin: %w", err)
+			}
+			return &pg, nil
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+}

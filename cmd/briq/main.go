@@ -28,6 +28,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("briq: ")
 
+	if len(os.Args) > 1 && os.Args[1] == "ingest" {
+		runIngest(os.Args[2:])
+		return
+	}
+
 	format := flag.String("format", "text", "output format: text or json")
 	trained := flag.Bool("trained", false, "train models on a synthetic corpus before aligning")
 	seed := flag.Int64("seed", 42, "training corpus seed (with -trained)")

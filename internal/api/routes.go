@@ -29,6 +29,7 @@ func Surface() []Route {
 	return []Route{
 		{Name: "align", Path: "/align"},
 		{Name: "align_batch", Path: "/align/batch"},
+		{Name: "ingest", Path: "/ingest"},
 		{Name: "summarize", Path: "/summarize"},
 		{Name: "search", Path: "/search"},
 		{Name: "facts", Path: "/facts"},

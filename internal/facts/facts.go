@@ -130,17 +130,36 @@ func CanonicalEntity(s string) string {
 	return strings.Join(words, " ")
 }
 
-// Dedupe keeps the highest-confidence fact per (entity, measure, value,
-// unit) and returns facts sorted by confidence descending (ties by entity).
-func Dedupe(facts []Fact) []Fact {
-	type key struct {
-		entity, measure, unit string
-		value                 float64
+// better reports whether a should win the (entity, measure, value, unit)
+// slot over b: confidence descending, then provenance fields ascending. It
+// is a total order over every non-key Fact field, so the winner never
+// depends on the order facts were offered or retracted — the property that
+// makes incremental re-ingestion byte-identical to a from-scratch build.
+// Two facts that tie on every field are the same struct.
+func better(a, b Fact) bool {
+	if a.Confidence != b.Confidence {
+		return a.Confidence > b.Confidence
 	}
-	best := map[key]Fact{}
+	if a.DocID != b.DocID {
+		return a.DocID < b.DocID
+	}
+	if a.TableKey != b.TableKey {
+		return a.TableKey < b.TableKey
+	}
+	if a.TextSurface != b.TextSurface {
+		return a.TextSurface < b.TextSurface
+	}
+	return a.Agg < b.Agg
+}
+
+// Dedupe keeps the best fact per (entity, measure, value, unit) — highest
+// confidence, provenance as the tie-break (see better) — and returns facts
+// sorted by confidence descending (ties by entity).
+func Dedupe(facts []Fact) []Fact {
+	best := map[viewKey]Fact{}
 	for _, f := range facts {
-		k := key{f.Entity, f.Measure, f.Unit, f.Value}
-		if cur, ok := best[k]; !ok || f.Confidence > cur.Confidence {
+		k := viewKey{f.Entity, f.Measure, f.Unit, f.Value}
+		if cur, ok := best[k]; !ok || better(f, cur) {
 			best[k] = f
 		}
 	}
@@ -160,13 +179,15 @@ func Dedupe(facts []Fact) []Fact {
 	return out
 }
 
-// View is an incrementally-maintained per-entity index of facts. Adding
-// facts one batch at a time yields the same state as Dedupe over the
-// concatenation of all batches in order: the first fact wins a confidence
-// tie, a strictly higher confidence replaces.
+// View is an incrementally-maintained per-entity index of facts. It holds
+// the full multiset of offered facts per (entity, measure, value, unit) key
+// and computes the winner on read via better, so the view state after any
+// Add/Remove sequence equals Dedupe over the surviving facts — retracting a
+// page's stale facts during re-ingestion restores exactly the state a
+// from-scratch build of the final corpus would reach.
 type View struct {
-	best  map[viewKey]Fact
-	count int // facts offered via Add, before dedup
+	all   map[viewKey][]Fact
+	count int // facts held: offered via Add, minus removed
 }
 
 type viewKey struct {
@@ -176,7 +197,19 @@ type viewKey struct {
 
 // NewView returns an empty per-entity facts view.
 func NewView() *View {
-	return &View{best: make(map[viewKey]Fact)}
+	return &View{all: make(map[viewKey][]Fact)}
+}
+
+// bestOf returns the winning fact of one key's multiset; facts must be
+// non-empty.
+func bestOf(facts []Fact) Fact {
+	best := facts[0]
+	for _, f := range facts[1:] {
+		if better(f, best) {
+			best = f
+		}
+	}
+	return best
 }
 
 // Add merges a batch of facts into the view and returns how many distinct
@@ -186,12 +219,41 @@ func (v *View) Add(facts []Fact) int {
 	for _, f := range facts {
 		v.count++
 		k := viewKey{f.Entity, f.Measure, f.Unit, f.Value}
-		if cur, ok := v.best[k]; !ok || f.Confidence > cur.Confidence {
-			v.best[k] = f
+		cur, ok := v.all[k]
+		if !ok || better(f, bestOf(cur)) {
 			changed++
 		}
+		v.all[k] = append(cur, f)
 	}
 	return changed
+}
+
+// Remove retracts previously added facts. Each fact is matched exactly
+// (Fact is a comparable struct) and one matching copy is dropped from its
+// key's multiset; keys left empty disappear. It returns how many facts were
+// actually removed — fewer than len(facts) only if a fact was never added,
+// which callers treat as a consistency bug.
+func (v *View) Remove(facts []Fact) int {
+	removed := 0
+	for _, f := range facts {
+		k := viewKey{f.Entity, f.Measure, f.Unit, f.Value}
+		list := v.all[k]
+		for i := range list {
+			if list[i] == f {
+				list[i] = list[len(list)-1]
+				list = list[:len(list)-1]
+				removed++
+				v.count--
+				break
+			}
+		}
+		if len(list) == 0 {
+			delete(v.all, k)
+		} else {
+			v.all[k] = list
+		}
+	}
+	return removed
 }
 
 // Entity returns the facts known for a canonical entity name, sorted by
@@ -199,9 +261,9 @@ func (v *View) Add(facts []Fact) int {
 // deterministic per-entity slice of the Dedupe ordering.
 func (v *View) Entity(name string) []Fact {
 	var out []Fact
-	for k, f := range v.best {
+	for k, list := range v.all {
 		if k.entity == name {
-			out = append(out, f)
+			out = append(out, bestOf(list))
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -222,7 +284,7 @@ func (v *View) Entity(name string) []Fact {
 // Entities returns the sorted list of entity names with at least one fact.
 func (v *View) Entities() []string {
 	seen := map[string]bool{}
-	for k := range v.best {
+	for k := range v.all {
 		seen[k.entity] = true
 	}
 	out := make([]string, 0, len(seen))
@@ -234,16 +296,16 @@ func (v *View) Entities() []string {
 }
 
 // Size returns the number of deduplicated facts held by the view.
-func (v *View) Size() int { return len(v.best) }
+func (v *View) Size() int { return len(v.all) }
 
-// Offered returns the number of facts fed to Add before deduplication.
+// Offered returns the number of facts fed to Add and not since removed.
 func (v *View) Offered() int { return v.count }
 
 // All returns every deduplicated fact in the Dedupe ordering.
 func (v *View) All() []Fact {
-	out := make([]Fact, 0, len(v.best))
-	for _, f := range v.best {
-		out = append(out, f)
+	out := make([]Fact, 0, len(v.all))
+	for _, list := range v.all {
+		out = append(out, bestOf(list))
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Confidence != out[j].Confidence {

@@ -170,6 +170,8 @@ func (g *Gateway) Routes() http.Handler {
 			h = g.handleHealthz
 		case "search", "facts":
 			h = g.proxyGetHandler(r)
+		case "ingest":
+			h = g.proxyIngestHandler(r)
 		default: // align, align_batch, summarize: the proxy path
 			h = g.proxyHandler(r)
 		}

@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
@@ -151,6 +152,16 @@ type fakeReplica struct {
 
 	queryMu   sync.Mutex
 	lastQuery string // raw query string of the last search/facts request
+
+	ingestMu sync.Mutex
+	ingested []string // page_ids of ingest lines that reached this replica
+}
+
+// ingestedPages snapshots the page_ids this replica's /ingest saw, in order.
+func (f *fakeReplica) ingestedPages() []string {
+	f.ingestMu.Lock()
+	defer f.ingestMu.Unlock()
+	return append([]string(nil), f.ingested...)
 }
 
 func newFakeReplica(fingerprint string) *fakeReplica {
@@ -187,6 +198,32 @@ func newFakeReplica(fingerprint string) *fakeReplica {
 				Items:      []map[string]any{{"echo": r.URL.RawQuery}},
 				NextCursor: "",
 			})
+		case "/ingest":
+			// Minimal briq-server ingest contract: one NDJSON result line
+			// per request line, streamed back as lines arrive.
+			rc := http.NewResponseController(w)
+			_ = rc.EnableFullDuplex()
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			sc := bufio.NewScanner(r.Body)
+			for sc.Scan() {
+				line := strings.TrimSpace(sc.Text())
+				if line == "" {
+					continue
+				}
+				var pg struct {
+					PageID string `json:"page_id"`
+				}
+				if err := json.Unmarshal([]byte(line), &pg); err != nil {
+					continue
+				}
+				f.ingestMu.Lock()
+				f.ingested = append(f.ingested, pg.PageID)
+				f.ingestMu.Unlock()
+				fmt.Fprintf(w, "{\"page_id\":%q,\"reused\":0,\"realigned\":1,\"retracted\":0}\n", pg.PageID)
+				if fl, ok := w.(http.Flusher); ok {
+					fl.Flush()
+				}
+			}
 		case "/align", "/align/batch", "/summarize":
 			f.aligns.Add(1)
 			if f.shed.Load() {

@@ -1,0 +1,148 @@
+package gateway
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"briq/internal/api"
+)
+
+// proxyIngestHandler builds the sharded streaming proxy for POST /v1/ingest.
+// Unlike the buffered proxy paths, the request is never read whole: each
+// NDJSON line is routed to its owning replica by page identity — the hash of
+// the route plus the line's page_id, NOT the body, so every re-crawl of a
+// page lands on the replica whose store holds its previous documents and the
+// fingerprint reuse check can actually hit. One upstream ingest stream per
+// touched replica is opened lazily and fed line by line; the replicas'
+// response lines are merged onto the client as they arrive. Lines are
+// self-describing (each carries its page_id), so cross-replica ordering is
+// unspecified and doesn't need to be.
+//
+// There are no per-line retries: an ingest line is a state mutation on its
+// owner, and replaying it on a ring successor would split the page's history
+// across two stores. A replica failure surfaces as error lines for the pages
+// routed to it; the client re-ingests those pages when the replica returns.
+func (g *Gateway) proxyIngestHandler(route api.Route) http.HandlerFunc {
+	versioned := api.Versioned(route.Path)
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			api.WriteError(w, api.CodeMethodNotAllowed, `POST NDJSON lines {"page_id": ..., "html": ...}`)
+			return
+		}
+		g.metrics.gw.Inc("proxied")
+
+		// The handler interleaves request reads with response writes; HTTP/1
+		// needs the explicit opt-in.
+		rc := http.NewResponseController(w)
+		_ = rc.EnableFullDuplex()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+
+		var wmu sync.Mutex // serializes merged response lines
+		writeLine := func(line []byte) {
+			wmu.Lock()
+			defer wmu.Unlock()
+			w.Write(line)
+			w.Write([]byte("\n"))
+			rc.Flush()
+		}
+		errorLine := func(pageID, code, msg string) {
+			b, _ := json.Marshal(map[string]string{"page_id": pageID, "error": msg, "code": code})
+			writeLine(b)
+		}
+
+		// One lazily-opened upstream stream per replica this request touches.
+		type upstream struct {
+			pw   *io.PipeWriter
+			done chan struct{}
+		}
+		ups := map[int]*upstream{}
+		openUpstream := func(idx int) *upstream {
+			if u, ok := ups[idx]; ok {
+				return u
+			}
+			pr, pw := io.Pipe()
+			u := &upstream{pw: pw, done: make(chan struct{})}
+			ups[idx] = u
+			go func() {
+				defer close(u.done)
+				resp, err := g.clients[idx].DoReader(r.Context(), http.MethodPost, versioned, "application/x-ndjson", pr)
+				if err != nil {
+					g.metrics.gw.Inc("upstream_transport_errors")
+					g.metrics.perReplica[idx].errors.Add(1)
+					g.prober.ReportFailure(idx)
+					// Unblock feeders; their writes fail instead of hanging.
+					pr.CloseWithError(err)
+					errorLine("", api.CodeUnavailable, fmt.Sprintf("replica stream failed: %v", err))
+					return
+				}
+				defer resp.Body.Close()
+				g.metrics.perReplica[idx].forwarded.Add(1)
+				sc := bufio.NewScanner(resp.Body)
+				sc.Buffer(make([]byte, 0, 64<<10), maxBody)
+				for sc.Scan() {
+					if line := bytes.TrimSpace(sc.Bytes()); len(line) > 0 {
+						writeLine(line)
+					}
+				}
+				if err := sc.Err(); err != nil {
+					g.metrics.gw.Inc("upstream_transport_errors")
+					g.prober.ReportFailure(idx)
+					errorLine("", api.CodeUnavailable, fmt.Sprintf("replica stream broke mid-response: %v", err))
+				}
+			}()
+			return u
+		}
+
+		sc := bufio.NewScanner(r.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), maxBody)
+		lineNo := 0
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			lineNo++
+			var pg struct {
+				PageID string `json:"page_id"`
+			}
+			if err := json.Unmarshal(line, &pg); err != nil || pg.PageID == "" {
+				// The replica would reject it too; answer here and spare the
+				// upstream round trip. Mirrors briq-server's per-line errors.
+				id := pg.PageID
+				if id == "" {
+					id = fmt.Sprintf("line%d", lineNo)
+				}
+				errorLine(id, api.CodeBadRequest, fmt.Sprintf("line %d: missing or undecodable page_id", lineNo))
+				continue
+			}
+			key := make([]byte, 0, len(route.Path)+1+len(pg.PageID))
+			key = append(key, route.Path...)
+			key = append(key, 0)
+			key = append(key, pg.PageID...)
+			owners := g.ring.Walk(KeyHash(key), 1, g.prober.Alive)
+			if len(owners) == 0 {
+				g.metrics.gw.Inc("no_healthy_replica")
+				errorLine(pg.PageID, api.CodeUnavailable, "no healthy replica")
+				continue
+			}
+			u := openUpstream(owners[0])
+			if _, err := u.pw.Write(append(line, '\n')); err != nil {
+				errorLine(pg.PageID, api.CodeUnavailable, fmt.Sprintf("replica stream closed: %v", err))
+			}
+		}
+		if err := sc.Err(); err != nil {
+			errorLine(fmt.Sprintf("line%d", lineNo+1), api.CodePayloadTooLarge, fmt.Sprintf("read stream: %v", err))
+		}
+		for _, u := range ups {
+			u.pw.Close()
+		}
+		for _, u := range ups {
+			<-u.done
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package gateway
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+
+	"briq/internal/api"
+)
+
+// ingestThrough streams NDJSON page lines through the gateway front door and
+// returns the decoded response lines.
+func ingestThrough(t *testing.T, frontURL, body string) []map[string]any {
+	t.Helper()
+	resp, err := http.Post(frontURL+api.Versioned("/ingest"), "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out []map[string]any
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var v map[string]any
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			t.Fatalf("undecodable response line %q: %v", line, err)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestGatewayIngestRoutesByPage: every NDJSON line lands on exactly one
+// replica — the ring owner of its page_id — the merged response answers every
+// page exactly once, and a second identical stream routes every page to the
+// same replica (the property that makes re-crawl reuse work behind the
+// gateway).
+func TestGatewayIngestRoutesByPage(t *testing.T) {
+	r0 := newFakeReplica("fp-ingest")
+	r1 := newFakeReplica("fp-ingest")
+	defer r0.srv.Close()
+	defer r1.srv.Close()
+	_, front := newTestGateway(t, Config{}, r0, r1)
+
+	const pages = 40
+	var sb strings.Builder
+	want := map[string]bool{}
+	for i := 0; i < pages; i++ {
+		id := fmt.Sprintf("page-%d", i)
+		want[id] = true
+		fmt.Fprintf(&sb, "{\"page_id\":%q,\"html\":\"<p>x %d</p>\"}\n", id, i)
+	}
+
+	results := ingestThrough(t, front.URL, sb.String())
+	if len(results) != pages {
+		t.Fatalf("got %d response lines, want %d", len(results), pages)
+	}
+	got := map[string]bool{}
+	for _, r := range results {
+		if errMsg, ok := r["error"]; ok {
+			t.Fatalf("error line: %v", errMsg)
+		}
+		id, _ := r["page_id"].(string)
+		if got[id] {
+			t.Fatalf("page %q answered twice", id)
+		}
+		got[id] = true
+	}
+	for id := range want {
+		if !got[id] {
+			t.Errorf("page %q never answered", id)
+		}
+	}
+
+	first0, first1 := r0.ingestedPages(), r1.ingestedPages()
+	if len(first0)+len(first1) != pages {
+		t.Fatalf("replicas saw %d + %d lines, want %d total", len(first0), len(first1), pages)
+	}
+	if len(first0) == 0 || len(first1) == 0 {
+		t.Fatalf("degenerate routing: %d / %d split across 2 replicas", len(first0), len(first1))
+	}
+
+	// The same stream again: every page must land on the same replica.
+	ingestThrough(t, front.URL, sb.String())
+	second0, second1 := r0.ingestedPages(), r1.ingestedPages()
+	sorted := func(s []string) []string { s = append([]string(nil), s...); sort.Strings(s); return s }
+	if a, b := sorted(second0[:len(first0)]), sorted(second0[len(first0):]); !equalStrings(a, b) {
+		t.Errorf("replica 0 saw a different page set on the second crawl")
+	}
+	if a, b := sorted(second1[:len(first1)]), sorted(second1[len(first1):]); !equalStrings(a, b) {
+		t.Errorf("replica 1 saw a different page set on the second crawl")
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGatewayIngestBadLines: undecodable lines and lines without a page_id
+// are answered at the gateway without reaching any replica.
+func TestGatewayIngestBadLines(t *testing.T) {
+	r0 := newFakeReplica("fp-ingest")
+	defer r0.srv.Close()
+	_, front := newTestGateway(t, Config{}, r0)
+
+	body := "not json at all\n{\"html\":\"<p>anon</p>\"}\n{\"page_id\":\"good\",\"html\":\"<p>ok</p>\"}\n"
+	results := ingestThrough(t, front.URL, body)
+	if len(results) != 3 {
+		t.Fatalf("got %d response lines, want 3", len(results))
+	}
+	badCodes := 0
+	for _, r := range results {
+		if code, _ := r["code"].(string); code == api.CodeBadRequest {
+			badCodes++
+		}
+	}
+	if badCodes != 2 {
+		t.Errorf("bad_request lines = %d, want 2", badCodes)
+	}
+	if pages := r0.ingestedPages(); len(pages) != 1 || pages[0] != "good" {
+		t.Errorf("replica saw %v, want only the good page", pages)
+	}
+}
+
+// TestGatewayIngestWrongMethod: non-POST answers the envelope error shape.
+func TestGatewayIngestWrongMethod(t *testing.T) {
+	r0 := newFakeReplica("fp-ingest")
+	defer r0.srv.Close()
+	_, front := newTestGateway(t, Config{}, r0)
+	resp, err := http.Get(front.URL + api.Versioned("/ingest"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("status = %d, want 405", resp.StatusCode)
+	}
+}

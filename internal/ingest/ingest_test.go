@@ -1,0 +1,182 @@
+package ingest
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"briq/internal/core"
+	"briq/internal/corpus"
+	"briq/internal/quantsearch"
+	"briq/internal/store"
+)
+
+const testFP = "fp-ingest-test"
+
+func testPages(t *testing.T, seed int64, pages int) []*corpus.Page {
+	t.Helper()
+	cfg := corpus.TableSConfig(seed)
+	cfg.Pages = pages
+	return corpus.Generate(cfg).Pages
+}
+
+func newEngine(t *testing.T) (*Ingestor, *store.Store) {
+	t.Helper()
+	st, err := store.Open(store.Options{Fingerprint: testFP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(core.NewPipeline(), st, Options{Workers: 2}), st
+}
+
+func battery() []quantsearch.Query {
+	return []quantsearch.Query{
+		{Op: quantsearch.Above, Value: 0},
+		{Op: quantsearch.Below, Value: 1000},
+		{Op: quantsearch.Between, Value: 5, Value2: 500},
+		{Op: quantsearch.Above, Value: 10, Unit: "USD"},
+		{Keywords: []string{"total"}, Op: quantsearch.Above, Value: 0},
+	}
+}
+
+func ingestAll(t *testing.T, ing *Ingestor, pages []*corpus.Page) []Result {
+	t.Helper()
+	out := make([]Result, 0, len(pages))
+	for _, pg := range pages {
+		res := ing.Page(context.Background(), pg.ID, pg.HTML())
+		if res.Error != "" {
+			t.Fatalf("ingest %s: %s (%s)", pg.ID, res.Error, res.Code)
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+func assertStoresEqual(t *testing.T, got, want *store.Store, label string) {
+	t.Helper()
+	for i, q := range battery() {
+		if !reflect.DeepEqual(got.Search(q), want.Search(q)) {
+			t.Fatalf("%s: query %d diverges from from-scratch alignment", label, i)
+		}
+	}
+	g, w := got.Entities(), want.Entities()
+	if !reflect.DeepEqual(g, w) {
+		t.Fatalf("%s: entities diverge", label)
+	}
+	for _, e := range w {
+		if !reflect.DeepEqual(got.FactsFor(e), want.FactsFor(e)) {
+			t.Fatalf("%s: facts for %q diverge", label, e)
+		}
+	}
+}
+
+// TestIngestColdThenIdentical: a cold ingest realigns every document, and a
+// byte-identical re-crawl reuses every one without touching alignment.
+func TestIngestColdThenIdentical(t *testing.T) {
+	pages := testPages(t, 41, 4)
+	ing, st := newEngine(t)
+
+	cold := ingestAll(t, ing, pages)
+	for _, r := range cold {
+		if r.Reused != 0 || r.Realigned == 0 || r.Retracted != 0 {
+			t.Fatalf("cold page %s: %+v", r.PageID, r)
+		}
+		for _, d := range r.Documents {
+			if d.Status != "realigned" {
+				t.Fatalf("cold page %s doc %s status %q", r.PageID, d.DocID, d.Status)
+			}
+		}
+	}
+
+	again := ingestAll(t, ing, pages)
+	for i, r := range again {
+		if r.Realigned != 0 || r.Retracted != 0 || r.Reused != cold[i].Realigned {
+			t.Fatalf("re-crawl page %s: %+v (cold realigned %d)", r.PageID, r, cold[i].Realigned)
+		}
+		if r.Alignments != cold[i].Alignments {
+			t.Fatalf("re-crawl page %s reports %d alignments, cold run %d",
+				r.PageID, r.Alignments, cold[i].Alignments)
+		}
+		for _, d := range r.Documents {
+			if d.Status != "reused" {
+				t.Fatalf("re-crawl page %s doc %s status %q", r.PageID, d.DocID, d.Status)
+			}
+		}
+	}
+	if c := st.Counters(); c["retracted_documents"] != 0 {
+		t.Errorf("identical re-crawl retracted documents: %v", c)
+	}
+}
+
+// TestIngestMutationEquivalence is the tentpole acceptance gate end to end at
+// the engine layer: ingest a corpus, mutate one paragraph per page, re-ingest
+// — unchanged documents must reuse their stored alignments, and the resulting
+// search and facts state must be identical to aligning the final (mutated)
+// corpus from scratch.
+func TestIngestMutationEquivalence(t *testing.T) {
+	pages := testPages(t, 47, 5)
+	ing, st := newEngine(t)
+	ingestAll(t, ing, pages)
+
+	for _, pg := range pages {
+		pg.Paras[0] += " Notably, 3 follow-up reports were filed."
+	}
+	results := ingestAll(t, ing, pages)
+	var reused, realigned, retracted int
+	for _, r := range results {
+		reused += r.Reused
+		realigned += r.Realigned
+		retracted += r.Retracted
+	}
+	if reused == 0 {
+		t.Fatal("mutated re-crawl reused nothing — the fingerprint reuse path is dead")
+	}
+	if realigned == 0 || retracted == 0 {
+		t.Fatalf("mutated re-crawl realigned %d / retracted %d, want both > 0", realigned, retracted)
+	}
+
+	scratch, st2 := newEngine(t)
+	ingestAll(t, scratch, pages)
+	assertStoresEqual(t, st, st2, "incremental re-alignment")
+}
+
+// TestIngestConcurrentPages races distinct pages through one Ingestor (run
+// with -race) and checks the quiesced state against a from-scratch ingest.
+func TestIngestConcurrentPages(t *testing.T) {
+	pages := testPages(t, 53, 6)
+	ing, st := newEngine(t)
+
+	var wg sync.WaitGroup
+	for _, pg := range pages {
+		pg := pg
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if res := ing.Page(context.Background(), pg.ID, pg.HTML()); res.Error != "" {
+				t.Errorf("ingest %s: %s", pg.ID, res.Error)
+			}
+		}()
+	}
+	wg.Wait()
+
+	scratch, st2 := newEngine(t)
+	ingestAll(t, scratch, pages)
+	assertStoresEqual(t, st, st2, "concurrent ingest")
+}
+
+// TestIngestCanceledContext: a dead context fails the page without touching
+// the store.
+func TestIngestCanceledContext(t *testing.T) {
+	pages := testPages(t, 59, 1)
+	ing, st := newEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := ing.Page(ctx, pages[0].ID, pages[0].HTML())
+	if res.Error == "" {
+		t.Fatal("canceled ingest reported success")
+	}
+	if c := st.Counters(); c["live_documents"] != 0 || c["upserted_pages"] != 0 {
+		t.Errorf("canceled ingest touched the store: %v", c)
+	}
+}

@@ -36,12 +36,22 @@ type Entry struct {
 
 // Index is an inverted index over entries, maintained incrementally. It is
 // not safe for concurrent use; briq's persistent store wraps it in a lock.
+//
+// Removal (RemoveTables) tombstones entries in place: postings keep the dead
+// ids and every query path skips them, so removing and re-adding a table
+// yields results byte-identical to an index that never held the old version
+// (the result ranking never depends on entry ids). Tombstones cost memory
+// proportional to churn, not corpus size — acceptable for re-crawl workloads
+// where a page's tables mostly survive re-ingestion.
 type Index struct {
 	entries []Entry
 	byToken map[string][]int // lowercase token → entry ids (append order)
 	byUnit  map[string][]int // canonical unit ("" = unknown) → entry ids
+	byTable map[string][]int // table ID → entry ids (the removal postings)
 	byValue []int            // entry ids; ordered by (Value, id) unless valueDirty
 	seen    map[string]bool  // table IDs already indexed (cross-document dedup)
+	dead    []bool           // tombstones, parallel to entries
+	deadN   int
 
 	// valueDirty marks byValue as appended-to since its last sort. Adds are
 	// O(1) and the (Value, id) order is restored lazily — EnsureValueOrder
@@ -55,6 +65,7 @@ func NewIndex() *Index {
 	return &Index{
 		byToken: make(map[string][]int),
 		byUnit:  make(map[string][]int),
+		byTable: make(map[string][]int),
 		seen:    make(map[string]bool),
 	}
 }
@@ -125,6 +136,8 @@ func (ix *Index) AddEntries(entries []Entry) int {
 func (ix *Index) add(e Entry) {
 	id := len(ix.entries)
 	ix.entries = append(ix.entries, e)
+	ix.dead = append(ix.dead, false)
+	ix.byTable[e.TableID] = append(ix.byTable[e.TableID], id)
 
 	tokens := map[string]bool{}
 	for _, w := range nlp.ContentWords(e.Entity) {
@@ -166,6 +179,26 @@ func (ix *Index) EnsureValueOrder() {
 	ix.valueDirty = false
 }
 
+// RemoveTables retracts every entry of the given table IDs and forgets the
+// IDs, so a subsequent AddEntries for the same table indexes it afresh. It
+// returns the number of entries retracted. Removal tombstones entries in
+// place — see the Index doc comment for why that preserves result identity.
+func (ix *Index) RemoveTables(tableIDs []string) int {
+	removed := 0
+	for _, t := range tableIDs {
+		for _, id := range ix.byTable[t] {
+			if !ix.dead[id] {
+				ix.dead[id] = true
+				ix.deadN++
+				removed++
+			}
+		}
+		delete(ix.byTable, t)
+		delete(ix.seen, t)
+	}
+	return removed
+}
+
 // BuildIndex indexes every numeric cell of the documents' tables. A table
 // shared by several documents is indexed once. It is equivalent to NewIndex
 // followed by Add for each document in order.
@@ -178,8 +211,8 @@ func BuildIndex(docs []*document.Document) *Index {
 	return ix
 }
 
-// Size returns the number of indexed entries.
-func (ix *Index) Size() int { return len(ix.entries) }
+// Size returns the number of live indexed entries.
+func (ix *Index) Size() int { return len(ix.entries) - ix.deadN }
 
 // Comparison is the numeric predicate of a query.
 type Comparison int
@@ -372,6 +405,9 @@ func (ix *Index) Search(q Query) []Result {
 
 	var out []Result
 	for id, matched := range counts {
+		if ix.dead[id] {
+			continue
+		}
 		e := ix.entries[id]
 		if q.Unit != "" && e.Unit != "" && !quantity.UnitsCompatible(q.Unit, e.Unit) {
 			continue
@@ -456,12 +492,21 @@ func abs(v float64) float64 {
 	return v
 }
 
-// Units returns the indexed unit buckets and their posting sizes — a cheap
-// cardinality view for metrics and diagnostics.
+// Units returns the indexed unit buckets and their live posting sizes — a
+// cheap cardinality view for metrics and diagnostics. Buckets whose entries
+// are all retracted are omitted.
 func (ix *Index) Units() map[string]int {
 	out := make(map[string]int, len(ix.byUnit))
 	for u, ids := range ix.byUnit {
-		out[u] = len(ids)
+		live := 0
+		for _, id := range ids {
+			if !ix.dead[id] {
+				live++
+			}
+		}
+		if live > 0 {
+			out[u] = live
+		}
 	}
 	return out
 }

@@ -1,0 +1,40 @@
+package store
+
+import (
+	"briq/internal/core"
+	"briq/internal/quantity"
+)
+
+// WireAlignment carries a core.Alignment through the store's NDJSON log and
+// any other persistence path, restoring the aggregation code that the public
+// JSON shape deliberately omits. It is the one wire codec for alignments —
+// the log records, the ingest path, and offline readers all round-trip
+// through ToWire/FromWire instead of keeping private copies.
+type WireAlignment struct {
+	core.Alignment
+	AggCode int `json:"agg_code"`
+}
+
+// ToWire converts alignments to their wire form.
+func ToWire(als []core.Alignment) []WireAlignment {
+	out := make([]WireAlignment, len(als))
+	for i, a := range als {
+		out[i] = WireAlignment{Alignment: a, AggCode: int(a.Agg)}
+	}
+	return out
+}
+
+// FromWire restores alignments from their wire form, preserving nil (a
+// record that stored no alignments round-trips to no alignments).
+func FromWire(ws []WireAlignment) []core.Alignment {
+	if ws == nil {
+		return nil
+	}
+	out := make([]core.Alignment, len(ws))
+	for i, w := range ws {
+		a := w.Alignment
+		a.Agg = quantity.Agg(w.AggCode)
+		out[i] = a
+	}
+	return out
+}

@@ -8,10 +8,20 @@
 // scratch, and a restart replays the log to recover exactly that state —
 // warm-loading the serve cache on the way.
 //
+// Re-ingesting a changed page is an upsert (UpsertPage): the page's stale
+// documents are retracted from the index and facts view, unchanged documents
+// are reused byte-for-byte, and the log records which keys each upsert
+// supersedes so replay reconstructs the same latest-wins view. The
+// invariant, gated by tests, is that the incremental state after any
+// ingest/re-ingest sequence is byte-identical (Search and FactsFor output)
+// to a from-scratch alignment of the final corpus.
+//
 // The on-disk format is an append-only NDJSON log (corpus.ndjson) beside a
 // meta.json recording the model fingerprint. Appends are synchronous with
 // alignment but never fail it: persistence errors are counted and logged,
-// and a torn final line (crash mid-append) is skipped on replay.
+// and a torn final line (crash mid-append) is skipped on replay. A torn
+// supersede record leaves the previous page version fully intact — the
+// retraction and the first fresh document travel on one line.
 package store
 
 import (
@@ -19,7 +29,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
@@ -28,7 +38,6 @@ import (
 	"briq/internal/core"
 	"briq/internal/document"
 	"briq/internal/facts"
-	"briq/internal/quantity"
 	"briq/internal/quantsearch"
 	"briq/internal/serve"
 )
@@ -48,7 +57,11 @@ var ErrNotStore = errors.New("store: directory is not a store (no meta.json)")
 const (
 	logName  = "corpus.ndjson"
 	metaName = "meta.json"
-	version  = 1
+	// version 2: per-part document identity (serve.DocKeyOf) changed every
+	// document key, and records gained supersedes/page_docs upsert fields.
+	// Version-1 stores are refused rather than silently re-aligned under
+	// mismatched keys.
+	version = 2
 )
 
 // Options configures Open.
@@ -79,9 +92,27 @@ type Store struct {
 	logF  *os.File // append handle; nil in memory mode
 	index *quantsearch.Index
 	view  *facts.View
-	seen  map[serve.Key]bool
+	seen  map[serve.Key]bool      // live record keys (doc + page cache)
+	docs  map[serve.Key]*docState // live document records
+	pages map[string][]serve.Key  // page ID → final ordered doc keys
+
+	// firstPersistErr logs the first failed append through the standard
+	// logger exactly once, so silent data loss is visible even when
+	// Options.Logf discards (e.g. -quiet servers).
+	firstPersistErr sync.Once
 
 	c counters
+}
+
+// docState is the in-memory materialization of one live document record —
+// everything needed to serve it, re-attribute its tables, or retract it.
+type docState struct {
+	docID   string
+	pageID  string
+	als     []core.Alignment
+	entries []quantsearch.Entry
+	facts   []facts.Fact
+	tables  []string // unique table IDs of entries, in first-seen order
 }
 
 type counters struct {
@@ -92,48 +123,34 @@ type counters struct {
 	warmCache     int64 // cache records replayed from disk at Open
 	replaySkipped int64 // undecodable/torn log lines skipped at Open
 	persistErrors int64 // appends that failed (state kept in memory)
+	upsertedPages int64 // UpsertPage calls accepted
+	retractedDocs int64 // stale documents retracted by upserts (incl. replay)
 
 	// Query counters are atomic so concurrent reads share the RLock.
 	searches     atomic.Int64
 	factsQueries atomic.Int64
 }
 
-// wireAlignment carries a core.Alignment through the log, restoring the
-// aggregation code that the public JSON shape deliberately omits.
-type wireAlignment struct {
-	core.Alignment
-	AggCode int `json:"agg_code"`
-}
-
+// record is one NDJSON log line. Kind "doc" is a stored document (optionally
+// carrying upsert fields), "cache" a page-level serve-cache entry, "retract"
+// a pure retraction (an upsert that removed documents without adding any).
+//
+// Upsert atomicity rides on line atomicity: Supersedes travels on the FIRST
+// fresh record of an upsert (or on a bare "retract" record), so a torn line
+// means neither the retraction nor the addition applied and the previous
+// page version replays intact. PageDocs — the page's final ordered document
+// keys — travels on every upsert-written record; replay re-walks that order
+// so shared-table attribution matches a from-scratch build.
 type record struct {
-	Kind       string              `json:"kind"` // "doc" | "cache"
-	Key        string              `json:"key"`
+	Kind       string              `json:"kind"` // "doc" | "cache" | "retract"
+	Key        string              `json:"key,omitempty"`
 	DocID      string              `json:"doc_id,omitempty"`
 	PageID     string              `json:"page_id,omitempty"`
-	Alignments []wireAlignment     `json:"alignments"`
+	Alignments []WireAlignment     `json:"alignments,omitempty"`
 	Entries    []quantsearch.Entry `json:"entries,omitempty"`
 	Facts      []facts.Fact        `json:"facts,omitempty"`
-}
-
-func toWire(als []core.Alignment) []wireAlignment {
-	out := make([]wireAlignment, len(als))
-	for i, a := range als {
-		out[i] = wireAlignment{Alignment: a, AggCode: int(a.Agg)}
-	}
-	return out
-}
-
-func fromWire(ws []wireAlignment) []core.Alignment {
-	if ws == nil {
-		return nil
-	}
-	out := make([]core.Alignment, len(ws))
-	for i, w := range ws {
-		a := w.Alignment
-		a.Agg = quantity.Agg(w.AggCode)
-		out[i] = a
-	}
-	return out
+	Supersedes []string            `json:"supersedes,omitempty"` // doc keys this record retracts
+	PageDocs   []string            `json:"page_docs,omitempty"`  // PageID's final ordered doc keys
 }
 
 type meta struct {
@@ -153,6 +170,8 @@ func Open(opts Options) (*Store, error) {
 		index: quantsearch.NewIndex(),
 		view:  facts.NewView(),
 		seen:  make(map[serve.Key]bool),
+		docs:  make(map[serve.Key]*docState),
+		pages: make(map[string][]serve.Key),
 	}
 	if s.logf == nil {
 		s.logf = func(string, ...any) {}
@@ -203,7 +222,8 @@ func (s *Store) checkMeta() error {
 			return fmt.Errorf("store: bad %s: %w", metaName, err)
 		}
 		if m.Version != version {
-			return fmt.Errorf("store: %s version %d, want %d", metaName, m.Version, version)
+			return fmt.Errorf("store: %s version %d, want %d (document identity changed; re-align into a fresh directory)",
+				metaName, m.Version, version)
 		}
 		if s.fp == "" {
 			s.fp = m.Fingerprint
@@ -227,7 +247,8 @@ func (s *Store) checkMeta() error {
 
 // replay streams the log, rebuilding in-memory state and warming the gate.
 // Undecodable lines (torn final append after a crash) are counted and
-// skipped.
+// skipped. Supersede records re-apply their retractions so the final state
+// is the latest-wins view of every page.
 func (s *Store) replay() error {
 	f, err := os.Open(filepath.Join(s.dir, logName))
 	if os.IsNotExist(err) {
@@ -251,25 +272,48 @@ func (s *Store) replay() error {
 			s.logf("store: skipping undecodable log line: %v", err)
 			continue
 		}
+		if r.Kind == "retract" {
+			// Pure retraction: no key of its own.
+			s.applyRetract(r.Supersedes)
+			s.setPageOrder(r.PageID, r.PageDocs)
+			continue
+		}
 		key, err := serve.ParseKey(r.Key)
 		if err != nil {
 			s.c.replaySkipped++
 			s.logf("store: skipping log line: %v", err)
 			continue
 		}
-		if s.seen[key] {
-			continue
-		}
-		s.seen[key] = true
-		als := fromWire(r.Alignments)
+		als := FromWire(r.Alignments)
 		switch r.Kind {
 		case "doc":
-			s.index.AddEntries(r.Entries)
-			s.view.Add(r.Facts)
-			s.c.documents++
+			// Retraction first: the superseded keys are never the record's
+			// own (an upsert's fresh docs are disjoint from its stale ones).
+			s.applyRetract(r.Supersedes)
+			if s.seen[key] {
+				continue
+			}
+			s.registerDoc(key, &docState{
+				docID:   r.DocID,
+				pageID:  r.PageID,
+				als:     als,
+				entries: r.Entries,
+				facts:   r.Facts,
+				tables:  tablesOf(r.Entries),
+			})
 			s.c.warmDocuments++
 			s.gate.Store(key, als, core.AlignmentsSize(als))
+			if len(r.PageDocs) > 0 {
+				s.setPageOrder(r.PageID, r.PageDocs)
+			} else {
+				// Pre-upsert record shape: index directly in log order.
+				s.index.AddEntries(r.Entries)
+			}
 		case "cache":
+			if s.seen[key] {
+				continue
+			}
+			s.seen[key] = true
 			s.c.cacheRecords++
 			s.c.warmCache++
 			s.gate.Store(key, als, core.AlignmentsSize(als))
@@ -306,9 +350,160 @@ func (s *Store) Close() error {
 func (s *Store) Fingerprint() string { return s.fp }
 
 // DocumentKey returns the content address the store files a document under —
-// identical to the serve cache's corpus-path key for the same fingerprint.
+// identical to the serve cache's corpus-path key for the same fingerprint,
+// composed from the per-part content digests so ingest can tell which half
+// of a document moved.
 func (s *Store) DocumentKey(doc *document.Document) serve.Key {
-	return serve.KeyOf(s.fp, func(w io.Writer) { core.HashDocument(w, doc) })
+	text, tables := core.DocumentParts(doc)
+	return serve.DocKeyOf(s.fp, doc.ID, doc.PageID, text, tables)
+}
+
+// Alignments returns the stored alignments for a live document identity.
+// The ingest path uses it as the reuse check: a hit means classify/filter/
+// resolve can be skipped for that document entirely.
+func (s *Store) Alignments(key serve.Key) ([]core.Alignment, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ds, ok := s.docs[key]
+	if !ok {
+		return nil, false
+	}
+	return ds.als, true
+}
+
+// docStateOf derives the stored shape of one freshly aligned document.
+func docStateOf(doc *document.Document, alignments []core.Alignment) *docState {
+	entries := quantsearch.EntriesFromDocument(doc)
+	return &docState{
+		docID:   doc.ID,
+		pageID:  doc.PageID,
+		als:     alignments,
+		entries: entries,
+		facts:   facts.Extract(doc, alignments),
+		tables:  tablesOf(entries),
+	}
+}
+
+func tablesOf(entries []quantsearch.Entry) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if !seen[e.TableID] {
+			seen[e.TableID] = true
+			out = append(out, e.TableID)
+		}
+	}
+	return out
+}
+
+// registerDoc records a live document under the held write lock: identity
+// maps, page membership (kept in arrival order for pages maintained via
+// AddDocument), facts, counters. Index entries are the caller's — their
+// order matters for shared-table attribution.
+func (s *Store) registerDoc(key serve.Key, ds *docState) {
+	s.seen[key] = true
+	s.docs[key] = ds
+	if ds.pageID != "" && !containsKey(s.pages[ds.pageID], key) {
+		s.pages[ds.pageID] = append(s.pages[ds.pageID], key)
+	}
+	s.view.Add(ds.facts)
+	s.c.documents++
+}
+
+func containsKey(keys []serve.Key, k serve.Key) bool {
+	for _, have := range keys {
+		if have == k {
+			return true
+		}
+	}
+	return false
+}
+
+// retractDoc removes one live document under the held write lock: its
+// tables leave the index (table IDs are page-scoped, so only same-page
+// documents can share them — the upsert's final-order walk re-adds entries
+// for surviving documents), its facts leave the view, and its key becomes
+// free so a later re-ingest of identical content is accepted again.
+func (s *Store) retractDoc(key serve.Key) {
+	ds, ok := s.docs[key]
+	if !ok {
+		return
+	}
+	s.index.RemoveTables(ds.tables)
+	s.view.Remove(ds.facts)
+	delete(s.docs, key)
+	delete(s.seen, key)
+	s.c.retractedDocs++
+}
+
+func (s *Store) applyRetract(keyStrs []string) {
+	for _, ks := range keyStrs {
+		k, err := serve.ParseKey(ks)
+		if err != nil {
+			s.c.replaySkipped++
+			s.logf("store: skipping bad supersedes key: %v", err)
+			continue
+		}
+		s.retractDoc(k)
+	}
+}
+
+// setPageOrder installs a page's final document order and re-walks it,
+// re-indexing every present document's entries in order. The walk is what
+// keeps shared-table attribution identical to a from-scratch build: a table
+// referenced by several documents of the page is indexed from the first
+// document in final page order, whichever upsert or replay step ran last.
+func (s *Store) setPageOrder(pageID string, docKeys []string) {
+	keys := make([]serve.Key, 0, len(docKeys))
+	for _, ks := range docKeys {
+		k, err := serve.ParseKey(ks)
+		if err != nil {
+			s.c.replaySkipped++
+			s.logf("store: skipping bad page_docs key: %v", err)
+			continue
+		}
+		keys = append(keys, k)
+	}
+	if len(keys) == 0 {
+		delete(s.pages, pageID)
+	} else {
+		s.pages[pageID] = keys
+	}
+	s.reindexPage(keys)
+}
+
+// reindexPage re-attributes a page's tables along its final document order:
+// every present document's tables leave the index, then re-enter in order, so
+// a table shared by several documents of the page is always presented by the
+// first one in final page order — exactly what a from-scratch build of the
+// final corpus does. Removal must complete for the whole page before any
+// re-add, or a shared table re-added for an early document would be
+// tombstoned again when a later document's old tables are dropped.
+func (s *Store) reindexPage(keys []serve.Key) {
+	for _, k := range keys {
+		if ds, ok := s.docs[k]; ok {
+			s.index.RemoveTables(ds.tables)
+		}
+	}
+	for _, k := range keys {
+		if ds, ok := s.docs[k]; ok {
+			s.index.AddEntries(ds.entries)
+		}
+	}
+}
+
+// keysEqual reports whether a page's live key list already matches the
+// upsert's, in order — the no-op re-crawl fast path.
+func keysEqual(a, b []serve.Key) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // AddDocument implements core.AlignmentSink: it records one freshly aligned
@@ -317,8 +512,7 @@ func (s *Store) DocumentKey(doc *document.Document) serve.Key {
 // identity are dropped. Persistence failures never fail the alignment.
 func (s *Store) AddDocument(doc *document.Document, alignments []core.Alignment) {
 	key := s.DocumentKey(doc)
-	entries := quantsearch.EntriesFromDocument(doc)
-	fs := facts.Extract(doc, alignments)
+	ds := docStateOf(doc, alignments)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -326,25 +520,160 @@ func (s *Store) AddDocument(doc *document.Document, alignments []core.Alignment)
 		s.c.duplicates++
 		return
 	}
-	s.seen[key] = true
-	s.index.AddEntries(entries)
-	s.view.Add(fs)
-	s.c.documents++
+	s.registerDoc(key, ds)
+	s.index.AddEntries(ds.entries)
 	s.append(record{
 		Kind:       "doc",
 		Key:        key.String(),
-		DocID:      doc.ID,
-		PageID:     doc.PageID,
-		Alignments: toWire(alignments),
-		Entries:    entries,
-		Facts:      fs,
+		DocID:      ds.docID,
+		PageID:     ds.pageID,
+		Alignments: ToWire(alignments),
+		Entries:    ds.entries,
+		Facts:      ds.facts,
 	})
+}
+
+// PageUpsert reports what one UpsertPage call did.
+type PageUpsert struct {
+	// Reused is per input document: true when a live record with the same
+	// content identity already existed and was kept untouched.
+	Reused []bool
+	// Retracted counts the page's stale documents removed by this upsert.
+	Retracted int
+	// PersistErrors counts append failures while persisting this upsert
+	// (the in-memory view is still updated; the loss is durability only).
+	PersistErrors int64
+}
+
+// UpsertPage replaces a page's document set with the given documents, in
+// order. Documents whose content identity is already live are reused —
+// alignments[i] is ignored for them and may be nil, which is how the ingest
+// path skips re-alignment entirely. Stale documents (live for this page but
+// absent from the new set) are retracted from the index and facts view, and
+// the log records the retraction on the upsert's first line so replay
+// reconstructs the same latest-wins state. An empty docs slice retracts the
+// whole page.
+//
+// Callers that pass alignments[i] == nil must have confirmed the identity
+// via Alignments first and must serialize upserts of the same page (the
+// ingest path holds a per-page lock); a nil-alignment document that lost a
+// race is registered with no alignments rather than dropped.
+func (s *Store) UpsertPage(pageID string, docs []*document.Document, alignments [][]core.Alignment) PageUpsert {
+	keys := make([]serve.Key, len(docs))
+	states := make([]*docState, len(docs))
+	for i, d := range docs {
+		keys[i] = s.DocumentKey(d)
+		if alignments[i] != nil {
+			states[i] = docStateOf(d, alignments[i])
+		}
+	}
+	keyStrs := make([]string, len(keys))
+	for i, k := range keys {
+		keyStrs[i] = k.String()
+	}
+
+	up := PageUpsert{Reused: make([]bool, len(docs))}
+	var warm []int // fresh docs to offer the serve cache after unlock
+
+	s.mu.Lock()
+	startErrs := s.c.persistErrors
+
+	// The no-op re-crawl fast path: same documents in the same order means
+	// nothing to retract, register, re-attribute, or log.
+	if keysEqual(s.pages[pageID], keys) {
+		for i := range up.Reused {
+			up.Reused[i] = true
+		}
+		s.c.upsertedPages++
+		s.mu.Unlock()
+		return up
+	}
+
+	// Stale = live for this page but absent from the new set.
+	final := make(map[serve.Key]bool, len(keys))
+	for _, k := range keys {
+		final[k] = true
+	}
+	var staleStrs []string
+	for _, k := range s.pages[pageID] {
+		if !final[k] {
+			staleStrs = append(staleStrs, k.String())
+		}
+	}
+	s.applyRetract(staleStrs)
+	up.Retracted = len(staleStrs)
+
+	// Register fresh documents and persist. Supersedes rides on the first
+	// fresh record so retraction and addition share one atomic log line; if
+	// no record was written but the page still changed — a pure retraction or
+	// a pure reorder — a bare "retract" record carries the retraction and the
+	// new order.
+	carrySupersedes := staleStrs
+	wrote := false
+	for i := range docs {
+		if _, ok := s.docs[keys[i]]; ok {
+			up.Reused[i] = true
+			continue
+		}
+		st := states[i]
+		if st == nil {
+			st = docStateOf(docs[i], nil)
+		}
+		s.registerDoc(keys[i], st)
+		warm = append(warm, i)
+		s.append(record{
+			Kind:       "doc",
+			Key:        keyStrs[i],
+			DocID:      st.docID,
+			PageID:     pageID,
+			Alignments: ToWire(st.als),
+			Entries:    st.entries,
+			Facts:      st.facts,
+			Supersedes: carrySupersedes,
+			PageDocs:   keyStrs,
+		})
+		carrySupersedes = nil
+		wrote = true
+	}
+	if !wrote {
+		s.append(record{
+			Kind:       "retract",
+			PageID:     pageID,
+			Supersedes: carrySupersedes,
+			PageDocs:   keyStrs,
+		})
+	}
+
+	// Install the final order and re-attribute the page's tables along it so
+	// shared-table attribution matches a from-scratch build of the final
+	// corpus — including when a surviving document moved ahead of the one
+	// that used to present a shared table.
+	if len(keys) == 0 {
+		delete(s.pages, pageID)
+	} else {
+		s.pages[pageID] = append([]serve.Key(nil), keys...)
+	}
+	s.reindexPage(keys)
+	s.c.upsertedPages++
+	up.PersistErrors = s.c.persistErrors - startErrs
+	s.mu.Unlock()
+
+	// Warm the serve cache outside the lock (the write-through hook takes
+	// it; the seen check drops the re-offer).
+	if s.gate != nil {
+		for _, i := range warm {
+			if ds, ok := s.Alignments(keys[i]); ok {
+				s.gate.Store(keys[i], ds, core.AlignmentsSize(ds))
+			}
+		}
+	}
+	return up
 }
 
 // cacheStored is the serve write-through hook: page-level results stored in
 // the cache are persisted so a restart can warm them back. Document-level
-// stores arrive here too but were already recorded by AddDocument (the
-// facade offers to the sink first), so the seen check drops them.
+// stores arrive here too but were already recorded by AddDocument or
+// UpsertPage (both run before the gate store), so the seen check drops them.
 func (s *Store) cacheStored(key serve.Key, v any, _ int64) {
 	als, ok := v.([]core.Alignment)
 	if !ok {
@@ -357,11 +686,13 @@ func (s *Store) cacheStored(key serve.Key, v any, _ int64) {
 	}
 	s.seen[key] = true
 	s.c.cacheRecords++
-	s.append(record{Kind: "cache", Key: key.String(), Alignments: toWire(als)})
+	s.append(record{Kind: "cache", Key: key.String(), Alignments: ToWire(als)})
 }
 
 // append writes one record under the held lock. Failures are counted and
-// logged, never propagated: serving beats durability here.
+// logged, never propagated: serving beats durability here. The first
+// failure additionally goes through the standard logger so it is visible
+// even when Options.Logf discards.
 func (s *Store) append(r record) {
 	if s.logF == nil {
 		return
@@ -373,6 +704,10 @@ func (s *Store) append(r record) {
 	if err != nil {
 		s.c.persistErrors++
 		s.logf("store: persist failed (state kept in memory): %v", err)
+		s.firstPersistErr.Do(func() {
+			log.Printf("store: first persist failure, corpus log %s is no longer complete: %v",
+				filepath.Join(s.dir, logName), err)
+		})
 	}
 }
 
@@ -414,6 +749,7 @@ var counterNames = []string{
 	"documents", "duplicate_documents", "cache_records",
 	"warm_documents", "warm_cache_records", "replay_skipped",
 	"persist_errors", "searches", "facts_queries",
+	"upserted_pages", "retracted_documents", "live_documents",
 	"index_entries", "fact_entities", "facts", "log_bytes", "persistent",
 }
 
@@ -442,6 +778,9 @@ func (s *Store) Counters() map[string]int64 {
 	out["persist_errors"] = s.c.persistErrors
 	out["searches"] = s.c.searches.Load()
 	out["facts_queries"] = s.c.factsQueries.Load()
+	out["upserted_pages"] = s.c.upsertedPages
+	out["retracted_documents"] = s.c.retractedDocs
+	out["live_documents"] = int64(len(s.docs))
 	out["index_entries"] = int64(s.index.Size())
 	out["fact_entities"] = int64(len(s.view.Entities()))
 	out["facts"] = int64(s.view.Size())
